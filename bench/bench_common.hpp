@@ -1,0 +1,80 @@
+// bench/bench_common.hpp
+//
+// Shared plumbing for the table/figure reproduction harnesses: command-line
+// options (scale, seed), wall-clock timing and banner output. Each bench
+// binary regenerates one table or figure of the paper; see EXPERIMENTS.md.
+
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace spinscope::bench {
+
+/// Common harness options. `scale` divides the paper's CW 20/2023 universe;
+/// all percentages are scale-invariant, absolute counts scale linearly.
+struct Options {
+    double scale = 2000.0;
+    std::uint64_t seed = 20230520;
+    /// Extra per-bench knob (e.g. corpus size for the accuracy figures).
+    std::uint64_t count = 0;
+    /// When non-empty, figure benches also write their data series as
+    /// <csv_prefix><figure>.csv for external plotting.
+    std::string csv_prefix;
+};
+
+inline Options parse_options(int argc, char** argv, std::uint64_t default_count = 0) {
+    Options options;
+    options.count = default_count;
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strncmp(arg, "--scale=", 8) == 0) {
+            options.scale = std::atof(arg + 8);
+        } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+            options.seed = std::strtoull(arg + 7, nullptr, 10);
+        } else if (std::strncmp(arg, "--count=", 8) == 0) {
+            options.count = std::strtoull(arg + 8, nullptr, 10);
+        } else if (std::strncmp(arg, "--csv=", 6) == 0) {
+            options.csv_prefix = arg + 6;
+        } else if (std::strcmp(arg, "--help") == 0) {
+            std::printf("usage: %s [--scale=N] [--seed=N] [--count=N] [--csv=prefix]\n",
+                        argv[0]);
+            std::exit(0);
+        }
+    }
+    return options;
+}
+
+/// RAII wall-clock section timer.
+class Stopwatch {
+public:
+    Stopwatch() : start_{std::chrono::steady_clock::now()} {}
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Writes `content` to `<prefix><name>` and reports the path.
+inline void write_csv(const Options& options, const char* name, const std::string& content) {
+    if (options.csv_prefix.empty()) return;
+    const std::string path = options.csv_prefix + name;
+    std::ofstream out{path, std::ios::trunc};
+    out << content;
+    std::printf("wrote %s\n", path.c_str());
+}
+
+inline void banner(const char* what, const Options& options) {
+    std::printf("=== spinscope bench: %s ===\n", what);
+    std::printf("population scale 1:%.0f, seed %llu\n\n", options.scale,
+                static_cast<unsigned long long>(options.seed));
+}
+
+}  // namespace spinscope::bench

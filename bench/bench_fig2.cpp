@@ -1,0 +1,63 @@
+// bench/bench_fig2.cpp
+//
+// Regenerates Figure 2 of the paper: across n = 12 measurement weeks sampled
+// from the campaign (CW 15/2022 - CW 20/2023), in how many weeks did each
+// spin-capable domain actually spin? Compared against the theoretical
+// binomial behaviour of the RFC 9000 (disable 1-in-16) and RFC 9312
+// (1-in-8) lotteries for an always-enabled host.
+//
+// Reproduction targets: just under 20 % of domains spin in all 12 weeks,
+// 5-10 % in each other bin, and the measured curve stays below both RFC
+// overlays at high week counts (hosts spin *less* than the RFCs allow —
+// deployment churn on top of the lottery).
+
+#include <cstdio>
+
+#include "analysis/adoption.hpp"
+#include "analysis/csv.hpp"
+#include "analysis/longitudinal.hpp"
+#include "bench/bench_common.hpp"
+#include "core/accuracy.hpp"
+#include "scanner/campaign.hpp"
+#include "web/population.hpp"
+
+using namespace spinscope;
+
+int main(int argc, char** argv) {
+    const auto options = bench::parse_options(argc, argv, /*default_count=*/12);
+    bench::banner("Figure 2 — RFC lottery compliance across 12 weeks", options);
+
+    bench::Stopwatch watch;
+    web::Population population{{options.scale, options.seed}};
+    const auto weeks = static_cast<unsigned>(options.count);
+    analysis::LongitudinalAggregator longitudinal{weeks};
+
+    // Only domains of spin-capable organizations can ever contribute to the
+    // "spun in any week" population; skipping the rest keeps the bench fast
+    // without changing the histogram.
+    std::uint64_t scanned = 0;
+    for (unsigned sample = 0; sample < weeks; ++sample) {
+        // Spread the sampled weeks across the 58-week campaign.
+        const int week = static_cast<int>(sample * 57 / (weeks > 1 ? weeks - 1 : 1));
+        scanner::ScanOptions scan_options;
+        scan_options.week = week;
+        scanner::Campaign campaign{population, scan_options};
+        for (const auto& domain : population.domains()) {
+            if (!domain.quic || population.org_of(domain).spin_host_rate <= 0.0) continue;
+            const auto scan = campaign.scan_domain(domain);
+            ++scanned;
+            const bool connected = scan.quic_ok();
+            const bool spun =
+                analysis::classify_domain(scan) == analysis::DomainSpinClass::spinning;
+            longitudinal.add(domain.id, sample, connected, spun);
+        }
+    }
+
+    std::printf("%s\n", longitudinal.render_figure().c_str());
+    bench::write_csv(options, "fig2.csv", analysis::weeks_histogram_csv(longitudinal));
+    std::printf("paper: just under 20 %% spin in all 12 weeks; 5-10 %% in each other bin;\n"
+                "       measured curve below the RFC overlays at high week counts.\n");
+    std::printf("\nscanned %llu domain-weeks in %.1f s\n",
+                static_cast<unsigned long long>(scanned), watch.seconds());
+    return 0;
+}

@@ -1,0 +1,60 @@
+// bench/bench_table2.cpp
+//
+// Regenerates Table 2 of the paper: QUIC connections and spin-bit activity
+// per AS organization for the com/net/org zones (IPv4, CW 20/2023). The
+// reproduction targets are the ranking and the per-organization spin
+// shares: hyperscalers ~0 %, medium hosters >50 %, a broad <other> base at
+// ~53 %.
+
+#include <cstdio>
+
+#include "analysis/adoption.hpp"
+#include "bench/bench_common.hpp"
+#include "util/format.hpp"
+#include "scanner/campaign.hpp"
+#include "web/population.hpp"
+
+using namespace spinscope;
+
+int main(int argc, char** argv) {
+    const auto options = bench::parse_options(argc, argv);
+    bench::banner("Table 2 — per-AS-organization spin support (com/net/org, IPv4)", options);
+
+    bench::Stopwatch watch;
+    web::Population population{{options.scale, options.seed}};
+    scanner::ScanOptions scan_options;
+    scan_options.week = 57;
+    scanner::Campaign campaign{population, scan_options};
+
+    analysis::AdoptionAggregator aggregator{population, false};
+    campaign.run([&](const web::Domain& domain, scanner::DomainScan&& scan) {
+        aggregator.add(domain, scan);
+    });
+
+    std::printf("%s\n", aggregator.render_org_table(8).c_str());
+    std::printf("paper (1:1 scale, connections):\n"
+                "  1  11 482 201  Cloudflare        0        0.0 %%\n"
+                "  2   6 160 065  Google        6 867        0.1 %%  (spin rank 54)\n"
+                "  3   1 546 788  Hostinger   802 585       51.9 %%  (spin rank 1)\n"
+                "  4     326 230  Fastly            0        0.0 %%\n"
+                "  5     219 249  OVH SAS     132 395       60.4 %%  (spin rank 2)\n"
+                "  6     218 206  A2 Hosting  129 577       59.4 %%  (spin rank 3)\n"
+                "  7     173 503  SingleHop   102 527       59.1 %%  (spin rank 4)\n"
+                "  8     148 705  ServerCntrl 100 518       67.6 %%  (spin rank 5)\n"
+                "     2 519 770  <other>   1 342 065       53.3 %%\n");
+
+    std::printf("\nWebserver attribution of spinning connections (paper §4.2: LiteSpeed >80 %%,"
+                " plus ~7 %% imunify360 built on it):\n");
+    const auto spin_servers = aggregator.webserver_connections(/*spinning_only=*/true);
+    std::uint64_t total = 0;
+    for (const auto& [name, count] : spin_servers) total += count;
+    for (const auto& [name, count] : spin_servers) {
+        std::printf("  %-22s %9llu (%s)\n", name.c_str(),
+                    static_cast<unsigned long long>(count),
+                    util::percent(static_cast<double>(count) /
+                                  static_cast<double>(std::max<std::uint64_t>(1, total)))
+                        .c_str());
+    }
+    std::printf("\ncompleted in %.1f s\n", watch.seconds());
+    return 0;
+}

@@ -1,0 +1,42 @@
+// bench/bench_table3.cpp
+//
+// Regenerates Table 3 of the paper: how QUIC domains that do not spin set
+// the spin bit — almost all zero it, a small share fixes it to one, and the
+// simplistic grease filter only fires for a handful of connections.
+
+#include <cstdio>
+
+#include "analysis/adoption.hpp"
+#include "bench/bench_common.hpp"
+#include "scanner/campaign.hpp"
+#include "web/population.hpp"
+
+using namespace spinscope;
+
+int main(int argc, char** argv) {
+    const auto options = bench::parse_options(argc, argv);
+    bench::banner("Table 3 — spin-bit configuration of QUIC domains (IPv4)", options);
+
+    bench::Stopwatch watch;
+    web::Population population{{options.scale, options.seed}};
+    scanner::ScanOptions scan_options;
+    scan_options.week = 57;
+    scanner::Campaign campaign{population, scan_options};
+
+    analysis::AdoptionAggregator aggregator{population, false};
+    campaign.run([&](const web::Domain& domain, scanner::DomainScan&& scan) {
+        aggregator.add(domain, scan);
+    });
+
+    std::printf("%s\n", aggregator.render_config_table().c_str());
+    std::printf(
+        "paper (1:1 scale, share of QUIC domains):\n"
+        "  Toplists      All Zero 507 967 (92.85 %%)  All One    859 (0.16 %%)"
+        "  Spin    37 768  Grease    58 (0.01 %%)\n"
+        "  CZDS          All Zero 19 849 938 (89.39 %%)  All One 62 375 (0.28 %%)"
+        "  Spin 2 257 938  Grease 5 307 (0.02 %%)\n"
+        "  com/net/org   All Zero 16 282 445 (88.42 %%)  All One 53 717 (0.29 %%)"
+        "  Spin 2 047 280  Grease 4 653 (0.03 %%)\n");
+    std::printf("\ncompleted in %.1f s\n", watch.seconds());
+    return 0;
+}

@@ -1,0 +1,61 @@
+// examples/campaign_mini.cpp
+//
+// A miniature version of the paper's full measurement campaign, end to end:
+// synthesize a small web population, scan every domain over HTTP/3-mini,
+// classify spin behaviour, and print an adoption overview plus the accuracy
+// headlines — the whole §3 pipeline in one runnable program.
+
+#include <cstdio>
+
+#include "analysis/accuracy.hpp"
+#include "analysis/adoption.hpp"
+#include "core/accuracy.hpp"
+#include "scanner/campaign.hpp"
+#include "web/population.hpp"
+
+using namespace spinscope;
+
+int main(int argc, char** argv) {
+    // 1:20000 scale keeps this example under a second; pass a different
+    // divisor to look at larger universes.
+    double scale = 20000.0;
+    if (argc > 1) scale = std::atof(argv[1]);
+
+    std::printf("building synthetic web population (1:%.0f of the paper's universe)...\n",
+                scale);
+    web::Population population{{scale, 20230520}};
+    std::printf("  %zu domains, %zu organizations, %zu webserver stacks\n\n",
+                population.domains().size(), population.orgs().size(),
+                population.stacks().size());
+
+    scanner::ScanOptions options;
+    options.week = 57;  // CW 20/2023
+    scanner::Campaign campaign{population, options};
+
+    analysis::AdoptionAggregator adoption{population, false};
+    analysis::AccuracyAggregator accuracy;
+    std::uint64_t scanned = 0;
+    std::uint64_t connections = 0;
+    campaign.run([&](const web::Domain& domain, scanner::DomainScan&& scan) {
+        ++scanned;
+        for (const auto& trace : scan.connections) {
+            if (trace.outcome != qlog::ConnectionOutcome::ok) continue;
+            ++connections;
+            accuracy.add(core::assess_connection(trace));
+        }
+        adoption.add(domain, scan);
+    });
+    std::printf("scanned %llu domains, %llu QUIC connections\n\n",
+                static_cast<unsigned long long>(scanned),
+                static_cast<unsigned long long>(connections));
+
+    std::printf("--- adoption (Table 1 shape) ---\n%s\n",
+                adoption.render_overview_table().c_str());
+    std::printf("--- configuration (Table 3 shape) ---\n%s\n",
+                adoption.render_config_table().c_str());
+    std::printf("--- organizations (Table 2 shape) ---\n%s\n",
+                adoption.render_org_table(5).c_str());
+    std::printf("--- RTT accuracy (Figures 3/4 headlines) ---\n%s\n",
+                accuracy.render_headlines().c_str());
+    return 0;
+}

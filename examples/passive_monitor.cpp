@@ -1,0 +1,150 @@
+// examples/passive_monitor.cpp
+//
+// A network operator's view: a passive on-path observer (core::WireSpinTap)
+// watching several concurrent QUIC flows through the same bottleneck-ish
+// path segment, without any access to endpoint state — the paper's
+// motivating deployment scenario (§1).
+//
+// Demonstrates:
+//  * per-flow spin-RTT estimation from raw datagrams,
+//  * the effect of packet reordering on a naive observer,
+//  * the RFC 9312 plausibility heuristics rescuing the estimate,
+//  * that flows with a disabled spin bit yield nothing (by design).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/wire_observer.hpp"
+#include "netsim/link.hpp"
+#include "netsim/simulator.hpp"
+#include "quic/connection.hpp"
+#include "scanner/http3_mini.hpp"
+#include "util/format.hpp"
+
+using namespace spinscope;
+
+namespace {
+
+struct Flow {
+    const char* name;
+    util::Duration rtt;
+    quic::SpinPolicy server_policy;
+    double reorder_probability;
+};
+
+struct FlowRun {
+    std::unique_ptr<netsim::Path> path;
+    std::unique_ptr<quic::Connection> client;
+    std::unique_ptr<quic::Connection> server;
+    core::WireSpinTap naive_observer;
+    core::WireSpinTap hardened_observer;
+
+    FlowRun() : hardened_observer{hardened_config()} {}
+
+    static core::ObserverConfig hardened_config() {
+        core::ObserverConfig config;
+        config.min_plausible_rtt = util::Duration::millis(2);
+        config.dynamic_reject_ratio = 0.25;  // RFC 9312-style filtering
+        return config;
+    }
+};
+
+}  // namespace
+
+int main() {
+    netsim::Simulator sim;
+    util::Rng rng{7};
+
+    const Flow flows[] = {
+        {"eu-shared-host   (spins)       ", util::Duration::millis(24), quic::SpinPolicy::spin,
+         0.0},
+        {"us-shared-host   (spins)       ", util::Duration::millis(110), quic::SpinPolicy::spin,
+         0.0},
+        {"reordered-path   (spins)       ", util::Duration::millis(40), quic::SpinPolicy::spin,
+         0.02},
+        {"cdn-edge         (disabled)    ", util::Duration::millis(8),
+         quic::SpinPolicy::always_zero, 0.0},
+        {"greasing-server  (per packet)  ", util::Duration::millis(30),
+         quic::SpinPolicy::grease_per_packet, 0.0},
+    };
+
+    std::vector<std::unique_ptr<FlowRun>> runs;
+    for (const auto& flow : flows) {
+        auto run = std::make_unique<FlowRun>();
+        netsim::LinkConfig link;
+        link.base_delay = flow.rtt / 2;
+        link.jitter_scale = (flow.rtt / 2).scaled(0.03);
+        link.reorder_probability = flow.reorder_probability;
+        run->path = std::make_unique<netsim::Path>(sim, link, link, rng);
+
+        // The operator taps the server->client direction.
+        run->path->return_link().add_tap(run->naive_observer.tap());
+        run->path->return_link().add_tap(run->hardened_observer.tap());
+
+        quic::ConnectionConfig client_cfg;
+        client_cfg.role = quic::Role::client;
+        client_cfg.spin = {quic::SpinPolicy::spin, 0, quic::SpinPolicy::always_zero};
+        run->client = std::make_unique<quic::Connection>(
+            sim, client_cfg, rng.fork(1),
+            [path = run->path.get()](netsim::Datagram dg) {
+                path->forward_link().send(std::move(dg));
+            });
+
+        quic::ConnectionConfig server_cfg;
+        server_cfg.role = quic::Role::server;
+        server_cfg.spin = {flow.server_policy, 0, quic::SpinPolicy::always_zero};
+        run->server = std::make_unique<quic::Connection>(
+            sim, server_cfg, rng.fork(2),
+            [path = run->path.get()](netsim::Datagram dg) {
+                path->return_link().send(std::move(dg));
+            });
+
+        run->path->forward_link().set_receiver(
+            [server = run->server.get()](const netsim::Datagram& dg) {
+                server->on_datagram(dg);
+            });
+        run->path->return_link().set_receiver(
+            [client = run->client.get()](const netsim::Datagram& dg) {
+                client->on_datagram(dg);
+            });
+
+        run->server->on_stream_complete = [server = run->server.get()](
+                                              std::uint64_t id, std::vector<std::uint8_t>) {
+            if (id != scanner::kRequestStream) return;
+            server->send_stream(scanner::kRequestStream, scanner::build_body(120'000), true);
+        };
+        run->client->on_handshake_complete = [client = run->client.get()] {
+            client->send_stream(scanner::kRequestStream,
+                                scanner::build_request("www.flow.example"), true);
+        };
+        run->client->on_stream_complete =
+            [client = run->client.get()](std::uint64_t, std::vector<std::uint8_t>) {
+                client->close(0, "done");
+            };
+        run->client->connect();
+        runs.push_back(std::move(run));
+    }
+
+    sim.run_until(util::TimePoint::origin() + util::Duration::seconds(60));
+
+    std::printf("passive on-path spin monitor — per-flow results\n");
+    std::printf("%-34s %10s %14s %14s %14s %8s\n", "flow", "true RTT", "naive est.",
+                "hardened est.", "stack est.", "rejects");
+    std::printf("%s\n", std::string(98, '-').c_str());
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const auto& flow = flows[i];
+        const auto& run = *runs[i];
+        const auto& naive = run.naive_observer.result();
+        const auto& hardened = run.hardened_observer.result();
+        const auto stack_ms =
+            run.client->rtt().has_samples() ? run.client->rtt().smoothed_rtt().as_ms() : 0.0;
+        std::printf("%-34s %8.1f ms %10.1f ms  (min %5.2f) %9.1f ms %9.1f ms %5zu\n",
+                    flow.name, flow.rtt.as_ms(), naive.mean_ms(), naive.min_ms(),
+                    hardened.mean_ms(), stack_ms, run.hardened_observer.rejected_samples());
+    }
+    std::printf("\nNote how the disabled flow yields no samples, per-packet greasing looks\n"
+                "like nonsense ultra-short periods, and the heuristics clean up the\n"
+                "reordered path (paper §2.1/§5.2, RFC 9312 §4.2).\n");
+    return 0;
+}

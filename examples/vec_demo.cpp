@@ -1,0 +1,101 @@
+// examples/vec_demo.cpp
+//
+// The Valid Edge Counter (VEC) extension in action: De Vaere et al.'s
+// three-bit measurement facility (the paper's §2.1 related work) marks spin
+// edges with a 2-bit validity counter so passive observers can tell genuine
+// edges from reordering artefacts.
+//
+// This demo pushes a transfer over a badly reordering path and compares
+// three observers: naive, RFC 9312 heuristics, and VEC-aware.
+
+#include <cstdio>
+
+#include "core/wire_observer.hpp"
+#include "netsim/link.hpp"
+#include "netsim/simulator.hpp"
+#include "quic/connection.hpp"
+#include "scanner/http3_mini.hpp"
+
+using namespace spinscope;
+
+int main() {
+    netsim::Simulator sim;
+    util::Rng rng{99};
+
+    // A 36 ms path with heavy reordering on the observed direction.
+    netsim::LinkConfig link;
+    link.base_delay = util::Duration::millis(18);
+    link.reorder_probability = 0.05;
+    link.reorder_extra_min = util::Duration::millis(1);
+    link.reorder_extra_max = util::Duration::millis(9);
+    netsim::Path path{sim, link, link, rng};
+
+    core::WireSpinTap naive;
+    core::ObserverConfig heuristics_config;
+    heuristics_config.min_plausible_rtt = util::Duration::millis(2);
+    heuristics_config.dynamic_reject_ratio = 0.25;
+    core::WireSpinTap heuristics{heuristics_config};
+    core::ObserverConfig vec_config;
+    vec_config.require_vec = true;
+    core::WireSpinTap vec_aware{vec_config};
+    path.return_link().add_tap(naive.tap());
+    path.return_link().add_tap(heuristics.tap());
+    path.return_link().add_tap(vec_aware.tap());
+
+    quic::SpinConfig spin{quic::SpinPolicy::spin, 0, quic::SpinPolicy::always_zero};
+    spin.enable_vec = true;
+
+    quic::ConnectionConfig client_cfg;
+    client_cfg.role = quic::Role::client;
+    client_cfg.spin = spin;
+    quic::Connection client{sim, client_cfg, rng.fork(1), [&](netsim::Datagram dg) {
+                                path.forward_link().send(std::move(dg));
+                            }};
+    quic::ConnectionConfig server_cfg;
+    server_cfg.role = quic::Role::server;
+    server_cfg.spin = spin;
+    quic::Connection server{sim, server_cfg, rng.fork(2), [&](netsim::Datagram dg) {
+                                path.return_link().send(std::move(dg));
+                            }};
+    path.forward_link().set_receiver(
+        [&server](const netsim::Datagram& dg) { server.on_datagram(dg); });
+    path.return_link().set_receiver(
+        [&client](const netsim::Datagram& dg) { client.on_datagram(dg); });
+
+    server.on_stream_complete = [&](std::uint64_t id, std::vector<std::uint8_t>) {
+        if (id != scanner::kRequestStream) return;
+        server.send_stream(scanner::kRequestStream, scanner::build_body(400'000), true);
+    };
+    client.on_handshake_complete = [&] {
+        client.send_stream(scanner::kRequestStream,
+                           scanner::build_request("www.vec.example"), true);
+    };
+    client.on_stream_complete = [&](std::uint64_t, std::vector<std::uint8_t>) {
+        client.close(0, "done");
+    };
+    client.connect();
+    sim.run_until(util::TimePoint::origin() + util::Duration::seconds(120));
+
+    const double true_rtt = path.base_rtt().as_ms();
+    std::printf("transfer over a %0.0f ms path with %.0f%% reordering\n", true_rtt,
+                link.reorder_probability * 100.0);
+    std::printf("reordered datagrams on observed direction: %llu of %llu\n\n",
+                static_cast<unsigned long long>(path.return_link().stats().reordered),
+                static_cast<unsigned long long>(path.return_link().stats().sent));
+    std::printf("%-24s %8s %12s %12s %9s\n", "observer", "samples", "mean est.", "min est.",
+                "rejects");
+    std::printf("%s\n", std::string(70, '-').c_str());
+    const auto row = [&](const char* name, const core::WireSpinTap& tap) {
+        std::printf("%-24s %8zu %9.2f ms %9.2f ms %9zu\n", name,
+                    tap.result().samples_ms.size(), tap.result().mean_ms(),
+                    tap.result().min_ms(), tap.rejected_samples());
+    };
+    row("naive", naive);
+    row("RFC 9312 heuristics", heuristics);
+    row("VEC-aware", vec_aware);
+    std::printf("\ntrue network RTT: %.2f ms; stack estimate: %.2f ms\n", true_rtt,
+                client.rtt().has_samples() ? client.rtt().smoothed_rtt().as_ms() : 0.0);
+    std::printf("The naive observer's minimum collapses under reordering; the VEC\n"
+                "observer only accepts endpoint-validated edges and stays near truth.\n");
+    return 0;
+}

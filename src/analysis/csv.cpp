@@ -1,0 +1,65 @@
+#include "analysis/csv.hpp"
+
+#include <sstream>
+
+namespace spinscope::analysis {
+
+namespace {
+
+std::string histogram_csv(const AccuracyAggregator& aggregator,
+                          const util::Histogram& (AccuracyAggregator::*get)(AccuracySeries)
+                              const) {
+    std::ostringstream out;
+    out << "bin_low,bin_high,spin_r,spin_s,grease_r,grease_s\n";
+    const auto& edges = (aggregator.*get)(AccuracySeries::spin_received).edges();
+    const auto row = [&](const std::string& lo, const std::string& hi, std::size_t bin,
+                         bool underflow, bool overflow) {
+        out << lo << ',' << hi;
+        for (const auto series :
+             {AccuracySeries::spin_received, AccuracySeries::spin_sorted,
+              AccuracySeries::grease_received, AccuracySeries::grease_sorted}) {
+            const auto& h = (aggregator.*get)(series);
+            double share = 0.0;
+            if (underflow) {
+                share = h.underflow_share();
+            } else if (overflow) {
+                share = h.overflow_share();
+            } else {
+                share = h.share(bin);
+            }
+            out << ',' << share;
+        }
+        out << '\n';
+    };
+    row("-inf", std::to_string(edges.front()), 0, true, false);
+    for (std::size_t b = 0; b + 1 < edges.size(); ++b) {
+        row(std::to_string(edges[b]), std::to_string(edges[b + 1]), b, false, false);
+    }
+    row(std::to_string(edges.back()), "inf", 0, false, true);
+    return out.str();
+}
+
+}  // namespace
+
+std::string abs_histogram_csv(const AccuracyAggregator& aggregator) {
+    return histogram_csv(aggregator, &AccuracyAggregator::abs_histogram);
+}
+
+std::string ratio_histogram_csv(const AccuracyAggregator& aggregator) {
+    return histogram_csv(aggregator, &AccuracyAggregator::ratio_histogram);
+}
+
+std::string weeks_histogram_csv(const LongitudinalAggregator& aggregator) {
+    std::ostringstream out;
+    out << "weeks,measured,rfc9000,rfc9312\n";
+    const auto histogram = aggregator.weeks_spinning_histogram();
+    const auto rfc9000 = aggregator.rfc_shares(16);
+    const auto rfc9312 = aggregator.rfc_shares(8);
+    for (unsigned k = 1; k <= aggregator.weeks(); ++k) {
+        out << k << ',' << histogram.share(k) << ',' << rfc9000[k] << ',' << rfc9312[k]
+            << '\n';
+    }
+    return out.str();
+}
+
+}  // namespace spinscope::analysis

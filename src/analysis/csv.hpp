@@ -1,0 +1,26 @@
+// spinscope/analysis/csv.hpp
+//
+// CSV exports of the figure data series, so the reproduction can be plotted
+// with any external tool (the paper's released artifacts ship analysis
+// scripts; these exports are the equivalent hook).
+
+#pragma once
+
+#include <string>
+
+#include "analysis/accuracy.hpp"
+#include "analysis/longitudinal.hpp"
+
+namespace spinscope::analysis {
+
+/// Figure 3 as CSV: one row per bin, one column per series, values are
+/// relative shares. Columns: bin_low,bin_high,spin_r,spin_s,grease_r,grease_s.
+[[nodiscard]] std::string abs_histogram_csv(const AccuracyAggregator& aggregator);
+
+/// Figure 4 as CSV (same layout over the mapped-ratio bins).
+[[nodiscard]] std::string ratio_histogram_csv(const AccuracyAggregator& aggregator);
+
+/// Figure 2 as CSV: weeks,measured,rfc9000,rfc9312 (shares).
+[[nodiscard]] std::string weeks_histogram_csv(const LongitudinalAggregator& aggregator);
+
+}  // namespace spinscope::analysis

@@ -1,0 +1,86 @@
+#include "analysis/longitudinal.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace spinscope::analysis {
+
+void LongitudinalAggregator::add(std::uint32_t domain_id, unsigned week, bool connected,
+                                 bool spun) {
+    if (week >= weeks_) return;
+    auto& record = records_[domain_id];
+    if (connected) record.connected_mask |= 1U << week;
+    if (spun) record.spun_mask |= 1U << week;
+}
+
+std::uint64_t LongitudinalAggregator::spun_any() const {
+    std::uint64_t n = 0;
+    for (const auto& [id, record] : records_) {
+        if (record.spun_mask != 0) ++n;
+    }
+    return n;
+}
+
+std::uint64_t LongitudinalAggregator::connected_all() const {
+    const std::uint32_t all = (weeks_ >= 32) ? ~0U : ((1U << weeks_) - 1);
+    std::uint64_t n = 0;
+    for (const auto& [id, record] : records_) {
+        if (record.spun_mask != 0 && (record.connected_mask & all) == all) ++n;
+    }
+    return n;
+}
+
+util::CategoricalCounts LongitudinalAggregator::weeks_spinning_histogram() const {
+    const std::uint32_t all = (weeks_ >= 32) ? ~0U : ((1U << weeks_) - 1);
+    util::CategoricalCounts counts{weeks_ + 1};
+    for (const auto& [id, record] : records_) {
+        if (record.spun_mask == 0) continue;
+        if ((record.connected_mask & all) != all) continue;
+        counts.add(static_cast<std::size_t>(std::popcount(record.spun_mask & all)));
+    }
+    return counts;
+}
+
+std::vector<double> LongitudinalAggregator::rfc_shares(unsigned lottery) const {
+    // Per connection, spin is active with p = (lottery-1)/lottery; condition
+    // the binomial on "active at least once in n weeks".
+    const double p = lottery == 0
+                         ? 1.0
+                         : (static_cast<double>(lottery) - 1.0) / static_cast<double>(lottery);
+    std::vector<double> shares(weeks_ + 1, 0.0);
+    const double none = util::binomial_pmf(weeks_, 0, p);
+    const double norm = 1.0 - none;
+    for (unsigned k = 1; k <= weeks_; ++k) {
+        shares[k] = util::binomial_pmf(weeks_, k, p) / (norm > 0.0 ? norm : 1.0);
+    }
+    return shares;
+}
+
+std::string LongitudinalAggregator::render_figure() const {
+    const auto histogram = weeks_spinning_histogram();
+    const auto rfc9000 = rfc_shares(16);
+    const auto rfc9312 = rfc_shares(8);
+
+    std::ostringstream out;
+    out << "Figure 2: weeks with spin bit enabled (of " << weeks_ << " sampled weeks)\n";
+    out << "  domains spinning in any week : " << spun_any() << "\n";
+    out << "  thereof connected every week : " << connected_all() << "\n";
+    util::TextTable table;
+    table.add_row({"weeks", "measured", "RFC 9000 (1/16)", "RFC 9312 (1/8)"});
+    for (unsigned k = 1; k <= weeks_; ++k) {
+        table.add_row({std::to_string(k), util::percent(histogram.share(k)),
+                       util::percent(rfc9000[k]), util::percent(rfc9312[k])});
+    }
+    out << table.render();
+    out << "\n";
+    for (unsigned k = 1; k <= weeks_; ++k) {
+        out << util::bar_line("  " + std::to_string(k) + (k < 10 ? " " : "") + " wk",
+                              histogram.share(k), 40)
+            << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace spinscope::analysis

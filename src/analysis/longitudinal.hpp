@@ -1,0 +1,57 @@
+// spinscope/analysis/longitudinal.hpp
+//
+// Longitudinal RFC-compliance analysis (paper §4.3, Figure 2): across n
+// sampled measurement weeks, how many weeks did each spin-capable domain
+// actually spin? Compared against the binomial behaviour RFC 9000 (disable
+// 1-in-16) and RFC 9312 (1-in-8) would predict for an always-capable host.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace spinscope::analysis {
+
+/// Collects per-domain weekly outcomes over a campaign.
+class LongitudinalAggregator {
+public:
+    /// `weeks` = number of sampled measurement weeks (the paper uses 12).
+    explicit LongitudinalAggregator(unsigned weeks) : weeks_{weeks} {}
+
+    /// Records one domain-week outcome.
+    void add(std::uint32_t domain_id, unsigned week, bool connected, bool spun);
+
+    /// Number of domains that spun in at least one week.
+    [[nodiscard]] std::uint64_t spun_any() const;
+    /// Number of those connectable in every week (Figure 2's population).
+    [[nodiscard]] std::uint64_t connected_all() const;
+
+    /// Histogram over k = 1..weeks of "spun in exactly k weeks", relative to
+    /// the Figure 2 population (spun >= 1 week, connected every week).
+    [[nodiscard]] util::CategoricalCounts weeks_spinning_histogram() const;
+
+    /// Theoretical share for k of n weeks if the host always participates
+    /// and disables via a fair 1-in-`lottery` per-connection draw,
+    /// conditioned on spinning at least once (as the empirical histogram is).
+    [[nodiscard]] std::vector<double> rfc_shares(unsigned lottery) const;
+
+    /// Figure 2 rendering: empirical histogram plus RFC 9000/9312 overlays.
+    [[nodiscard]] std::string render_figure() const;
+
+    [[nodiscard]] unsigned weeks() const noexcept { return weeks_; }
+
+private:
+    struct DomainRecord {
+        std::uint32_t connected_mask = 0;
+        std::uint32_t spun_mask = 0;
+    };
+
+    unsigned weeks_;
+    std::unordered_map<std::uint32_t, DomainRecord> records_;
+};
+
+}  // namespace spinscope::analysis

@@ -1,0 +1,86 @@
+#include "core/accuracy.hpp"
+
+#include <algorithm>
+
+namespace spinscope::core {
+
+namespace {
+
+[[nodiscard]] const SpinRttResult& pick(const ConnectionAssessment& a, PacketOrder order) {
+    return order == PacketOrder::received ? a.spin_received : a.spin_sorted;
+}
+
+}  // namespace
+
+bool ConnectionAssessment::comparable(PacketOrder order) const noexcept {
+    return has_quic_baseline && pick(*this, order).has_samples() && quic_mean_ms > 0.0;
+}
+
+std::optional<double> ConnectionAssessment::abs_diff_ms(PacketOrder order) const noexcept {
+    if (!comparable(order)) return std::nullopt;
+    return pick(*this, order).mean_ms() - quic_mean_ms;
+}
+
+std::optional<double> ConnectionAssessment::mapped_ratio(PacketOrder order) const noexcept {
+    if (!comparable(order)) return std::nullopt;
+    const double spin = pick(*this, order).mean_ms();
+    const double quic = quic_mean_ms;
+    if (spin <= 0.0 || quic <= 0.0) return std::nullopt;
+    if (spin >= quic) return spin / quic;
+    return -(quic / spin);
+}
+
+std::vector<SpinObservation> spin_observations(const qlog::Trace& trace) {
+    std::vector<SpinObservation> out;
+    out.reserve(trace.received.size());
+    for (const auto& ev : trace.received) {
+        if (ev.type != quic::PacketType::one_rtt) continue;
+        out.push_back(SpinObservation{ev.time, ev.packet_number, ev.spin, ev.vec});
+    }
+    return out;
+}
+
+ConnectionAssessment assess_connection(const qlog::Trace& trace) {
+    ConnectionAssessment assessment;
+
+    const auto packets = spin_observations(trace);
+    if (packets.empty()) {
+        assessment.behavior = SpinBehavior::no_one_rtt;
+        return assessment;
+    }
+
+    const auto& samples = trace.metrics.rtt_samples_ms;
+    if (!samples.empty()) {
+        assessment.has_quic_baseline = true;
+        double sum = 0.0;
+        double min = samples.front();
+        for (double s : samples) {
+            sum += s;
+            min = std::min(min, s);
+        }
+        assessment.quic_mean_ms = sum / static_cast<double>(samples.size());
+        assessment.quic_min_ms = min;
+    }
+
+    assessment.spin_received = measure_spin_rtt(packets, PacketOrder::received);
+    assessment.spin_sorted = measure_spin_rtt(packets, PacketOrder::sorted);
+
+    if (!assessment.spin_received.spin_candidate()) {
+        // Uniform value: every packet was 0 or every packet was 1.
+        assessment.behavior =
+            packets.front().spin ? SpinBehavior::all_one : SpinBehavior::all_zero;
+        return assessment;
+    }
+
+    // Grease filter (paper §3.3): as soon as one spin RTT estimate is
+    // smaller than the minimum of all stack estimates, the peer presumably
+    // greases (per-packet randomness creates ultra-short apparent periods).
+    bool greased = false;
+    if (assessment.has_quic_baseline && assessment.spin_received.has_samples()) {
+        greased = assessment.spin_received.min_ms() < assessment.quic_min_ms;
+    }
+    assessment.behavior = greased ? SpinBehavior::greased : SpinBehavior::spinning;
+    return assessment;
+}
+
+}  // namespace spinscope::core

@@ -1,0 +1,74 @@
+// spinscope/core/accuracy.hpp
+//
+// Per-connection spin-bit assessment: behaviour classification (paper §4.3,
+// Table 3) and RTT measurement accuracy versus the QUIC stack baseline
+// (paper §5.1, Figures 3-4).
+
+#pragma once
+
+#include <optional>
+
+#include "core/observer.hpp"
+#include "qlog/trace.hpp"
+
+namespace spinscope::core {
+
+/// How a connection used the spin bit, as classified from the client-side
+/// received packet record (paper §3.3/§4.3).
+enum class SpinBehavior : std::uint8_t {
+    no_one_rtt,  ///< no 1-RTT packets received (excluded from Table 3)
+    all_zero,    ///< every received packet carried spin=0
+    all_one,     ///< every received packet carried spin=1
+    spinning,    ///< both values seen, not caught by the grease filter
+    greased,     ///< both values seen but filtered: some spin RTT sample is
+                 ///< below the minimum stack RTT estimate — presumed greasing
+};
+
+[[nodiscard]] constexpr const char* to_cstring(SpinBehavior b) noexcept {
+    switch (b) {
+        case SpinBehavior::no_one_rtt: return "no_one_rtt";
+        case SpinBehavior::all_zero: return "all_zero";
+        case SpinBehavior::all_one: return "all_one";
+        case SpinBehavior::spinning: return "spinning";
+        case SpinBehavior::greased: return "greased";
+    }
+    return "?";
+}
+
+/// Full per-connection assessment.
+struct ConnectionAssessment {
+    SpinBehavior behavior = SpinBehavior::no_one_rtt;
+    /// Spin RTT measured in received order ("R") and PN-sorted order ("S").
+    SpinRttResult spin_received;
+    SpinRttResult spin_sorted;
+    /// QUIC stack baseline (ack-delay-adjusted samples from the trace).
+    double quic_mean_ms = 0.0;
+    double quic_min_ms = 0.0;
+    bool has_quic_baseline = false;
+
+    /// True when both a spin mean and the stack baseline exist, i.e. the
+    /// connection contributes to Figures 3 and 4.
+    [[nodiscard]] bool comparable(PacketOrder order) const noexcept;
+
+    /// Absolute accuracy (paper §5.1 method 1): mean(spin) - mean(QUIC), ms.
+    [[nodiscard]] std::optional<double> abs_diff_ms(PacketOrder order) const noexcept;
+
+    /// Relative accuracy (paper §5.1 method 2): ratio of the means, always
+    /// dividing by the smaller; negated when spin < QUIC (underestimation).
+    /// Values are in (-inf, -1] u [1, inf).
+    [[nodiscard]] std::optional<double> mapped_ratio(PacketOrder order) const noexcept;
+};
+
+/// Classifies and measures one connection from its qlog trace.
+///
+/// Mirrors the paper's §3.3 pipeline: take the received 1-RTT packets,
+/// check for spin activity, compute spin RTTs in received and sorted order,
+/// compare against the stack estimates, and apply the grease filter (a
+/// connection is `greased` when any received-order spin sample undercuts the
+/// minimum stack estimate).
+[[nodiscard]] ConnectionAssessment assess_connection(const qlog::Trace& trace);
+
+/// Extracts the spin observations (1-RTT received packets) from a trace.
+[[nodiscard]] std::vector<SpinObservation> spin_observations(const qlog::Trace& trace);
+
+}  // namespace spinscope::core

@@ -1,0 +1,59 @@
+#include "core/flow_monitor.hpp"
+
+#include "quic/packet.hpp"
+
+namespace spinscope::core {
+
+std::string dcid_hex(std::span<const std::uint8_t> dcid) {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(dcid.size() * 2);
+    for (const auto byte : dcid) {
+        out.push_back(kDigits[byte >> 4]);
+        out.push_back(kDigits[byte & 0xf]);
+    }
+    return out;
+}
+
+void FlowMonitor::on_datagram(util::TimePoint at, const netsim::Datagram& datagram) {
+    const auto view = quic::peek_short_header(datagram);
+    if (!view || datagram.size() < view->dcid_offset + dcid_length_) {
+        ++non_flow_;
+        return;
+    }
+    const std::span<const std::uint8_t> dcid{datagram.data() + view->dcid_offset,
+                                             dcid_length_};
+    const auto key = dcid_hex(dcid);
+    auto [it, inserted] = flows_.try_emplace(key, observer_config_);
+    auto& flow = it->second;
+    ++flow.packets;
+    flow.observer.on_packet(
+        SpinObservation{at, synthetic_pn_[key]++, view->spin, view->vec});
+}
+
+std::vector<std::pair<std::string, FlowStats>> FlowMonitor::flows() const {
+    std::vector<std::pair<std::string, FlowStats>> out;
+    out.reserve(flows_.size());
+    for (const auto& [key, flow] : flows_) {
+        FlowStats stats;
+        stats.packets = flow.packets;
+        stats.spin = flow.observer.result();
+        stats.rejected_samples = flow.observer.rejected_samples();
+        stats.smoothed_rtt_ms = flow.observer.smoothed_ms().value_or(0.0);
+        out.emplace_back(key, std::move(stats));
+    }
+    return out;
+}
+
+std::optional<FlowStats> FlowMonitor::find(const std::string& dcid_hex_key) const {
+    const auto it = flows_.find(dcid_hex_key);
+    if (it == flows_.end()) return std::nullopt;
+    FlowStats stats;
+    stats.packets = it->second.packets;
+    stats.spin = it->second.observer.result();
+    stats.rejected_samples = it->second.observer.rejected_samples();
+    stats.smoothed_rtt_ms = it->second.observer.smoothed_ms().value_or(0.0);
+    return stats;
+}
+
+}  // namespace spinscope::core

@@ -1,0 +1,75 @@
+// spinscope/core/flow_monitor.hpp
+//
+// Multi-flow passive spin monitor — the deployable version of the paper's
+// observer. A real on-path device sees an interleaved packet mix of many
+// QUIC connections; it must demultiplex flows before it can track each spin
+// wave (Kunze et al. 2021 did this on P4 hardware). spinscope demuxes on
+// the destination connection ID prefix of short-header packets, which is
+// exactly what such devices key on.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/observer.hpp"
+#include "netsim/link.hpp"
+
+namespace spinscope::core {
+
+/// Per-flow state the monitor exposes.
+struct FlowStats {
+    std::uint64_t packets = 0;
+    SpinRttResult spin;
+    std::size_t rejected_samples = 0;
+    /// Latest smoothed spin RTT (ms); 0 until the first accepted sample.
+    double smoothed_rtt_ms = 0.0;
+};
+
+/// Passive monitor over an interleaved multi-flow packet stream.
+class FlowMonitor {
+public:
+    /// `dcid_length` is the connection-ID length the monitored server pool
+    /// uses (operators know their own deployment; 8 is spinscope's default).
+    explicit FlowMonitor(ObserverConfig observer_config = {}, std::size_t dcid_length = 8)
+        : observer_config_{observer_config}, dcid_length_{dcid_length} {}
+
+    /// Processes one observed datagram.
+    void on_datagram(util::TimePoint at, const netsim::Datagram& datagram);
+
+    /// Adapter usable directly as a netsim::Link tap.
+    [[nodiscard]] netsim::Link::Tap tap() {
+        return [this](util::TimePoint at, const netsim::Datagram& dg) { on_datagram(at, dg); };
+    }
+
+    [[nodiscard]] std::size_t flow_count() const noexcept { return flows_.size(); }
+    [[nodiscard]] std::uint64_t non_flow_packets() const noexcept { return non_flow_; }
+
+    /// Snapshot of every tracked flow, keyed by the hex DCID prefix.
+    [[nodiscard]] std::vector<std::pair<std::string, FlowStats>> flows() const;
+
+    /// Stats for one flow key (hex DCID); nullopt if unknown.
+    [[nodiscard]] std::optional<FlowStats> find(const std::string& dcid_hex) const;
+
+private:
+    struct Flow {
+        explicit Flow(const ObserverConfig& config) : observer{config} {}
+        SpinEdgeObserver observer;
+        std::uint64_t packets = 0;
+    };
+
+    ObserverConfig observer_config_;
+    std::size_t dcid_length_;
+    std::unordered_map<std::string, Flow> flows_;
+    std::unordered_map<std::string, quic::PacketNumber> synthetic_pn_;
+    std::uint64_t non_flow_ = 0;
+};
+
+/// Hex rendering of a DCID prefix (flow key).
+[[nodiscard]] std::string dcid_hex(std::span<const std::uint8_t> dcid);
+
+}  // namespace spinscope::core

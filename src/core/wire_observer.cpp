@@ -1,0 +1,19 @@
+#include "core/wire_observer.hpp"
+
+#include "quic/packet.hpp"
+
+namespace spinscope::core {
+
+void WireSpinTap::on_datagram(util::TimePoint at, const netsim::Datagram& datagram) {
+    const auto view = quic::peek_short_header(datagram);
+    if (!view) {
+        ++other_packets_;
+        return;
+    }
+    ++short_packets_;
+    // Packet numbers are invisible on the wire; feed a synthetic monotone
+    // counter so the observer's bookkeeping stays well-defined.
+    observer_.on_packet(SpinObservation{at, synthetic_pn_++, view->spin, view->vec});
+}
+
+}  // namespace spinscope::core

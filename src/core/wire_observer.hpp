@@ -1,0 +1,56 @@
+// spinscope/core/wire_observer.hpp
+//
+// An on-path spin-bit observer working from raw datagrams, the way a real
+// middlebox would (paper §2.1; Kunze et al. showed this runs on P4 switches).
+//
+// Unlike the endpoint-side qlog analysis, a wire observer cannot read packet
+// numbers (they are header-protected in real QUIC), so the RFC 9312
+// packet-number filter is unavailable and only time-based heuristics apply.
+// Attach to a netsim::Link via tap() to watch one direction of a flow.
+
+#pragma once
+
+#include <functional>
+
+#include "core/observer.hpp"
+#include "netsim/link.hpp"
+
+namespace spinscope::core {
+
+/// Passive per-flow observer fed with raw datagrams.
+class WireSpinTap {
+public:
+    explicit WireSpinTap(ObserverConfig config = {})
+        : observer_{disable_pn_filter(config)} {}
+
+    /// Processes one observed datagram at observation time `at`. Long-header
+    /// and non-QUIC datagrams are counted but otherwise ignored.
+    void on_datagram(util::TimePoint at, const netsim::Datagram& datagram);
+
+    /// Adapter usable directly as a netsim::Link tap.
+    [[nodiscard]] netsim::Link::Tap tap() {
+        return [this](util::TimePoint at, const netsim::Datagram& dg) { on_datagram(at, dg); };
+    }
+
+    [[nodiscard]] const SpinRttResult& result() const noexcept { return observer_.result(); }
+    [[nodiscard]] std::size_t short_header_packets() const noexcept { return short_packets_; }
+    [[nodiscard]] std::size_t other_packets() const noexcept { return other_packets_; }
+    [[nodiscard]] std::size_t rejected_samples() const noexcept {
+        return observer_.rejected_samples();
+    }
+
+private:
+    /// Packet numbers are header-protected on the wire, so the PN filter is
+    /// forced off whatever the caller configured.
+    [[nodiscard]] static ObserverConfig disable_pn_filter(ObserverConfig config) noexcept {
+        config.packet_number_filter = false;
+        return config;
+    }
+
+    SpinEdgeObserver observer_;
+    std::size_t short_packets_ = 0;
+    std::size_t other_packets_ = 0;
+    quic::PacketNumber synthetic_pn_ = 0;
+};
+
+}  // namespace spinscope::core

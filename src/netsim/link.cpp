@@ -1,0 +1,63 @@
+#include "netsim/link.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "util/distributions.hpp"
+
+namespace spinscope::netsim {
+
+Link::Link(Simulator& sim, LinkConfig config, util::Rng rng)
+    : sim_{&sim}, config_{config}, rng_{rng} {}
+
+Duration Link::sample_jitter() {
+    if (config_.jitter_scale.is_zero()) return Duration::zero();
+    // exp(N(0, sigma)) - 1 is >= -1 with a right tail: occasional late
+    // packets, never earlier than the propagation floor.
+    const double factor = util::sample_lognormal(rng_, 0.0, config_.jitter_sigma) - 1.0;
+    return Duration::from_ms(std::max(0.0, factor) * config_.jitter_scale.as_ms());
+}
+
+void Link::send(Datagram datagram) {
+    ++stats_.sent;
+    if (rng_.chance(config_.loss_probability)) {
+        ++stats_.dropped;
+        return;
+    }
+
+    TimePoint departure = sim_->now();
+    if (config_.bandwidth_bps > 0.0) {
+        // Model a FIFO serializer: transmission begins when the line frees up.
+        const double bits = static_cast<double>(datagram.size()) * 8.0;
+        const auto serialization = Duration::from_ms(bits / config_.bandwidth_bps * 1e3);
+        if (serializer_free_at_ < departure) serializer_free_at_ = departure;
+        departure = serializer_free_at_;
+        serializer_free_at_ = departure + serialization;
+        departure = serializer_free_at_;  // last bit leaves at end of serialization
+    }
+
+    TimePoint arrival = departure + config_.base_delay + sample_jitter();
+
+    const bool reorder_event = rng_.chance(config_.reorder_probability);
+    if (reorder_event) {
+        const std::int64_t lo = config_.reorder_extra_min.count_nanos();
+        const std::int64_t hi = config_.reorder_extra_max.count_nanos();
+        arrival = arrival + Duration::nanos(rng_.uniform_i64(lo, std::max(lo, hi)));
+        ++stats_.reordered;
+    } else if (config_.enforce_fifo && arrival < last_scheduled_arrival_) {
+        arrival = last_scheduled_arrival_;
+    }
+    if (!reorder_event) last_scheduled_arrival_ = arrival;
+
+    sim_->schedule_at(arrival, [this, dg = std::move(datagram)] {
+        ++stats_.delivered;
+        for (const auto& tap : taps_) tap(sim_->now(), dg);
+        if (receiver_) receiver_(dg);
+    });
+}
+
+Path::Path(Simulator& sim, const LinkConfig& forward, const LinkConfig& ret, util::Rng& rng)
+    : forward_{sim, forward, rng.fork(1)}, return_{sim, ret, rng.fork(2)} {}
+
+}  // namespace spinscope::netsim

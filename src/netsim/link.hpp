@@ -1,0 +1,119 @@
+// spinscope/netsim/link.hpp
+//
+// Unidirectional network link with configurable propagation delay, jitter,
+// serialization rate, random loss and reordering, plus passive taps for
+// on-path observers.
+//
+// Reordering matters to this study: RFC 9312 warns that reordering near spin
+// edges produces ultra-short RTT samples (paper Fig. 1b), and §5.2 of the
+// paper quantifies how rarely that bites in practice. The link therefore
+// models reordering explicitly: a reorder event delays one datagram by an
+// extra random amount and exempts it from the FIFO clamp, so later datagrams
+// can overtake it.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "netsim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace spinscope::netsim {
+
+/// A UDP-datagram-sized payload travelling the link.
+using Datagram = std::vector<std::uint8_t>;
+
+/// Static link behaviour. All probabilities in [0, 1].
+struct LinkConfig {
+    /// One-way propagation delay (base, before jitter).
+    Duration base_delay = Duration::millis(10);
+    /// Lognormal jitter added to each datagram: exp(N(mu, sigma)) - 1,
+    /// scaled by `jitter_scale`. Zero scale disables jitter.
+    Duration jitter_scale = Duration::zero();
+    double jitter_sigma = 0.5;
+    /// Independent per-datagram drop probability.
+    double loss_probability = 0.0;
+    /// Probability that a datagram is hit by a reorder event: it receives an
+    /// extra delay in [reorder_extra_min, reorder_extra_max] and is exempted
+    /// from the FIFO clamp, so subsequent datagrams may overtake it.
+    double reorder_probability = 0.0;
+    Duration reorder_extra_min = Duration::micros(100);
+    Duration reorder_extra_max = Duration::millis(4);
+    /// Serialization rate in bits/s; 0 means infinitely fast.
+    double bandwidth_bps = 0.0;
+    /// When true (default), non-reordered datagrams are delivered in FIFO
+    /// order even under jitter (arrival clamped to the previous arrival).
+    bool enforce_fifo = true;
+};
+
+/// Statistics a link keeps about itself (ground truth for tests/benches).
+struct LinkStats {
+    std::uint64_t sent = 0;       ///< datagrams handed to the link
+    std::uint64_t delivered = 0;  ///< datagrams delivered to the receiver
+    std::uint64_t dropped = 0;    ///< datagrams lost
+    std::uint64_t reordered = 0;  ///< datagrams that overtook or were overtaken
+};
+
+/// Unidirectional link.
+class Link {
+public:
+    /// Receiver invoked at delivery time (simulator clock already advanced).
+    using Receiver = std::function<void(const Datagram&)>;
+    /// Passive tap invoked at the observation point. Taps see every datagram
+    /// that will be delivered (not lost ones), at its delivery time — this
+    /// matches an observer colocated with the receiving endpoint, which is
+    /// the paper's vantage (qlog of received packets).
+    using Tap = std::function<void(TimePoint, const Datagram&)>;
+
+    Link(Simulator& sim, LinkConfig config, util::Rng rng);
+
+    /// Sets the delivering endpoint. Must be set before send().
+    void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+    /// Adds a passive observer tap; taps run before the receiver.
+    void add_tap(Tap tap) { taps_.push_back(std::move(tap)); }
+
+    /// Queues one datagram for transmission at the current simulated time.
+    void send(Datagram datagram);
+
+    [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
+
+private:
+    [[nodiscard]] Duration sample_jitter();
+
+    Simulator* sim_;
+    LinkConfig config_;
+    util::Rng rng_;
+    Receiver receiver_;
+    std::vector<Tap> taps_;
+    LinkStats stats_;
+    TimePoint last_scheduled_arrival_ = TimePoint::origin();
+    TimePoint serializer_free_at_ = TimePoint::origin();
+};
+
+/// Symmetric duplex path between a client and a server: a forward
+/// (client->server) and a return (server->client) link built from one
+/// profile. The paper's spin observer sits on the return path at the client
+/// side; `return_link().add_tap(...)` is where it attaches.
+class Path {
+public:
+    Path(Simulator& sim, const LinkConfig& forward, const LinkConfig& ret, util::Rng& rng);
+
+    [[nodiscard]] Link& forward_link() noexcept { return forward_; }
+    [[nodiscard]] Link& return_link() noexcept { return return_; }
+
+    /// Base (no jitter / queueing) network round-trip time of the path.
+    [[nodiscard]] Duration base_rtt() const noexcept {
+        return forward_.config().base_delay + return_.config().base_delay;
+    }
+
+private:
+    Link forward_;
+    Link return_;
+};
+
+}  // namespace spinscope::netsim

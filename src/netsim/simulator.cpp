@@ -1,0 +1,60 @@
+#include "netsim/simulator.hpp"
+
+#include <utility>
+
+namespace spinscope::netsim {
+
+void Simulator::schedule_at(TimePoint t, Callback cb) {
+    if (t < now_) t = now_;
+    queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void Simulator::schedule_after(Duration d, Callback cb) {
+    if (d.is_negative()) d = Duration::zero();
+    schedule_at(now_ + d, std::move(cb));
+}
+
+void Simulator::pop_and_run() {
+    // priority_queue::top() is const; the callback must be moved out before
+    // pop() so we copy the handle cheaply via const_cast-free re-push-less
+    // pattern: take a copy of the top, pop, then invoke.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ++processed_;
+    ev.cb();
+}
+
+void Simulator::run() {
+    while (!queue_.empty()) pop_and_run();
+}
+
+bool Simulator::run_until(TimePoint deadline) {
+    while (!queue_.empty() && queue_.top().at <= deadline) pop_and_run();
+    if (now_ < deadline) now_ = deadline;
+    return queue_.empty();
+}
+
+void Simulator::run_steps(std::size_t max_events) {
+    for (std::size_t i = 0; i < max_events && !queue_.empty(); ++i) pop_and_run();
+}
+
+void Timer::set_at(TimePoint t, Callback cb) {
+    const std::uint64_t generation = ++state_->generation;
+    state_->armed = true;
+    state_->expiry = t;
+    sim_->schedule_at(t, [state = state_, generation, cb = std::move(cb)] {
+        if (generation != state->generation || !state->armed) return;
+        state->armed = false;
+        cb();
+    });
+}
+
+void Timer::set_after(Duration d, Callback cb) { set_at(sim_->now() + d, std::move(cb)); }
+
+void Timer::cancel() noexcept {
+    ++state_->generation;
+    state_->armed = false;
+}
+
+}  // namespace spinscope::netsim

@@ -1,0 +1,121 @@
+// spinscope/netsim/simulator.hpp
+//
+// Discrete-event simulation core: a virtual clock and an ordered event queue.
+//
+// The simulator stands in for the real Internet of the paper's measurement
+// campaign. All protocol endpoints, links and passive observers run on the
+// same simulated clock, which gives the analysis pipeline exact ground truth
+// for packet timing — the one thing a real vantage point can never have.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace spinscope::netsim {
+
+using util::Duration;
+using util::TimePoint;
+
+/// Single-threaded discrete-event simulator.
+///
+/// Events scheduled for the same instant fire in scheduling order (stable),
+/// which keeps runs bit-for-bit reproducible.
+class Simulator {
+public:
+    using Callback = std::function<void()>;
+
+    /// Current simulated time. Monotone: only advances while run() pops events.
+    [[nodiscard]] TimePoint now() const noexcept { return now_; }
+
+    /// Schedules `cb` at absolute time `t`. Times in the past fire "now"
+    /// (the queue never runs backwards).
+    void schedule_at(TimePoint t, Callback cb);
+
+    /// Schedules `cb` after a relative delay (>= 0; negative is clamped).
+    void schedule_after(Duration d, Callback cb);
+
+    /// Runs events until the queue is empty.
+    void run();
+
+    /// Runs events with timestamp <= deadline; the clock ends at
+    /// min(deadline, last event time). Returns true if the queue was drained.
+    bool run_until(TimePoint deadline);
+
+    /// Runs at most `max_events` further events (safety valve for tests).
+    void run_steps(std::size_t max_events);
+
+    [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+    [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+private:
+    struct Event {
+        TimePoint at;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const noexcept {
+            if (a.at != b.at) return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    void pop_and_run();
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    TimePoint now_ = TimePoint::origin();
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t processed_ = 0;
+};
+
+/// A single re-armable, cancellable timer (QUIC PTO, idle timeout, delayed
+/// ACK). Re-arming or cancelling invalidates any previously scheduled firing
+/// via a generation counter, so stale queue entries become no-ops. The state
+/// is shared with pending queue entries, so destroying a Timer while a stale
+/// firing is still queued is safe (the firing becomes a no-op).
+class Timer {
+public:
+    using Callback = std::function<void()>;
+
+    explicit Timer(Simulator& sim) : sim_{&sim}, state_{std::make_shared<State>()} {}
+
+    /// Destruction cancels: a pending firing becomes a no-op (the shared
+    /// state outlives the Timer inside any still-queued event).
+    ~Timer() { cancel(); }
+
+    Timer(const Timer&) = delete;
+    Timer& operator=(const Timer&) = delete;
+
+    /// Arms (or re-arms) the timer to fire `cb` at absolute time `t`.
+    void set_at(TimePoint t, Callback cb);
+
+    /// Arms (or re-arms) the timer to fire after `d`.
+    void set_after(Duration d, Callback cb);
+
+    /// Disarms the timer; a pending firing becomes a no-op.
+    void cancel() noexcept;
+
+    [[nodiscard]] bool armed() const noexcept { return state_->armed; }
+    /// Expiry of the currently armed firing; TimePoint::never() if disarmed.
+    [[nodiscard]] TimePoint expiry() const noexcept {
+        return state_->armed ? state_->expiry : TimePoint::never();
+    }
+
+private:
+    struct State {
+        std::uint64_t generation = 0;
+        bool armed = false;
+        TimePoint expiry = TimePoint::never();
+    };
+
+    Simulator* sim_;
+    std::shared_ptr<State> state_;
+};
+
+}  // namespace spinscope::netsim

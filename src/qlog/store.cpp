@@ -1,0 +1,138 @@
+#include "qlog/store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace spinscope::qlog {
+
+namespace {
+
+constexpr const char* kShardPrefix = "traces-";
+constexpr const char* kShardSuffix = ".jsonl";
+constexpr std::string_view kContextMarker = "{\"scan\":1";
+constexpr std::string_view kTraceEndMarker = "\"metrics\":1";
+
+[[nodiscard]] std::filesystem::path shard_path(const std::filesystem::path& dir,
+                                               std::size_t index) {
+    char name[48];
+    std::snprintf(name, sizeof name, "%s%05zu%s", kShardPrefix, index, kShardSuffix);
+    return dir / name;
+}
+
+}  // namespace
+
+std::string context_line(const ScanContext& context) {
+    std::ostringstream out;
+    out << "{\"scan\":1,\"domain\":" << context.domain_id << ",\"week\":" << context.week
+        << ",\"ipv6\":" << (context.ipv6 ? 1 : 0) << ",\"org\":" << context.org << "}\n";
+    return out.str();
+}
+
+std::optional<ScanContext> parse_context_line(const std::string& line) {
+    if (line.rfind(kContextMarker, 0) != 0) return std::nullopt;
+    ScanContext context;
+    unsigned domain = 0;
+    int week = 0;
+    int ipv6 = 0;
+    unsigned org = 0;
+    if (std::sscanf(line.c_str(), "{\"scan\":1,\"domain\":%u,\"week\":%d,\"ipv6\":%d,\"org\":%u",
+                    &domain, &week, &ipv6, &org) != 4) {
+        return std::nullopt;
+    }
+    context.domain_id = domain;
+    context.week = week;
+    context.ipv6 = ipv6 != 0;
+    context.org = static_cast<std::uint16_t>(org);
+    return context;
+}
+
+TraceStoreWriter::TraceStoreWriter(std::filesystem::path directory, std::size_t shard_bytes)
+    : directory_{std::move(directory)}, shard_bytes_{shard_bytes} {
+    std::filesystem::create_directories(directory_);
+    roll_shard();
+}
+
+TraceStoreWriter::~TraceStoreWriter() { close(); }
+
+void TraceStoreWriter::roll_shard() {
+    if (out_.is_open()) out_.close();
+    out_.open(shard_path(directory_, shard_index_), std::ios::trunc);
+    if (!out_) {
+        throw std::runtime_error{"TraceStoreWriter: cannot open shard in " +
+                                 directory_.string()};
+    }
+    ++shard_index_;
+    current_bytes_ = 0;
+}
+
+void TraceStoreWriter::append(const ScanContext& context, const Trace& trace) {
+    if (!out_.is_open()) roll_shard();
+    const std::string header = context_line(context);
+    const std::string body = to_jsonl(trace);
+    out_ << header << body;
+    current_bytes_ += header.size() + body.size();
+    ++traces_;
+    if (current_bytes_ >= shard_bytes_) roll_shard();
+}
+
+void TraceStoreWriter::close() {
+    if (out_.is_open()) {
+        out_.flush();
+        out_.close();
+    }
+}
+
+TraceStoreReader::TraceStoreReader(std::filesystem::path directory)
+    : directory_{std::move(directory)} {
+    if (!std::filesystem::is_directory(directory_)) return;
+    for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+        if (!entry.is_regular_file()) continue;
+        const auto name = entry.path().filename().string();
+        if (name.rfind(kShardPrefix, 0) == 0 && name.ends_with(kShardSuffix)) {
+            shards_.push_back(entry.path());
+        }
+    }
+    std::sort(shards_.begin(), shards_.end());
+}
+
+std::uint64_t TraceStoreReader::for_each(
+    const std::function<void(const ScanContext&, const Trace&)>& visit) {
+    std::uint64_t visited = 0;
+    for (const auto& shard : shards_) {
+        std::ifstream in{shard};
+        std::string line;
+        std::optional<ScanContext> context;
+        std::string buffer;
+        const auto finish_record = [&] {
+            if (!context || buffer.empty()) return;
+            const auto trace = parse_jsonl(buffer);
+            if (trace) {
+                visit(*context, *trace);
+                ++visited;
+            } else {
+                ++malformed_;
+            }
+            buffer.clear();
+            context.reset();
+        };
+        while (std::getline(in, line)) {
+            if (line.rfind(kContextMarker, 0) == 0) {
+                finish_record();  // tolerate a truncated previous record
+                context = parse_context_line(line);
+                if (!context) ++malformed_;
+                continue;
+            }
+            if (context) {
+                buffer += line;
+                buffer += '\n';
+                if (line.find(kTraceEndMarker) != std::string::npos) finish_record();
+            }
+        }
+        finish_record();
+    }
+    return visited;
+}
+
+}  // namespace spinscope::qlog

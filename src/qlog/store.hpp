@@ -1,0 +1,93 @@
+// spinscope/qlog/store.hpp
+//
+// On-disk qlog dataset store — the reproduction of the paper's released
+// artifacts (Appendix B: "we also add the extracted raw spin bit information
+// for all domains ... together with qlog baseline information").
+//
+// A store is a directory of JSON-lines shard files. The writer appends each
+// connection trace (prefixed with a scan-context line carrying domain id,
+// week and address family) and rolls shards by size; the reader streams
+// traces back without materializing the dataset. This decouples scanning
+// from analysis exactly like the real campaign: scan once, analyze many
+// times.
+
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qlog/trace.hpp"
+
+namespace spinscope::qlog {
+
+/// Context of one recorded connection within a campaign.
+struct ScanContext {
+    std::uint32_t domain_id = 0;
+    int week = 0;
+    bool ipv6 = false;
+    std::uint16_t org = 0;  ///< organization index at scan time
+};
+
+/// Appends traces to a dataset directory.
+class TraceStoreWriter {
+public:
+    /// Opens (creating if needed) the dataset at `directory`. `shard_bytes`
+    /// bounds the size of one shard file before rolling to the next.
+    explicit TraceStoreWriter(std::filesystem::path directory,
+                              std::size_t shard_bytes = 8 * 1024 * 1024);
+    ~TraceStoreWriter();
+
+    TraceStoreWriter(const TraceStoreWriter&) = delete;
+    TraceStoreWriter& operator=(const TraceStoreWriter&) = delete;
+
+    /// Appends one connection trace with its scan context.
+    void append(const ScanContext& context, const Trace& trace);
+
+    /// Flushes and closes the current shard.
+    void close();
+
+    [[nodiscard]] std::uint64_t traces_written() const noexcept { return traces_; }
+    [[nodiscard]] std::size_t shards_written() const noexcept { return shard_index_; }
+
+private:
+    void roll_shard();
+
+    std::filesystem::path directory_;
+    std::size_t shard_bytes_;
+    std::size_t shard_index_ = 0;
+    std::size_t current_bytes_ = 0;
+    std::uint64_t traces_ = 0;
+    std::ofstream out_;
+};
+
+/// Streams traces back out of a dataset directory.
+class TraceStoreReader {
+public:
+    explicit TraceStoreReader(std::filesystem::path directory);
+
+    /// Visits every (context, trace) pair in shard order. Returns the number
+    /// of traces visited; malformed records are counted and skipped.
+    std::uint64_t for_each(
+        const std::function<void(const ScanContext&, const Trace&)>& visit);
+
+    [[nodiscard]] std::uint64_t malformed_records() const noexcept { return malformed_; }
+    [[nodiscard]] const std::vector<std::filesystem::path>& shards() const noexcept {
+        return shards_;
+    }
+
+private:
+    std::filesystem::path directory_;
+    std::vector<std::filesystem::path> shards_;
+    std::uint64_t malformed_ = 0;
+};
+
+/// Serializes / parses the scan-context line.
+[[nodiscard]] std::string context_line(const ScanContext& context);
+[[nodiscard]] std::optional<ScanContext> parse_context_line(const std::string& line);
+
+}  // namespace spinscope::qlog

@@ -1,0 +1,223 @@
+#include "qlog/trace.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+namespace spinscope::qlog {
+
+namespace {
+
+// Minimal JSON helpers for the fixed spinscope schema. The writer emits a
+// deterministic field order; the reader is a tolerant key scanner (it only
+// needs to parse what to_jsonl produces, but checks bounds everywhere since
+// on-disk traces are external input).
+
+void append_escaped(std::string& out, const std::string& s) {
+    out.push_back('"');
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) >= 0x20) {
+            out.push_back(c);
+        }
+    }
+    out.push_back('"');
+}
+
+/// Finds `"key":` in `line` and returns the character offset just past the
+/// colon, or npos.
+std::size_t find_value(const std::string& line, const std::string& key) {
+    const std::string needle = "\"" + key + "\":";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos) return std::string::npos;
+    return pos + needle.size();
+}
+
+std::optional<std::string> get_string(const std::string& line, const std::string& key) {
+    auto pos = find_value(line, key);
+    if (pos == std::string::npos || pos >= line.size() || line[pos] != '"') return std::nullopt;
+    ++pos;
+    std::string out;
+    while (pos < line.size() && line[pos] != '"') {
+        if (line[pos] == '\\' && pos + 1 < line.size()) ++pos;
+        out.push_back(line[pos]);
+        ++pos;
+    }
+    if (pos >= line.size()) return std::nullopt;
+    return out;
+}
+
+std::optional<double> get_number(const std::string& line, const std::string& key) {
+    const auto pos = find_value(line, key);
+    if (pos == std::string::npos) return std::nullopt;
+    double value = 0.0;
+    const auto* begin = line.data() + pos;
+    const auto* end = line.data() + line.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr == begin) return std::nullopt;
+    return value;
+}
+
+std::optional<std::vector<double>> get_array(const std::string& line, const std::string& key) {
+    auto pos = find_value(line, key);
+    if (pos == std::string::npos || pos >= line.size() || line[pos] != '[') return std::nullopt;
+    ++pos;
+    std::vector<double> values;
+    while (pos < line.size() && line[pos] != ']') {
+        double value = 0.0;
+        const auto* begin = line.data() + pos;
+        const auto* end = line.data() + line.size();
+        const auto [ptr, ec] = std::from_chars(begin, end, value);
+        if (ec != std::errc{} || ptr == begin) return std::nullopt;
+        values.push_back(value);
+        pos = static_cast<std::size_t>(ptr - line.data());
+        if (pos < line.size() && line[pos] == ',') ++pos;
+    }
+    if (pos >= line.size()) return std::nullopt;
+    return values;
+}
+
+const char* packet_type_token(quic::PacketType t) { return quic::to_cstring(t); }
+
+std::optional<quic::PacketType> packet_type_from(const std::string& token) {
+    using quic::PacketType;
+    for (auto t : {PacketType::initial, PacketType::zero_rtt, PacketType::handshake,
+                   PacketType::retry, PacketType::one_rtt, PacketType::version_negotiation}) {
+        if (token == packet_type_token(t)) return t;
+    }
+    return std::nullopt;
+}
+
+std::optional<ConnectionOutcome> outcome_from(const std::string& token) {
+    for (auto o : {ConnectionOutcome::ok, ConnectionOutcome::handshake_timeout,
+                   ConnectionOutcome::aborted}) {
+        if (token == to_cstring(o)) return o;
+    }
+    return std::nullopt;
+}
+
+void append_event(std::string& out, const char* kind, const PacketEvent& ev) {
+    out += "{\"ev\":\"";
+    out += kind;
+    out += "\",\"t\":" + std::to_string(ev.time.count_nanos());
+    out += ",\"type\":\"";
+    out += packet_type_token(ev.type);
+    out += "\",\"pn\":" + std::to_string(ev.packet_number);
+    out += ",\"spin\":" + std::to_string(ev.spin ? 1 : 0);
+    out += ",\"size\":" + std::to_string(ev.size);
+    out += ",\"elicit\":" + std::to_string(ev.ack_eliciting ? 1 : 0);
+    out += ",\"vec\":" + std::to_string(ev.vec);
+    out += "}\n";
+}
+
+std::optional<PacketEvent> parse_event(const std::string& line) {
+    PacketEvent ev;
+    const auto t = get_number(line, "t");
+    const auto type = get_string(line, "type");
+    const auto pn = get_number(line, "pn");
+    const auto spin = get_number(line, "spin");
+    const auto size = get_number(line, "size");
+    const auto elicit = get_number(line, "elicit");
+    if (!t || !type || !pn || !spin || !size || !elicit) return std::nullopt;
+    const auto packet_type = packet_type_from(*type);
+    if (!packet_type) return std::nullopt;
+    ev.time = TimePoint::from_nanos(static_cast<std::int64_t>(*t));
+    ev.type = *packet_type;
+    ev.packet_number = static_cast<quic::PacketNumber>(*pn);
+    ev.spin = *spin != 0.0;
+    ev.size = static_cast<std::uint32_t>(*size);
+    ev.ack_eliciting = *elicit != 0.0;
+    const auto vec = get_number(line, "vec");
+    ev.vec = vec ? static_cast<std::uint8_t>(*vec) : 0;
+    return ev;
+}
+
+}  // namespace
+
+std::vector<PacketEvent> Trace::received_one_rtt() const {
+    std::vector<PacketEvent> out;
+    std::copy_if(received.begin(), received.end(), std::back_inserter(out),
+                 [](const PacketEvent& ev) { return ev.type == quic::PacketType::one_rtt; });
+    return out;
+}
+
+std::string to_jsonl(const Trace& trace) {
+    std::string out;
+    out += "{\"qlog\":\"spinscope\",\"host\":";
+    append_escaped(out, trace.host);
+    out += ",\"ip\":";
+    append_escaped(out, trace.ip);
+    out += ",\"version\":" + std::to_string(static_cast<std::uint32_t>(trace.version));
+    out += ",\"outcome\":\"";
+    out += to_cstring(trace.outcome);
+    out += "\"}\n";
+    for (const auto& ev : trace.sent) append_event(out, "sent", ev);
+    for (const auto& ev : trace.received) append_event(out, "recv", ev);
+    out += "{\"metrics\":1,\"min_rtt_ms\":" + std::to_string(trace.metrics.min_rtt_ms);
+    out += ",\"srtt_ms\":" + std::to_string(trace.metrics.smoothed_rtt_ms);
+    out += ",\"lost\":" + std::to_string(trace.metrics.packets_lost);
+    out += ",\"sent\":" + std::to_string(trace.metrics.packets_sent);
+    out += ",\"recv\":" + std::to_string(trace.metrics.packets_received);
+    out += ",\"rtt_samples_ms\":[";
+    for (std::size_t i = 0; i < trace.metrics.rtt_samples_ms.size(); ++i) {
+        if (i != 0) out += ",";
+        out += std::to_string(trace.metrics.rtt_samples_ms[i]);
+    }
+    out += "]}\n";
+    return out;
+}
+
+std::optional<Trace> parse_jsonl(const std::string& text) {
+    Trace trace;
+    std::istringstream in{text};
+    std::string line;
+    bool saw_header = false;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        if (line.find("\"qlog\"") != std::string::npos) {
+            const auto host = get_string(line, "host");
+            const auto ip = get_string(line, "ip");
+            const auto version = get_number(line, "version");
+            const auto outcome_token = get_string(line, "outcome");
+            if (!host || !ip || !version || !outcome_token) return std::nullopt;
+            const auto outcome = outcome_from(*outcome_token);
+            if (!outcome) return std::nullopt;
+            trace.host = *host;
+            trace.ip = *ip;
+            trace.version = static_cast<quic::Version>(static_cast<std::uint32_t>(*version));
+            trace.outcome = *outcome;
+            saw_header = true;
+        } else if (line.find("\"ev\"") != std::string::npos) {
+            const auto kind = get_string(line, "ev");
+            const auto ev = parse_event(line);
+            if (!kind || !ev) return std::nullopt;
+            if (*kind == "sent") {
+                trace.sent.push_back(*ev);
+            } else if (*kind == "recv") {
+                trace.received.push_back(*ev);
+            } else {
+                return std::nullopt;
+            }
+        } else if (line.find("\"metrics\"") != std::string::npos) {
+            const auto min_rtt = get_number(line, "min_rtt_ms");
+            const auto srtt = get_number(line, "srtt_ms");
+            const auto lost = get_number(line, "lost");
+            const auto sent = get_number(line, "sent");
+            const auto recv = get_number(line, "recv");
+            const auto samples = get_array(line, "rtt_samples_ms");
+            if (!min_rtt || !srtt || !lost || !sent || !recv || !samples) return std::nullopt;
+            trace.metrics.min_rtt_ms = *min_rtt;
+            trace.metrics.smoothed_rtt_ms = *srtt;
+            trace.metrics.packets_lost = static_cast<std::uint64_t>(*lost);
+            trace.metrics.packets_sent = static_cast<std::uint64_t>(*sent);
+            trace.metrics.packets_received = static_cast<std::uint64_t>(*recv);
+            trace.metrics.rtt_samples_ms = *samples;
+        }
+    }
+    if (!saw_header) return std::nullopt;
+    return trace;
+}
+
+}  // namespace spinscope::qlog

@@ -1,0 +1,97 @@
+// spinscope/qlog/trace.hpp
+//
+// qlog-flavoured connection traces.
+//
+// The paper's scanner extends quic-go's qlog output with the spin-bit state
+// of every received packet and analyzes those logs offline (§3.2-3.3). This
+// module is the equivalent: endpoints record per-packet events and final
+// recovery metrics into a Trace; the analysis pipeline consumes Traces (or
+// their JSON-lines serialization, for the on-disk path).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "quic/packet.hpp"
+#include "quic/types.hpp"
+#include "util/time.hpp"
+
+namespace spinscope::qlog {
+
+using util::Duration;
+using util::TimePoint;
+
+/// One packet-level event (sent or received).
+struct PacketEvent {
+    TimePoint time;
+    quic::PacketType type = quic::PacketType::one_rtt;
+    quic::PacketNumber packet_number = 0;
+    /// Spin-bit value; meaningful only for 1-RTT packets.
+    bool spin = false;
+    /// Total datagram size in bytes.
+    std::uint32_t size = 0;
+    bool ack_eliciting = false;
+    /// Valid Edge Counter from the reserved bits (VEC extension; 0 for
+    /// standard RFC 9000 traffic).
+    std::uint8_t vec = 0;
+};
+
+/// Final recovery metrics of a connection, mirroring qlog's
+/// "recovery:metrics_updated" stream in condensed form.
+struct RecoveryMetrics {
+    /// Ack-delay-adjusted RTT samples (ms) in arrival order — the paper's
+    /// "QUIC stack estimates" baseline.
+    std::vector<double> rtt_samples_ms;
+    double min_rtt_ms = 0.0;
+    double smoothed_rtt_ms = 0.0;
+    std::uint64_t packets_lost = 0;
+    std::uint64_t packets_sent = 0;
+    std::uint64_t packets_received = 0;
+};
+
+/// How a connection attempt ended.
+enum class ConnectionOutcome : std::uint8_t {
+    ok,                 ///< handshake + request/response completed
+    handshake_timeout,  ///< peer silent / not QUIC-capable
+    aborted,            ///< closed with error before completing
+};
+
+[[nodiscard]] constexpr const char* to_cstring(ConnectionOutcome o) noexcept {
+    switch (o) {
+        case ConnectionOutcome::ok: return "ok";
+        case ConnectionOutcome::handshake_timeout: return "handshake_timeout";
+        case ConnectionOutcome::aborted: return "aborted";
+    }
+    return "?";
+}
+
+/// Trace of a single connection from one vantage (spinscope records the
+/// client side, like the paper's scanner).
+struct Trace {
+    std::string host;        ///< target domain (with "www." prefix as queried)
+    std::string ip;          ///< server address string
+    quic::Version version = quic::Version::v1;
+    ConnectionOutcome outcome = ConnectionOutcome::aborted;
+    std::vector<PacketEvent> sent;
+    std::vector<PacketEvent> received;
+    RecoveryMetrics metrics;
+
+    void record_sent(const PacketEvent& ev) { sent.push_back(ev); }
+    void record_received(const PacketEvent& ev) { received.push_back(ev); }
+
+    /// Received 1-RTT events only — the packet set the paper's spin analysis
+    /// keys on (§3.3: spin state, packet number, timestamp).
+    [[nodiscard]] std::vector<PacketEvent> received_one_rtt() const;
+};
+
+/// Serializes a trace to JSON-lines (one event object per line, preceded by
+/// a header line). Deterministic field order; round-trips via parse_trace().
+[[nodiscard]] std::string to_jsonl(const Trace& trace);
+
+/// Parses the to_jsonl() representation. Returns nullopt on malformed input.
+[[nodiscard]] std::optional<Trace> parse_jsonl(const std::string& text);
+
+}  // namespace spinscope::qlog

@@ -1,0 +1,79 @@
+#include "quic/ack_tracker.hpp"
+
+#include <algorithm>
+
+namespace spinscope::quic {
+
+bool AckTracker::on_packet_received(PacketNumber pn, bool ack_eliciting, TimePoint now) {
+    // Find insertion point in the descending range list; merge neighbours.
+    auto it = ranges_.begin();
+    while (it != ranges_.end() && it->smallest > pn + 1) ++it;
+
+    bool inserted = false;
+    if (it == ranges_.end()) {
+        ranges_.push_back(AckRange{pn, pn});
+        inserted = true;
+    } else if (pn >= it->smallest && pn <= it->largest) {
+        return false;  // duplicate
+    } else if (pn + 1 == it->smallest) {
+        it->smallest = pn;
+        // May now touch the following (smaller) range — e.g. when a
+        // reordered packet fills the hole between two ranges.
+        auto next = std::next(it);
+        if (next != ranges_.end() && next->largest + 1 == it->smallest) {
+            it->smallest = next->smallest;
+            ranges_.erase(next);
+        }
+        inserted = true;
+    } else if (pn == it->largest + 1) {
+        it->largest = pn;
+        // May now touch the preceding (larger) range.
+        if (it != ranges_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->smallest == it->largest + 1) {
+                prev->smallest = it->smallest;
+                ranges_.erase(it);
+            }
+        }
+        inserted = true;
+    } else {
+        ranges_.insert(it, AckRange{pn, pn});
+        inserted = true;
+    }
+    if (!inserted) return false;
+
+    if (!ranges_.empty() && pn == ranges_.front().largest) largest_received_at_ = now;
+
+    if (ack_eliciting) {
+        ++pending_ack_eliciting_;
+        if (oldest_unacked_eliciting_.is_never()) oldest_unacked_eliciting_ = now;
+    }
+    return true;
+}
+
+PacketNumber AckTracker::largest_received() const noexcept {
+    return ranges_.empty() ? kInvalidPacketNumber : ranges_.front().largest;
+}
+
+bool AckTracker::ack_due_immediately() const noexcept {
+    return pending_ack_eliciting_ >= config_.ack_eliciting_threshold;
+}
+
+TimePoint AckTracker::ack_deadline() const noexcept {
+    if (pending_ack_eliciting_ == 0) return TimePoint::never();
+    return oldest_unacked_eliciting_ + config_.max_ack_delay;
+}
+
+std::optional<AckFrame> AckTracker::build_ack(TimePoint now) {
+    if (ranges_.empty()) return std::nullopt;
+    AckFrame ack;
+    ack.ranges = ranges_;
+    ack.ack_delay = largest_received_at_.is_never() ? Duration::zero()
+                                                    : now - largest_received_at_;
+    if (ack.ack_delay.is_negative()) ack.ack_delay = Duration::zero();
+    pending_ack_eliciting_ = 0;
+    oldest_unacked_eliciting_ = TimePoint::never();
+    return ack;
+}
+
+}  // namespace spinscope::quic

@@ -1,0 +1,43 @@
+#include "quic/rtt_estimator.hpp"
+
+#include <algorithm>
+
+namespace spinscope::quic {
+
+RttEstimator::RttEstimator(Duration initial_rtt)
+    : smoothed_{initial_rtt}, rttvar_{initial_rtt / 2} {}
+
+void RttEstimator::add_sample(Duration latest, Duration ack_delay,
+                              Duration max_ack_delay_bound, bool handshake_confirmed) {
+    if (latest.is_negative()) return;
+    latest_ = latest;
+
+    // min_rtt uses the unadjusted sample (RFC 9002 §5.2).
+    min_ = std::min(min_, latest);
+
+    // RFC 9002 §5.3: cap the reported ack delay once the peer's transport
+    // parameter is authenticated, and never adjust below min_rtt.
+    Duration delay = ack_delay;
+    if (handshake_confirmed) delay = std::min(delay, max_ack_delay_bound);
+    Duration adjusted = latest;
+    if (latest - min_ >= delay) adjusted = latest - delay;
+
+    adjusted_samples_ms_.push_back(adjusted.as_ms());
+
+    if (samples_ == 0) {
+        smoothed_ = adjusted;
+        rttvar_ = adjusted / 2;
+    } else {
+        const Duration deviation = (smoothed_ - adjusted).abs();
+        rttvar_ = (rttvar_ * 3 + deviation) / 4;
+        smoothed_ = (smoothed_ * 7 + adjusted) / 8;
+    }
+    ++samples_;
+}
+
+Duration RttEstimator::pto(Duration peer_max_ack_delay) const noexcept {
+    const Duration granularity = Duration::millis(1);
+    return smoothed_ + std::max(rttvar_ * 4, granularity) + peer_max_ack_delay;
+}
+
+}  // namespace spinscope::quic

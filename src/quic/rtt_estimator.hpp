@@ -1,0 +1,71 @@
+// spinscope/quic/rtt_estimator.hpp
+//
+// RFC 9002 §5 round-trip-time estimation.
+//
+// This is the "QUIC" baseline of the paper's accuracy study (§3.3): the
+// stack measures the time until a packet is acknowledged and subtracts the
+// peer-reported ack delay — information a passive spin-bit observer does not
+// have. Per-connection means of these samples are compared against the
+// spin-bit estimates in Figures 3 and 4.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace spinscope::quic {
+
+using util::Duration;
+
+/// RFC 9002 RTT state: latest, minimum, smoothed and variance, fed by ACK
+/// receipt samples.
+class RttEstimator {
+public:
+    /// `initial_rtt` seeds smoothed_rtt/rttvar before the first sample
+    /// (RFC 9002 §5.2, default 333 ms).
+    explicit RttEstimator(Duration initial_rtt = Duration::millis(333));
+
+    /// Feeds one sample (RFC 9002 §5.1/§5.3).
+    ///
+    /// `latest`:    time from sending an ack-eliciting packet to receiving
+    ///              the ACK for it.
+    /// `ack_delay`: the peer-reported delay from the ACK frame.
+    /// `max_ack_delay_bound`: when `handshake_confirmed`, ack_delay is capped
+    ///              at the peer's advertised max_ack_delay before adjusting.
+    void add_sample(Duration latest, Duration ack_delay, Duration max_ack_delay_bound,
+                    bool handshake_confirmed);
+
+    [[nodiscard]] bool has_samples() const noexcept { return samples_ > 0; }
+    [[nodiscard]] std::size_t sample_count() const noexcept { return samples_; }
+
+    [[nodiscard]] Duration latest_rtt() const noexcept { return latest_; }
+    /// Minimum of the *unadjusted* latest-RTT samples (RFC 9002 §5.2).
+    [[nodiscard]] Duration min_rtt() const noexcept { return min_; }
+    [[nodiscard]] Duration smoothed_rtt() const noexcept { return smoothed_; }
+    [[nodiscard]] Duration rttvar() const noexcept { return rttvar_; }
+
+    /// PTO interval: smoothed + max(4*rttvar, 1ms) + max_ack_delay
+    /// (RFC 9002 §6.2.1).
+    [[nodiscard]] Duration pto(Duration peer_max_ack_delay) const noexcept;
+
+    /// All ack-delay-adjusted samples, in milliseconds, in arrival order.
+    /// The analysis pipeline compares the mean of these against the spin-bit
+    /// estimates — this mirrors the paper's use of quic-go's qlog
+    /// "metrics_updated" stream.
+    [[nodiscard]] const std::vector<double>& adjusted_samples_ms() const noexcept {
+        return adjusted_samples_ms_;
+    }
+
+private:
+    Duration latest_ = Duration::zero();
+    Duration min_ = Duration::max();
+    Duration smoothed_;
+    Duration rttvar_;
+    std::size_t samples_ = 0;
+    std::vector<double> adjusted_samples_ms_;
+};
+
+}  // namespace spinscope::quic

@@ -1,0 +1,67 @@
+#include "quic/spin.hpp"
+
+#include <algorithm>
+
+namespace spinscope::quic {
+
+SpinState::SpinState(Role role, const SpinConfig& config, util::Rng& rng)
+    : role_{role}, vec_enabled_{config.enable_vec}, naive_reflection_{config.naive_reflection} {
+    effective_ = config.policy;
+    if (config.policy == SpinPolicy::spin && config.lottery_one_in > 0 &&
+        rng.one_in(config.lottery_one_in)) {
+        effective_ = config.lottery_fallback;
+    }
+    if (effective_ == SpinPolicy::grease_per_connection) grease_value_ = rng.coin();
+}
+
+void SpinState::on_packet_received(PacketNumber pn, bool spin, std::uint8_t vec) noexcept {
+    if (!seen_any_ || pn > highest_pn_ || naive_reflection_) {
+        // The VEC to propagate belongs to the packet that *changed* the
+        // value (the incoming edge); later same-value packets carry 0 and
+        // must not reset it.
+        if (!seen_any_ || spin != highest_value_) highest_vec_ = vec;
+        seen_any_ = true;
+        highest_pn_ = pn;
+        highest_value_ = spin;
+    }
+}
+
+SpinHeaderBits SpinState::outgoing(util::Rng& rng) noexcept {
+    SpinHeaderBits bits;
+    switch (effective_) {
+        case SpinPolicy::always_zero:
+            bits.spin = false;
+            return bits;
+        case SpinPolicy::always_one:
+            bits.spin = true;
+            return bits;
+        case SpinPolicy::grease_per_packet:
+            bits.spin = rng.coin();
+            return bits;
+        case SpinPolicy::grease_per_connection:
+            bits.spin = grease_value_;
+            return bits;
+        case SpinPolicy::spin:
+            break;
+    }
+    // RFC 9000 §17.4: before any 1-RTT packet arrives both sides send 0;
+    // afterwards the server reflects and the client inverts the value seen
+    // on the highest-numbered incoming packet.
+    if (!seen_any_) {
+        bits.spin = false;
+    } else {
+        bits.spin = role_ == Role::server ? highest_value_ : !highest_value_;
+    }
+    if (vec_enabled_) {
+        const bool is_edge = !sent_any_ ? bits.spin : bits.spin != last_sent_value_;
+        if (is_edge) {
+            bits.vec = static_cast<std::uint8_t>(
+                std::min<std::uint32_t>(3, highest_vec_ + 1u));
+        }
+    }
+    sent_any_ = true;
+    last_sent_value_ = bits.spin;
+    return bits;
+}
+
+}  // namespace spinscope::quic

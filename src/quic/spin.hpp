@@ -1,0 +1,128 @@
+// spinscope/quic/spin.hpp
+//
+// The latency spin bit (RFC 9000 §17.4) endpoint state machine, including
+// every disable behaviour the paper observes in the wild (§4.3):
+//
+//  * spin            — participate: client inverts, server reflects;
+//  * always_zero     — the dominant "disabled" mode in the paper (Table 3);
+//  * always_one      — rare fixed-one mode;
+//  * grease_per_packet      — random value on every packet (RFC 9312
+//                             recommendation; detectable via ultra-short
+//                             apparent spin periods);
+//  * grease_per_connection  — one random value for the whole connection
+//                             (indistinguishable from a fixed value).
+//
+// Endpoints that participate MUST still disable the mechanism on at least
+// one in every 16 connections (RFC 9000) or one in eight (RFC 9312) — the
+// "lottery". Which fraction is used, and what a lottery-disabled connection
+// does instead, are both configurable; the paper's Fig. 2 tests exactly this
+// compliance.
+
+#pragma once
+
+#include <cstdint>
+
+#include "quic/types.hpp"
+#include "util/rng.hpp"
+
+namespace spinscope::quic {
+
+/// Per-connection spin-bit behaviour of one endpoint.
+enum class SpinPolicy : std::uint8_t {
+    spin,
+    always_zero,
+    always_one,
+    grease_per_packet,
+    grease_per_connection,
+};
+
+[[nodiscard]] constexpr const char* to_cstring(SpinPolicy p) noexcept {
+    switch (p) {
+        case SpinPolicy::spin: return "spin";
+        case SpinPolicy::always_zero: return "always_zero";
+        case SpinPolicy::always_one: return "always_one";
+        case SpinPolicy::grease_per_packet: return "grease_per_packet";
+        case SpinPolicy::grease_per_connection: return "grease_per_connection";
+    }
+    return "?";
+}
+
+/// Endpoint spin configuration.
+struct SpinConfig {
+    SpinPolicy policy = SpinPolicy::spin;
+    /// When `policy == spin`: disable the mechanism on one in this many
+    /// connections (16 per RFC 9000, 8 per RFC 9312). 0 disables the
+    /// lottery entirely (non-compliant, but some stacks do it; the scanner
+    /// client also uses 0 so the measured behaviour is the server's).
+    std::uint32_t lottery_one_in = 16;
+    /// Behaviour of a connection that lost the lottery.
+    SpinPolicy lottery_fallback = SpinPolicy::always_zero;
+    /// Enables the Valid Edge Counter extension (De Vaere et al.): outgoing
+    /// spin edges carry a 2-bit validity counter in the reserved header
+    /// bits, letting observers reject spurious (reordered) edges. Off by
+    /// default — the mechanism never made it into RFC 9000.
+    bool enable_vec = false;
+    /// ABLATION ONLY: update the tracked value from every incoming packet in
+    /// arrival order instead of the highest packet number. This is the naive
+    /// reflection RFC 9000 §17.4 deliberately avoids; enabling it makes the
+    /// wave sensitive to reordering on the *incoming* path
+    /// (bench_ablation_spin demonstrates the damage).
+    bool naive_reflection = false;
+};
+
+/// Spin bit + VEC values for one outgoing 1-RTT packet.
+struct SpinHeaderBits {
+    bool spin = false;
+    std::uint8_t vec = 0;
+};
+
+/// Spin-bit state of one endpoint on one connection.
+class SpinState {
+public:
+    /// Draws the lottery (if configured) at connection setup, mirroring
+    /// RFC 9000's per-connection decision.
+    SpinState(Role role, const SpinConfig& config, util::Rng& rng);
+
+    /// True if this endpoint actively spins on this connection (policy is
+    /// `spin` and the lottery did not disable it).
+    [[nodiscard]] bool participating() const noexcept {
+        return effective_ == SpinPolicy::spin;
+    }
+
+    /// The policy actually in force after the lottery.
+    [[nodiscard]] SpinPolicy effective_policy() const noexcept { return effective_; }
+
+    /// Records an incoming 1-RTT packet. Only the packet with the highest
+    /// packet number updates the reflected value (RFC 9000 §17.4) — this is
+    /// what makes the mechanism robust to reordering on the *incoming* path.
+    /// `vec` is the packet's Valid Edge Counter (0 when the peer does not
+    /// implement the extension).
+    void on_packet_received(PacketNumber pn, bool spin, std::uint8_t vec = 0) noexcept;
+
+    /// Spin bit and VEC to place on the next outgoing 1-RTT packet.
+    ///
+    /// VEC semantics (the three-bit proposal): packets that do not change
+    /// the outgoing spin value carry VEC 0; a packet starting a fresh edge
+    /// carries min(3, incoming_vec + 1) — so a healthy wave saturates at 3
+    /// after one and a half round trips, while an edge fabricated by
+    /// reordering is recognizable by its zero VEC.
+    [[nodiscard]] SpinHeaderBits outgoing(util::Rng& rng) noexcept;
+
+    /// Convenience accessor for callers that ignore the VEC.
+    [[nodiscard]] bool outgoing_value(util::Rng& rng) noexcept { return outgoing(rng).spin; }
+
+private:
+    Role role_;
+    bool vec_enabled_ = false;
+    bool naive_reflection_ = false;
+    SpinPolicy effective_;
+    bool grease_value_ = false;      // fixed draw for grease_per_connection
+    bool seen_any_ = false;
+    PacketNumber highest_pn_ = 0;
+    bool highest_value_ = false;
+    std::uint8_t highest_vec_ = 0;
+    bool sent_any_ = false;
+    bool last_sent_value_ = false;
+};
+
+}  // namespace spinscope::quic

@@ -1,0 +1,20 @@
+#include "quic/types.hpp"
+
+#include <cstdio>
+
+namespace spinscope::quic {
+
+std::string to_string(Version v) {
+    switch (v) {
+        case Version::v1: return "v1";
+        case Version::draft27: return "draft-27";
+        case Version::draft29: return "draft-29";
+        case Version::draft32: return "draft-32";
+        case Version::draft34: return "draft-34";
+    }
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "0x%08x", static_cast<std::uint32_t>(v));
+    return buf;
+}
+
+}  // namespace spinscope::quic

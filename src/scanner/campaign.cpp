@@ -1,0 +1,189 @@
+#include "scanner/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "netsim/link.hpp"
+#include "netsim/simulator.hpp"
+#include "util/distributions.hpp"
+
+namespace spinscope::scanner {
+
+using netsim::Datagram;
+using netsim::LinkConfig;
+using netsim::Path;
+using netsim::Simulator;
+using quic::Connection;
+using quic::ConnectionConfig;
+using util::Duration;
+using util::Rng;
+using util::TimePoint;
+
+bool DomainScan::quic_ok() const noexcept {
+    return std::any_of(connections.begin(), connections.end(), [](const qlog::Trace& t) {
+        return t.outcome == qlog::ConnectionOutcome::ok;
+    });
+}
+
+Campaign::AttemptOutcome Campaign::run_attempt(const web::Domain& domain,
+                                               const std::string& host, int attempt,
+                                               bool serve_redirect) const {
+    const web::Population& pop = *population_;
+    AttemptOutcome out;
+    out.trace.host = host;
+    out.trace.ip = pop.host_address(domain, options_.ipv6);
+
+    Simulator sim;
+    Rng rng{options_.seed ^ (0x9e3779b97f4a7c15ULL * (domain.id + 1)) ^
+            (static_cast<std::uint64_t>(options_.week) << 32) ^
+            (options_.ipv6 ? 0x10000ULL : 0ULL) ^ static_cast<std::uint64_t>(attempt)};
+
+    const auto one_way = Duration::from_ms(domain.rtt_ms / 2.0);
+    LinkConfig link;
+    link.base_delay = one_way;
+    link.jitter_scale = one_way.scaled(0.03);
+    link.jitter_sigma = 0.5;
+    link.loss_probability = options_.loss_rate;
+    link.reorder_probability = options_.reorder_rate;
+    link.reorder_extra_min = Duration::micros(60);
+    link.reorder_extra_max = Duration::from_ms(1.5);
+    Path path{sim, link, link, rng};
+
+    ConnectionConfig client_cfg;
+    client_cfg.role = quic::Role::client;
+    client_cfg.spin = options_.client_spin;
+    client_cfg.handshake_timeout = Duration::seconds(5);
+    Connection client{sim, client_cfg, rng.fork(100),
+                      [&path](Datagram dg) { path.forward_link().send(std::move(dg)); },
+                      &out.trace};
+
+    if (!domain.quic) {
+        // Nothing QUIC-capable listens: Initials vanish, the client retries
+        // via PTO and gives up at the handshake timeout (paper §3.3: "check
+        // whether the endpoints answer to QUIC packets").
+        client.connect();
+        sim.run_until(TimePoint::origin() + options_.attempt_deadline);
+        client.finalize_trace();
+        return out;
+    }
+
+    const auto& stack = pop.stack_of(domain);
+    const bool spins = pop.host_spins(domain, options_.week, options_.ipv6);
+
+    ConnectionConfig server_cfg;
+    server_cfg.role = quic::Role::server;
+    server_cfg.spin = spins ? stack.spin_enabled
+                            : quic::SpinConfig{pop.host_disabled_policy(domain, options_.ipv6),
+                                               0, quic::SpinPolicy::always_zero};
+    server_cfg.params.max_ack_delay = stack.max_ack_delay;
+    Connection server{sim, server_cfg, rng.fork(200),
+                      [&path](Datagram dg) { path.return_link().send(std::move(dg)); },
+                      nullptr};
+
+    path.forward_link().set_receiver([&server](const Datagram& dg) { server.on_datagram(dg); });
+    path.return_link().set_receiver([&client](const Datagram& dg) { client.on_datagram(dg); });
+
+    // --- server application (HTTP/3-mini) -----------------------------------
+    server.on_handshake_complete = [&server] {
+        server.send_stream(kServerControlStream, build_settings(true), true);
+    };
+    server.on_stream_complete = [&, serve_redirect](std::uint64_t stream_id,
+                                                    std::vector<std::uint8_t> data) {
+        if (stream_id != kRequestStream) return;
+        const auto requested = parse_request(data);
+        const std::string redirect_target =
+            serve_redirect ? pop.domain_name(domain) : std::string{};
+        const Duration header_delay = stack.header_delay.sample(rng);
+        (void)requested;
+
+        sim.schedule_after(header_delay, [&, redirect_target] {
+            if (server.closed() || server.failed()) return;
+            if (!redirect_target.empty()) {
+                server.send_stream(
+                    kRequestStream,
+                    build_response_headers(301, redirect_target, stack.name), true);
+                return;
+            }
+            server.send_stream(kRequestStream,
+                               build_response_headers(200, "", stack.name), false);
+            const double sampled =
+                util::sample_lognormal(rng, stack.body_log_mu, stack.body_log_sigma);
+            const auto body_size = static_cast<std::size_t>(
+                std::clamp(sampled, 400.0, 300'000.0));
+            // Dynamic pages are generated and flushed in pieces (template
+            // rendering, database queries); each app-limited pause can land
+            // between two spin edges and inflate one RTT sample — the §5.2
+            // end-host-delay effect.
+            std::size_t chunk_count = 1;
+            if (rng.chance(stack.chunked_body_rate)) {
+                chunk_count = 2 + rng.uniform_u64(3);  // 2..4 chunks
+            }
+            Duration at = Duration::zero();
+            std::size_t offset = 0;
+            for (std::size_t chunk = 0; chunk < chunk_count; ++chunk) {
+                at += stack.body_delay.sample(rng);
+                const std::size_t end =
+                    chunk + 1 == chunk_count ? body_size
+                                             : body_size * (chunk + 1) / chunk_count;
+                const std::size_t part = end - offset;
+                const bool fin = chunk + 1 == chunk_count;
+                sim.schedule_after(at, [&, part, fin] {
+                    if (server.closed() || server.failed()) return;
+                    server.send_stream(kRequestStream, build_body(part), fin);
+                });
+                offset = end;
+            }
+        });
+    };
+
+    // --- client application --------------------------------------------------
+    bool got_response = false;
+    client.on_handshake_complete = [&client, &host] {
+        client.send_stream(kClientControlStream, build_settings(false), true);
+        client.send_stream(kRequestStream, build_request(host), true);
+    };
+    client.on_stream_complete = [&](std::uint64_t stream_id, std::vector<std::uint8_t> data) {
+        if (stream_id != kRequestStream) return;
+        out.response = parse_response(data);
+        got_response = true;
+        client.close(0, "done");
+    };
+
+    client.connect();
+    sim.run_until(TimePoint::origin() + options_.attempt_deadline);
+    client.finalize_trace();
+    if (got_response) out.trace.outcome = qlog::ConnectionOutcome::ok;
+    return out;
+}
+
+DomainScan Campaign::scan_domain(const web::Domain& domain) const {
+    DomainScan scan;
+    scan.domain_id = domain.id;
+    scan.resolved = domain.resolves && (!options_.ipv6 || domain.has_ipv6);
+    if (!scan.resolved) return scan;
+
+    std::string host = "www." + population_->domain_name(domain);
+    bool serve_redirect = domain.redirects;
+    for (int attempt = 0; attempt <= options_.max_redirects; ++attempt) {
+        auto outcome = run_attempt(domain, host, attempt, serve_redirect);
+        const bool redirected =
+            outcome.response.has_value() && outcome.response->status == 301 &&
+            !outcome.response->location.empty();
+        scan.final_response = outcome.response;
+        scan.connections.push_back(std::move(outcome.trace));
+        if (!redirected) break;
+        host = outcome.response->location;
+        serve_redirect = false;  // the canonical target serves the page
+    }
+    return scan;
+}
+
+void Campaign::run(
+    const std::function<void(const web::Domain&, DomainScan&&)>& sink) const {
+    for (const auto& domain : population_->domains()) {
+        sink(domain, scan_domain(domain));
+    }
+}
+
+}  // namespace spinscope::scanner

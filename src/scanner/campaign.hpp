@@ -1,0 +1,88 @@
+// spinscope/scanner/campaign.hpp
+//
+// The measurement campaign driver — spinscope's zgrab2 equivalent (paper
+// §3.2): issue an HTTP/3-mini request to every target domain, follow up to
+// three redirects, and capture a qlog trace per connection.
+//
+// Each connection attempt runs on its own discrete-event simulator with a
+// path sampled from the target's organization profile, a client endpoint
+// configured like the paper's adapted quic-go (spin always on), and a server
+// endpoint whose spin policy, webserver stack, think times and response
+// behaviour come from the population model.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qlog/trace.hpp"
+#include "quic/connection.hpp"
+#include "scanner/http3_mini.hpp"
+#include "web/population.hpp"
+
+namespace spinscope::scanner {
+
+/// Knobs of one scan sweep.
+struct ScanOptions {
+    bool ipv6 = false;
+    /// Campaign week (0-based, CW 15/2022 == 0); drives longitudinal churn.
+    int week = 0;
+    int max_redirects = 3;
+    std::uint64_t seed = 0x5ca7;
+    /// Per-packet, per-direction network impairments (calibrated so that
+    /// R-vs-S spin results differ for ~0.3 % of connections, §5.2).
+    double loss_rate = 0.0004;
+    double reorder_rate = 0.0015;
+    /// The scanner client spins unconditionally (lottery off), mirroring the
+    /// paper's measurement client; what is measured is the server's policy.
+    quic::SpinConfig client_spin{quic::SpinPolicy::spin, 0, quic::SpinPolicy::always_zero};
+    /// Safety bound per connection attempt (simulated time).
+    util::Duration attempt_deadline = util::Duration::seconds(60);
+};
+
+/// Everything recorded about one domain in one sweep.
+struct DomainScan {
+    std::uint32_t domain_id = 0;
+    bool resolved = false;  ///< DNS yielded an address of the scanned family
+    /// One trace per connection (first attempt plus followed redirects).
+    std::vector<qlog::Trace> connections;
+    /// Parsed response of the final connection, if any.
+    std::optional<ResponseInfo> final_response;
+
+    /// True if any connection completed the QUIC handshake.
+    [[nodiscard]] bool quic_ok() const noexcept;
+};
+
+/// Scans domains of a Population.
+class Campaign {
+public:
+    Campaign(const web::Population& population, ScanOptions options)
+        : population_{&population}, options_{options} {}
+
+    /// Scans a single domain (resolution, connection, redirects).
+    [[nodiscard]] DomainScan scan_domain(const web::Domain& domain) const;
+
+    /// Scans every domain, streaming results to `sink` (traces are large;
+    /// aggregate, then drop them).
+    void run(const std::function<void(const web::Domain&, DomainScan&&)>& sink) const;
+
+    [[nodiscard]] const ScanOptions& options() const noexcept { return options_; }
+
+private:
+    struct AttemptOutcome {
+        qlog::Trace trace;
+        std::optional<ResponseInfo> response;
+    };
+
+    [[nodiscard]] AttemptOutcome run_attempt(const web::Domain& domain,
+                                             const std::string& host, int attempt,
+                                             bool serve_redirect) const;
+
+    const web::Population* population_;
+    ScanOptions options_;
+};
+
+}  // namespace spinscope::scanner

@@ -1,0 +1,131 @@
+// spinscope/util/rng.hpp
+//
+// Deterministic pseudo-random number generation for reproducible simulations.
+//
+// Every stochastic component of spinscope (network jitter, loss, the spin-bit
+// disable lottery, population synthesis, ...) draws from an explicitly seeded
+// Rng instance so that a given seed always reproduces the same campaign,
+// independent of platform or standard-library implementation.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace spinscope::util {
+
+/// SplitMix64 — used to expand a single 64-bit seed into a full generator
+/// state. Passes BigCrush when used directly; here it only seeds xoshiro.
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — small, fast, high-quality generator.
+///
+/// Satisfies the C++ UniformRandomBitGenerator concept, but spinscope code
+/// should prefer the typed helpers (uniform_u64, uniform_double, chance, ...)
+/// which are deterministic across standard libraries, unlike <random>
+/// distributions.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the generator state from a single 64-bit seed via SplitMix64.
+    explicit constexpr Rng(std::uint64_t seed = 0x5eed5c07e5eedULL) noexcept { reseed(seed); }
+
+    /// Re-initializes the state as if freshly constructed with `seed`.
+    constexpr void reseed(std::uint64_t seed) noexcept {
+        std::uint64_t sm = seed;
+        for (auto& word : state_) word = splitmix64_next(sm);
+    }
+
+    /// Derives an independent child generator. Used to give each simulated
+    /// host / link / week its own stream so that adding a component does not
+    /// perturb the draws of unrelated components.
+    [[nodiscard]] constexpr Rng fork(std::uint64_t stream_id) noexcept {
+        return Rng{next() ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1))};
+    }
+
+    [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+    [[nodiscard]] static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    constexpr result_type operator()() noexcept { return next(); }
+
+    /// Raw 64 random bits.
+    constexpr std::uint64_t next() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound). bound == 0 yields 0. Uses Lemire's
+    /// multiply-shift rejection method (unbiased).
+    [[nodiscard]] constexpr std::uint64_t uniform_u64(std::uint64_t bound) noexcept {
+        if (bound == 0) return 0;
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto low = static_cast<std::uint64_t>(m);
+        if (low < bound) {
+            const std::uint64_t threshold = (0 - bound) % bound;
+            while (low < threshold) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                low = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+    [[nodiscard]] constexpr std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi) noexcept {
+        const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(uniform_u64(span));
+    }
+
+    /// Uniform double in [0, 1) with 53 bits of entropy.
+    [[nodiscard]] constexpr double uniform_double() noexcept {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    [[nodiscard]] constexpr double uniform_double(double lo, double hi) noexcept {
+        return lo + (hi - lo) * uniform_double();
+    }
+
+    /// Bernoulli draw: true with probability `p` (clamped to [0, 1]).
+    [[nodiscard]] constexpr bool chance(double p) noexcept {
+        if (p <= 0.0) return false;
+        if (p >= 1.0) return true;
+        return uniform_double() < p;
+    }
+
+    /// "1 in n" draw, e.g. the RFC 9000 spin-bit disable lottery uses n = 16.
+    /// n == 0 never fires; n == 1 always fires.
+    [[nodiscard]] constexpr bool one_in(std::uint64_t n) noexcept {
+        if (n == 0) return false;
+        return uniform_u64(n) == 0;
+    }
+
+    /// Single random bit, e.g. for per-packet spin-bit greasing.
+    [[nodiscard]] constexpr bool coin() noexcept { return (next() & 1u) != 0; }
+
+private:
+    [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4]{};
+};
+
+}  // namespace spinscope::util

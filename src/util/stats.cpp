@@ -1,0 +1,143 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spinscope::util {
+
+void RunningStats::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+std::optional<double> RunningStats::min() const noexcept {
+    if (n_ == 0) return std::nullopt;
+    return min_;
+}
+
+std::optional<double> RunningStats::max() const noexcept {
+    if (n_ == 0) return std::nullopt;
+    return max_;
+}
+
+std::optional<double> quantile(std::span<const double> values, double q) {
+    if (values.empty()) return std::nullopt;
+    q = std::clamp(q, 0.0, 1.0);
+    std::vector<double> sorted{values.begin(), values.end()};
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Histogram::Histogram(std::vector<double> edges) : edges_{std::move(edges)} {
+    if (edges_.size() < 2) throw std::invalid_argument{"Histogram: need >= 2 edges"};
+    if (!std::is_sorted(edges_.begin(), edges_.end()) ||
+        std::adjacent_find(edges_.begin(), edges_.end()) != edges_.end()) {
+        throw std::invalid_argument{"Histogram: edges must be strictly increasing"};
+    }
+    counts_.assign(edges_.size() - 1, 0);
+}
+
+void Histogram::add(double value) noexcept { add_n(value, 1); }
+
+void Histogram::add_n(double value, std::uint64_t n) noexcept {
+    total_ += n;
+    if (value < edges_.front()) {
+        underflow_ += n;
+        return;
+    }
+    if (value >= edges_.back()) {
+        overflow_ += n;
+        return;
+    }
+    const auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+    counts_[static_cast<std::size_t>(it - edges_.begin()) - 1] += n;
+}
+
+double Histogram::share(std::size_t i) const {
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+double Histogram::underflow_share() const noexcept {
+    return total_ == 0 ? 0.0 : static_cast<double>(underflow_) / static_cast<double>(total_);
+}
+
+double Histogram::overflow_share() const noexcept {
+    return total_ == 0 ? 0.0 : static_cast<double>(overflow_) / static_cast<double>(total_);
+}
+
+double Histogram::share_between(std::size_t first_bin, std::size_t last_bin) const {
+    if (total_ == 0) return 0.0;
+    std::uint64_t acc = 0;
+    for (std::size_t i = first_bin; i < last_bin && i < counts_.size(); ++i) acc += counts_[i];
+    return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+double Histogram::fraction_below_edge(double threshold) const {
+    if (total_ == 0) return 0.0;
+    std::uint64_t acc = underflow_;
+    for (std::size_t i = 0; i + 1 < edges_.size(); ++i) {
+        if (edges_[i + 1] <= threshold) acc += counts_[i];
+    }
+    return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+void CategoricalCounts::add(std::size_t category, std::uint64_t n) {
+    counts_.at(category) += n;
+    total_ += n;
+}
+
+double CategoricalCounts::share(std::size_t category) const {
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(counts_.at(category)) / static_cast<double>(total_);
+}
+
+double binomial_pmf(unsigned n, unsigned k, double p) {
+    if (k > n) return 0.0;
+    if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+    if (p >= 1.0) return k == n ? 1.0 : 0.0;
+    const double log_choose = std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+                              std::lgamma(static_cast<double>(n - k) + 1.0);
+    const double log_pmf = log_choose + k * std::log(p) +
+                           static_cast<double>(n - k) * std::log1p(-p);
+    return std::exp(log_pmf);
+}
+
+}  // namespace spinscope::util

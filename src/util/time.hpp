@@ -1,0 +1,120 @@
+// spinscope/util/time.hpp
+//
+// Simulation time types.
+//
+// All of spinscope runs on a simulated clock. Durations and time points are
+// integral nanosecond counts wrapped in strong types so that host wall-clock
+// time can never leak into a simulation and so arithmetic stays exact (the
+// RFC 9002 RTT estimator and the spin-bit observer both need sub-millisecond
+// precision without floating-point drift).
+
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace spinscope::util {
+
+/// A span of simulated time, in nanoseconds. Signed so that differences of
+/// time points (e.g. spin-RTT minus stack-RTT) are representable.
+class Duration {
+public:
+    constexpr Duration() = default;
+
+    [[nodiscard]] static constexpr Duration nanos(std::int64_t n) noexcept { return Duration{n}; }
+    [[nodiscard]] static constexpr Duration micros(std::int64_t n) noexcept {
+        return Duration{n * 1'000};
+    }
+    [[nodiscard]] static constexpr Duration millis(std::int64_t n) noexcept {
+        return Duration{n * 1'000'000};
+    }
+    [[nodiscard]] static constexpr Duration seconds(std::int64_t n) noexcept {
+        return Duration{n * 1'000'000'000};
+    }
+    /// Converts a floating-point millisecond value (rounded to nanoseconds).
+    [[nodiscard]] static constexpr Duration from_ms(double ms) noexcept {
+        return Duration{static_cast<std::int64_t>(ms * 1e6 + (ms >= 0 ? 0.5 : -0.5))};
+    }
+    [[nodiscard]] static constexpr Duration zero() noexcept { return Duration{0}; }
+    [[nodiscard]] static constexpr Duration max() noexcept {
+        return Duration{INT64_MAX};
+    }
+
+    [[nodiscard]] constexpr std::int64_t count_nanos() const noexcept { return ns_; }
+    [[nodiscard]] constexpr std::int64_t count_micros() const noexcept { return ns_ / 1'000; }
+    [[nodiscard]] constexpr std::int64_t count_millis() const noexcept { return ns_ / 1'000'000; }
+    [[nodiscard]] constexpr double as_ms() const noexcept { return static_cast<double>(ns_) / 1e6; }
+    [[nodiscard]] constexpr double as_seconds() const noexcept {
+        return static_cast<double>(ns_) / 1e9;
+    }
+
+    [[nodiscard]] constexpr bool is_zero() const noexcept { return ns_ == 0; }
+    [[nodiscard]] constexpr bool is_negative() const noexcept { return ns_ < 0; }
+
+    constexpr Duration& operator+=(Duration rhs) noexcept { ns_ += rhs.ns_; return *this; }
+    constexpr Duration& operator-=(Duration rhs) noexcept { ns_ -= rhs.ns_; return *this; }
+
+    friend constexpr Duration operator+(Duration a, Duration b) noexcept {
+        return Duration{a.ns_ + b.ns_};
+    }
+    friend constexpr Duration operator-(Duration a, Duration b) noexcept {
+        return Duration{a.ns_ - b.ns_};
+    }
+    friend constexpr Duration operator*(Duration a, std::int64_t k) noexcept {
+        return Duration{a.ns_ * k};
+    }
+    friend constexpr Duration operator*(std::int64_t k, Duration a) noexcept { return a * k; }
+    friend constexpr Duration operator/(Duration a, std::int64_t k) noexcept {
+        return Duration{a.ns_ / k};
+    }
+    friend constexpr auto operator<=>(Duration, Duration) = default;
+
+    [[nodiscard]] constexpr Duration abs() const noexcept { return Duration{ns_ < 0 ? -ns_ : ns_}; }
+
+    /// Scales by a floating-point factor (rounded to nanoseconds).
+    [[nodiscard]] constexpr Duration scaled(double k) const noexcept {
+        return Duration::from_ms(as_ms() * k);
+    }
+
+private:
+    explicit constexpr Duration(std::int64_t ns) noexcept : ns_{ns} {}
+    std::int64_t ns_ = 0;
+};
+
+/// An instant on the simulated clock (nanoseconds since simulation start).
+class TimePoint {
+public:
+    constexpr TimePoint() = default;
+
+    [[nodiscard]] static constexpr TimePoint from_nanos(std::int64_t n) noexcept {
+        return TimePoint{n};
+    }
+    [[nodiscard]] static constexpr TimePoint origin() noexcept { return TimePoint{0}; }
+    /// Sentinel used for "not yet observed" timestamps.
+    [[nodiscard]] static constexpr TimePoint never() noexcept { return TimePoint{INT64_MAX}; }
+
+    [[nodiscard]] constexpr std::int64_t count_nanos() const noexcept { return ns_; }
+    [[nodiscard]] constexpr double as_ms() const noexcept { return static_cast<double>(ns_) / 1e6; }
+    [[nodiscard]] constexpr bool is_never() const noexcept { return ns_ == INT64_MAX; }
+
+    friend constexpr TimePoint operator+(TimePoint t, Duration d) noexcept {
+        return TimePoint{t.ns_ + d.count_nanos()};
+    }
+    friend constexpr TimePoint operator-(TimePoint t, Duration d) noexcept {
+        return TimePoint{t.ns_ - d.count_nanos()};
+    }
+    friend constexpr Duration operator-(TimePoint a, TimePoint b) noexcept {
+        return Duration::nanos(a.ns_ - b.ns_);
+    }
+    friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+private:
+    explicit constexpr TimePoint(std::int64_t ns) noexcept : ns_{ns} {}
+    std::int64_t ns_ = 0;
+};
+
+/// Renders a duration as a short human-readable string ("12.3 ms", "870 ns").
+[[nodiscard]] std::string to_string(Duration d);
+
+}  // namespace spinscope::util

@@ -1,0 +1,202 @@
+// spinscope/web/population.hpp
+//
+// Synthetic web population — the substitute for the paper's 216 M-domain
+// target set (DESIGN.md §2).
+//
+// The population is generated from a table of organization profiles
+// (Cloudflare-, Google-, Hostinger-, OVH-like, ...) whose parameters are
+// calibrated against the paper's published marginals: per-list QUIC and
+// spin-bit rates (Table 1/4), per-organization connection shares and spin
+// shares (Table 2), disable behaviour (Table 3), webserver-stack mix (§4.2),
+// path RTTs from a German university vantage and end-host delay behaviour
+// (Figures 3-4), and longitudinal spin churn (Figure 2).
+//
+// Every domain is a deterministic function of the population seed, so scans
+// are reproducible and weekly re-scans see consistent per-domain behaviour.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "quic/spin.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace spinscope::web {
+
+using util::Duration;
+
+/// Which target-list segment a domain belongs to (paper §3.1). The paper's
+/// toplists overlap the CZDS zones; segments are disjoint and the overlap is
+/// expressed with the `on_toplist` flag.
+enum class Segment : std::uint8_t {
+    czds_cno,       ///< CZDS .com/.net/.org zones
+    czds_other,     ///< CZDS, other gTLD zones
+    toplist_extra,  ///< toplist-only domains outside the CZDS zones (ccTLDs)
+};
+
+/// Webserver stack profile (paper §4.2: LiteSpeed dominates spin support).
+struct StackProfile {
+    std::string name;
+    /// How hosts of this stack behave when the spin bit is on.
+    quic::SpinConfig spin_enabled{};
+    /// How hosts set the bit when spin support is off (Table 3: mostly zero).
+    quic::SpinPolicy disabled_mode = quic::SpinPolicy::always_zero;
+    /// Delay between receiving the full request and the response headers.
+    util::DelayMixture header_delay;
+    /// Delay between response headers and (each chunk of) the body — the
+    /// application-limited page-generation pauses behind Fig. 3/4's
+    /// overestimates.
+    util::DelayMixture body_delay;
+    /// Lognormal body size: exp(N(mu, sigma)) bytes.
+    double body_log_mu = 9.8;     // median ~18 kB
+    double body_log_sigma = 1.0;
+    /// Probability that the body is generated in two app-limited chunks.
+    double chunked_body_rate = 0.5;
+    Duration max_ack_delay = Duration::millis(25);
+};
+
+/// Organization (AS-level) deployment profile.
+struct OrgProfile {
+    std::string name;
+    std::uint32_t asn = 0;
+    /// Relative weight among *QUIC-enabled* domains, per segment
+    /// (calibrated from Table 2 connection shares).
+    double weight_cno = 0.0;
+    double weight_other = 0.0;
+    double weight_toplist = 0.0;
+    /// Index into the population's stack table.
+    std::size_t stack = 0;
+    /// Fraction of this org's hosts with the spin bit enabled.
+    double spin_host_rate = 0.0;
+    /// IPv4 shared-hosting density (domains per IP) and pool behaviour.
+    double domains_per_ipv4 = 20.0;
+    /// Fraction of this org's QUIC domains reachable over IPv6.
+    double ipv6_rate = 0.0;
+    /// IPv6 density; ~1 models per-domain v6 addresses (Table 4's IP boom).
+    double domains_per_ipv6 = 1.0;
+    /// Spin-enable rate of the v6 hosts (may exceed v4 — §4.4).
+    double spin_host_rate_v6 = 0.0;
+    /// Path RTT from the vantage: lognormal(mu of ln ms, sigma).
+    double rtt_log_mu = 3.0;
+    double rtt_log_sigma = 0.5;
+    /// Probability a landing page answers with an HTTP redirect.
+    double redirect_rate = 0.15;
+    /// Longitudinal behaviour (Fig. 2): fraction of spin-enabled hosts whose
+    /// configuration is stable across the campaign; the rest toggle weekly
+    /// with the given persistence probability (deployment churn).
+    double spin_stable_fraction = 0.5;
+    double spin_weekly_persistence = 0.85;
+};
+
+/// One synthetic domain. Kept compact; names are derived on demand.
+struct Domain {
+    std::uint32_t id = 0;
+    std::uint16_t org = 0;
+    Segment segment = Segment::czds_cno;
+    bool on_toplist = false;
+    bool resolves = false;        ///< DNS (A record) resolves
+    bool quic = false;            ///< host answers HTTP/3
+    bool has_ipv6 = false;        ///< AAAA record resolves
+    std::uint32_t ipv4_host = 0;  ///< host index within the org's v4 pool
+    std::uint32_t ipv6_host = 0;  ///< host index within the org's v6 pool
+    float rtt_ms = 40.0F;         ///< base path RTT to the serving host
+    bool redirects = false;       ///< landing page issues one redirect
+};
+
+/// Scale + seed of the synthetic universe.
+struct PopulationConfig {
+    /// 1:N downscale of the paper's CW 20/2023 universe (counts divided by
+    /// this; percentages are scale-invariant).
+    double scale = 1000.0;
+    std::uint64_t seed = 20230520;
+};
+
+/// Counts of the paper's CW 20/2023 universe at 1:1 scale, used to size the
+/// synthetic segments.
+struct UniverseShape {
+    double czds_domains = 216'520'521.0;
+    double cno_domains = 183'047'638.0;
+    double toplist_domains = 2'732'702.0;
+    /// Share of toplist domains that live outside the CZDS zones.
+    double toplist_outside_czds = 0.30;
+    /// P(resolve) per segment.
+    double resolve_cno = 0.868;
+    double resolve_other = 0.742;
+    double resolve_toplist = 0.709;
+    /// P(QUIC | resolved) per segment.
+    double quic_cno = 0.1159;
+    double quic_other = 0.1528;
+    double quic_toplist = 0.2823;
+};
+
+/// The generated universe plus its generating profiles.
+class Population {
+public:
+    explicit Population(const PopulationConfig& config);
+
+    [[nodiscard]] std::span<const Domain> domains() const noexcept { return domains_; }
+    [[nodiscard]] std::span<const OrgProfile> orgs() const noexcept { return orgs_; }
+    [[nodiscard]] std::span<const StackProfile> stacks() const noexcept { return stacks_; }
+    [[nodiscard]] const PopulationConfig& config() const noexcept { return config_; }
+    [[nodiscard]] const UniverseShape& shape() const noexcept { return shape_; }
+
+    [[nodiscard]] const OrgProfile& org_of(const Domain& d) const { return orgs_.at(d.org); }
+    [[nodiscard]] const StackProfile& stack_of(const Domain& d) const {
+        return stacks_.at(orgs_.at(d.org).stack);
+    }
+
+    /// Whether the host serving `d` (v4 or v6 flavour) has the spin bit
+    /// enabled in measurement week `week` (0-based since campaign start).
+    /// Deterministic per (host, week); models stable hosts plus weekly
+    /// configuration churn (Fig. 2).
+    [[nodiscard]] bool host_spins(const Domain& d, int week, bool ipv6) const;
+
+    /// How a non-spinning host sets the bit (paper §4.3 / Table 3): almost
+    /// always zero, rarely fixed one, rarely greased per packet or per
+    /// connection. Deterministic per host.
+    [[nodiscard]] quic::SpinPolicy host_disabled_policy(const Domain& d, bool ipv6) const;
+
+    /// Synthesized DNS name, e.g. "d001234.com".
+    [[nodiscard]] std::string domain_name(const Domain& d) const;
+    /// Synthesized address string for the serving host.
+    [[nodiscard]] std::string host_address(const Domain& d, bool ipv6) const;
+
+    /// Global host key (unique across orgs and address families), for
+    /// IP-level aggregation.
+    [[nodiscard]] std::uint64_t host_key(const Domain& d, bool ipv6) const;
+
+    /// Host pool sizes (number of distinct serving addresses) per org.
+    [[nodiscard]] std::uint32_t ipv4_pool(std::size_t org) const { return v4_pool_.at(org); }
+    [[nodiscard]] std::uint64_t ipv6_pool(std::size_t org) const { return v6_pool_.at(org); }
+
+private:
+    void build_profiles();
+    void generate();
+
+    PopulationConfig config_;
+    UniverseShape shape_;
+    std::vector<StackProfile> stacks_;
+    std::vector<OrgProfile> orgs_;
+    std::vector<Domain> domains_;
+    std::vector<std::uint32_t> v4_pool_;
+    std::vector<std::uint64_t> v6_pool_;
+};
+
+/// Default stack table (index constants used by the org profiles).
+enum : std::size_t {
+    kStackLiteSpeed = 0,
+    kStackImunify = 1,
+    kStackNginxQuic = 2,
+    kStackCaddy = 3,
+    kStackCdnEdgeA = 4,  ///< Cloudflare-like proprietary edge
+    kStackCdnEdgeB = 5,  ///< Google-like proprietary edge
+    kStackCdnEdgeC = 6,  ///< Fastly-like proprietary edge
+    kStackCount = 7,
+};
+
+}  // namespace spinscope::web

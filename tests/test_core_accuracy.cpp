@@ -1,0 +1,144 @@
+// Unit tests for per-connection assessment: classification, the grease
+// filter and the paper's two accuracy metrics.
+
+#include <gtest/gtest.h>
+
+#include "core/accuracy.hpp"
+
+namespace spinscope::core {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+qlog::PacketEvent one_rtt(std::int64_t ms, quic::PacketNumber pn, bool spin) {
+    return {TimePoint::origin() + Duration::millis(ms), quic::PacketType::one_rtt, pn, spin,
+            100, true};
+}
+
+/// Trace with a clean spin square wave of `period_ms` and a stack baseline.
+qlog::Trace spinning_trace(std::int64_t period_ms, std::vector<double> quic_samples) {
+    qlog::Trace trace;
+    trace.host = "www.test";
+    trace.ip = "10.0.0.1";
+    trace.outcome = qlog::ConnectionOutcome::ok;
+    bool value = false;
+    for (int i = 0; i < 8; ++i) {
+        trace.record_received(one_rtt(i * period_ms, static_cast<unsigned>(i), value));
+        value = !value;
+    }
+    trace.metrics.rtt_samples_ms = std::move(quic_samples);
+    return trace;
+}
+
+TEST(Assess, NoOneRttPackets) {
+    qlog::Trace trace;
+    trace.record_received({TimePoint::origin(), quic::PacketType::handshake, 0, false, 40,
+                           true});
+    const auto a = assess_connection(trace);
+    EXPECT_EQ(a.behavior, SpinBehavior::no_one_rtt);
+    EXPECT_FALSE(a.comparable(PacketOrder::received));
+}
+
+TEST(Assess, AllZeroClassification) {
+    qlog::Trace trace;
+    for (int i = 0; i < 5; ++i) trace.record_received(one_rtt(i * 10, static_cast<unsigned>(i), false));
+    trace.metrics.rtt_samples_ms = {10.0};
+    EXPECT_EQ(assess_connection(trace).behavior, SpinBehavior::all_zero);
+}
+
+TEST(Assess, AllOneClassification) {
+    qlog::Trace trace;
+    for (int i = 0; i < 5; ++i) trace.record_received(one_rtt(i * 10, static_cast<unsigned>(i), true));
+    trace.metrics.rtt_samples_ms = {10.0};
+    EXPECT_EQ(assess_connection(trace).behavior, SpinBehavior::all_one);
+}
+
+TEST(Assess, SpinningClassificationAndMetrics) {
+    // Spin period 40 ms; stack estimates around 32 ms.
+    const auto trace = spinning_trace(40, {30.0, 32.0, 34.0});
+    const auto a = assess_connection(trace);
+    EXPECT_EQ(a.behavior, SpinBehavior::spinning);
+    EXPECT_TRUE(a.has_quic_baseline);
+    EXPECT_DOUBLE_EQ(a.quic_mean_ms, 32.0);
+    EXPECT_DOUBLE_EQ(a.quic_min_ms, 30.0);
+    EXPECT_DOUBLE_EQ(a.spin_received.mean_ms(), 40.0);
+    ASSERT_TRUE(a.comparable(PacketOrder::received));
+    EXPECT_DOUBLE_EQ(*a.abs_diff_ms(PacketOrder::received), 8.0);
+    EXPECT_DOUBLE_EQ(*a.mapped_ratio(PacketOrder::received), 40.0 / 32.0);
+}
+
+TEST(Assess, MappedRatioNegativeOnUnderestimation) {
+    // Spin period 20 ms; stack says 40 ms -> ratio = -(40/20) = -2... but the
+    // grease filter fires first (20 < min 40), so the behaviour is greased
+    // and the metric still computes.
+    const auto trace = spinning_trace(20, {40.0, 44.0});
+    const auto a = assess_connection(trace);
+    EXPECT_EQ(a.behavior, SpinBehavior::greased);
+    ASSERT_TRUE(a.mapped_ratio(PacketOrder::received).has_value());
+    EXPECT_DOUBLE_EQ(*a.mapped_ratio(PacketOrder::received), -(42.0 / 20.0));
+    EXPECT_DOUBLE_EQ(*a.abs_diff_ms(PacketOrder::received), 20.0 - 42.0);
+}
+
+TEST(Assess, GreaseFilterTriggersOnShortSample) {
+    // One ultra-short sample below the stack minimum marks the connection.
+    qlog::Trace trace;
+    trace.record_received(one_rtt(0, 0, false));
+    trace.record_received(one_rtt(40, 1, true));
+    trace.record_received(one_rtt(42, 2, false));  // 2 ms sample
+    trace.record_received(one_rtt(80, 3, true));
+    trace.metrics.rtt_samples_ms = {30.0, 31.0};
+    EXPECT_EQ(assess_connection(trace).behavior, SpinBehavior::greased);
+}
+
+TEST(Assess, SpinWithoutBaselineIsStillSpinning) {
+    auto trace = spinning_trace(40, {});
+    const auto a = assess_connection(trace);
+    EXPECT_EQ(a.behavior, SpinBehavior::spinning);
+    EXPECT_FALSE(a.has_quic_baseline);
+    EXPECT_FALSE(a.comparable(PacketOrder::received));
+    EXPECT_FALSE(a.abs_diff_ms(PacketOrder::received).has_value());
+    EXPECT_FALSE(a.mapped_ratio(PacketOrder::received).has_value());
+}
+
+TEST(Assess, SortedOrderRepairsReordering) {
+    qlog::Trace trace;
+    trace.outcome = qlog::ConnectionOutcome::ok;
+    trace.record_received(one_rtt(0, 0, false));
+    trace.record_received(one_rtt(40, 1, true));
+    trace.record_received(one_rtt(80, 3, false));
+    trace.record_received(one_rtt(81, 2, true));  // reordered straggler
+    trace.record_received(one_rtt(120, 4, true));
+    trace.metrics.rtt_samples_ms = {39.0};
+    const auto a = assess_connection(trace);
+    // Received order sees bogus short samples; sorted order does not.
+    EXPECT_LT(a.spin_received.min_ms(), 2.0);
+    EXPECT_GE(a.spin_sorted.min_ms(), 39.0);
+}
+
+TEST(Assess, SpinObservationsExtractsOnlyOneRtt) {
+    qlog::Trace trace;
+    trace.record_received({TimePoint::origin(), quic::PacketType::initial, 0, false, 0, true});
+    trace.record_received(one_rtt(10, 1, true));
+    const auto packets = spin_observations(trace);
+    ASSERT_EQ(packets.size(), 1u);
+    EXPECT_EQ(packets[0].packet_number, 1u);
+}
+
+TEST(Assess, RatioAlwaysAtLeastOneInMagnitude) {
+    for (const double quic_mean : {10.0, 39.9, 40.0, 40.1, 200.0}) {
+        const auto trace = spinning_trace(40, {quic_mean});
+        const auto a = assess_connection(trace);
+        const auto ratio = a.mapped_ratio(PacketOrder::received);
+        ASSERT_TRUE(ratio.has_value());
+        EXPECT_GE(std::abs(*ratio), 1.0);
+        if (quic_mean <= 40.0) {
+            EXPECT_GT(*ratio, 0.0);
+        } else {
+            EXPECT_LT(*ratio, 0.0);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace spinscope::core

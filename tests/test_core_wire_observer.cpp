@@ -1,0 +1,91 @@
+// Unit tests for the on-path wire observer (middlebox view).
+
+#include <gtest/gtest.h>
+
+#include "core/wire_observer.hpp"
+#include "netsim/link.hpp"
+#include "netsim/simulator.hpp"
+#include "quic/packet.hpp"
+
+namespace spinscope::core {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+netsim::Datagram short_packet(bool spin, quic::PacketNumber pn) {
+    quic::PacketHeader header;
+    header.type = quic::PacketType::one_rtt;
+    header.dcid = quic::ConnectionId::from_u64(0x42);
+    header.packet_number = pn;
+    header.spin = spin;
+    netsim::Datagram wire;
+    quic::encode_packet(wire, header, {}, quic::kInvalidPacketNumber);
+    return wire;
+}
+
+netsim::Datagram long_packet() {
+    quic::PacketHeader header;
+    header.type = quic::PacketType::initial;
+    header.dcid = quic::ConnectionId::from_u64(1);
+    header.scid = quic::ConnectionId::from_u64(2);
+    netsim::Datagram wire;
+    const std::vector<std::uint8_t> payload{0x01};
+    quic::encode_packet(wire, header, payload, quic::kInvalidPacketNumber);
+    return wire;
+}
+
+TimePoint at_ms(std::int64_t ms) { return TimePoint::origin() + Duration::millis(ms); }
+
+TEST(WireObserver, CountsPacketCategories) {
+    WireSpinTap tap;
+    tap.on_datagram(at_ms(0), long_packet());
+    tap.on_datagram(at_ms(1), short_packet(false, 0));
+    tap.on_datagram(at_ms(2), short_packet(false, 1));
+    tap.on_datagram(at_ms(3), {});  // empty datagram
+    EXPECT_EQ(tap.short_header_packets(), 2u);
+    EXPECT_EQ(tap.other_packets(), 2u);
+}
+
+TEST(WireObserver, MeasuresSpinPeriodFromRawDatagrams) {
+    WireSpinTap tap;
+    bool value = false;
+    for (int i = 0; i < 8; ++i) {
+        tap.on_datagram(at_ms(i * 30), short_packet(value, static_cast<unsigned>(i)));
+        value = !value;
+    }
+    ASSERT_EQ(tap.result().samples_ms.size(), 6u);
+    for (const double s : tap.result().samples_ms) EXPECT_DOUBLE_EQ(s, 30.0);
+}
+
+TEST(WireObserver, HeuristicsApplyButPnFilterForcedOff) {
+    ObserverConfig config;
+    config.packet_number_filter = true;  // impossible on the wire
+    config.min_plausible_rtt = Duration::millis(5);
+    WireSpinTap tap{config};
+    tap.on_datagram(at_ms(0), short_packet(false, 0));
+    tap.on_datagram(at_ms(30), short_packet(true, 1));
+    tap.on_datagram(at_ms(31), short_packet(false, 2));  // 1 ms: rejected
+    tap.on_datagram(at_ms(60), short_packet(true, 3));
+    EXPECT_EQ(tap.rejected_samples(), 1u);
+    EXPECT_EQ(tap.result().edge_count, 3u);
+}
+
+TEST(WireObserver, AttachesToLinkAsTap) {
+    netsim::Simulator sim;
+    netsim::LinkConfig config;
+    config.base_delay = Duration::millis(2);
+    netsim::Link link{sim, config, util::Rng{1}};
+    WireSpinTap tap;
+    link.add_tap(tap.tap());
+    link.set_receiver([](const netsim::Datagram&) {});
+    link.send(short_packet(false, 0));
+    sim.run_until(TimePoint::origin() + Duration::millis(20));
+    link.send(short_packet(true, 1));
+    sim.run();
+    EXPECT_EQ(tap.short_header_packets(), 2u);
+    EXPECT_EQ(tap.result().edge_count, 1u);
+}
+
+}  // namespace
+}  // namespace spinscope::core

@@ -1,0 +1,113 @@
+// Unit tests for qlog trace recording and JSON-lines round-tripping.
+
+#include <gtest/gtest.h>
+
+#include "qlog/trace.hpp"
+
+namespace spinscope::qlog {
+namespace {
+
+Trace sample_trace() {
+    Trace trace;
+    trace.host = "www.example.com";
+    trace.ip = "10.1.2.3";
+    trace.version = quic::Version::v1;
+    trace.outcome = ConnectionOutcome::ok;
+    trace.record_sent({TimePoint::from_nanos(1'000'000), quic::PacketType::initial, 0, false,
+                       1200, true});
+    trace.record_sent({TimePoint::from_nanos(2'500'000), quic::PacketType::one_rtt, 1, true,
+                       60, true});
+    trace.record_received({TimePoint::from_nanos(2'000'000), quic::PacketType::handshake, 0,
+                           false, 40, true});
+    trace.record_received({TimePoint::from_nanos(3'000'000), quic::PacketType::one_rtt, 2,
+                           true, 1200, false});
+    trace.metrics.rtt_samples_ms = {10.5, 11.25};
+    trace.metrics.min_rtt_ms = 10.5;
+    trace.metrics.smoothed_rtt_ms = 10.9;
+    trace.metrics.packets_lost = 1;
+    trace.metrics.packets_sent = 2;
+    trace.metrics.packets_received = 2;
+    return trace;
+}
+
+TEST(Qlog, ReceivedOneRttFilter) {
+    const auto trace = sample_trace();
+    const auto one_rtt = trace.received_one_rtt();
+    ASSERT_EQ(one_rtt.size(), 1u);
+    EXPECT_EQ(one_rtt[0].packet_number, 2u);
+    EXPECT_TRUE(one_rtt[0].spin);
+}
+
+TEST(Qlog, JsonlRoundTrip) {
+    const auto trace = sample_trace();
+    const auto text = to_jsonl(trace);
+    const auto parsed = parse_jsonl(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->host, trace.host);
+    EXPECT_EQ(parsed->ip, trace.ip);
+    EXPECT_EQ(parsed->version, trace.version);
+    EXPECT_EQ(parsed->outcome, trace.outcome);
+    ASSERT_EQ(parsed->sent.size(), 2u);
+    ASSERT_EQ(parsed->received.size(), 2u);
+    EXPECT_EQ(parsed->sent[1].type, quic::PacketType::one_rtt);
+    EXPECT_TRUE(parsed->sent[1].spin);
+    EXPECT_EQ(parsed->sent[1].size, 60u);
+    EXPECT_TRUE(parsed->sent[1].ack_eliciting);
+    EXPECT_EQ(parsed->received[0].time.count_nanos(), 2'000'000);
+    ASSERT_EQ(parsed->metrics.rtt_samples_ms.size(), 2u);
+    EXPECT_DOUBLE_EQ(parsed->metrics.rtt_samples_ms[1], 11.25);
+    EXPECT_EQ(parsed->metrics.packets_lost, 1u);
+}
+
+TEST(Qlog, EscapesQuotesInHost) {
+    Trace trace;
+    trace.host = "we\"ird\\host";
+    trace.ip = "1.2.3.4";
+    trace.outcome = ConnectionOutcome::aborted;
+    const auto parsed = parse_jsonl(to_jsonl(trace));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->host, trace.host);
+}
+
+TEST(Qlog, AllOutcomesRoundTrip) {
+    for (const auto outcome : {ConnectionOutcome::ok, ConnectionOutcome::handshake_timeout,
+                               ConnectionOutcome::aborted}) {
+        Trace trace;
+        trace.host = "h";
+        trace.ip = "i";
+        trace.outcome = outcome;
+        const auto parsed = parse_jsonl(to_jsonl(trace));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(parsed->outcome, outcome);
+    }
+}
+
+TEST(Qlog, ParseRejectsGarbage) {
+    EXPECT_FALSE(parse_jsonl("").has_value());
+    EXPECT_FALSE(parse_jsonl("not json at all\n").has_value());
+    EXPECT_FALSE(parse_jsonl("{\"qlog\":\"spinscope\",\"host\":\"h\"}\n").has_value());
+}
+
+TEST(Qlog, ParseRejectsBadEvent) {
+    Trace trace;
+    trace.host = "h";
+    trace.ip = "i";
+    std::string text = to_jsonl(trace);
+    text += "{\"ev\":\"sent\",\"t\":broken}\n";
+    EXPECT_FALSE(parse_jsonl(text).has_value());
+}
+
+TEST(Qlog, EmptyTraceRoundTrips) {
+    Trace trace;
+    trace.host = "empty.example";
+    trace.ip = "192.0.2.1";
+    trace.outcome = ConnectionOutcome::handshake_timeout;
+    const auto parsed = parse_jsonl(to_jsonl(trace));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->sent.empty());
+    EXPECT_TRUE(parsed->received.empty());
+    EXPECT_TRUE(parsed->metrics.rtt_samples_ms.empty());
+}
+
+}  // namespace
+}  // namespace spinscope::qlog

@@ -1,0 +1,140 @@
+// Tests for the on-disk qlog dataset store (the Appendix B artifact path).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "qlog/store.hpp"
+
+namespace spinscope::qlog {
+namespace {
+
+class StoreTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("spinscope_store_test_" +
+                std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+                ::testing::UnitTest::GetInstance()->current_test_info()->name());
+        std::filesystem::remove_all(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    static Trace sample_trace(std::uint32_t n) {
+        Trace trace;
+        trace.host = "www.d" + std::to_string(n) + ".com";
+        trace.ip = "10.0.0." + std::to_string(n % 250);
+        trace.outcome = n % 3 == 0 ? ConnectionOutcome::handshake_timeout
+                                   : ConnectionOutcome::ok;
+        trace.record_received({TimePoint::from_nanos(n * 1000), quic::PacketType::one_rtt, n,
+                               n % 2 == 0, 1200, true, 0});
+        trace.metrics.rtt_samples_ms = {static_cast<double>(n) + 0.5};
+        return trace;
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(StoreTest, ContextLineRoundTrip) {
+    const ScanContext context{12345, 57, true, 7};
+    const auto parsed = parse_context_line(context_line(context));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->domain_id, 12345u);
+    EXPECT_EQ(parsed->week, 57);
+    EXPECT_TRUE(parsed->ipv6);
+    EXPECT_EQ(parsed->org, 7u);
+}
+
+TEST_F(StoreTest, ContextLineRejectsGarbage) {
+    EXPECT_FALSE(parse_context_line("").has_value());
+    EXPECT_FALSE(parse_context_line("{\"ev\":\"sent\"}").has_value());
+    EXPECT_FALSE(parse_context_line("{\"scan\":1,broken").has_value());
+}
+
+TEST_F(StoreTest, WriteReadRoundTrip) {
+    {
+        TraceStoreWriter writer{dir_};
+        for (std::uint32_t i = 0; i < 25; ++i) {
+            writer.append({i, static_cast<int>(i % 5), i % 2 == 0,
+                           static_cast<std::uint16_t>(i % 3)},
+                          sample_trace(i));
+        }
+        EXPECT_EQ(writer.traces_written(), 25u);
+    }
+    TraceStoreReader reader{dir_};
+    std::uint32_t next = 0;
+    const auto visited = reader.for_each([&](const ScanContext& c, const Trace& t) {
+        EXPECT_EQ(c.domain_id, next);
+        EXPECT_EQ(c.week, static_cast<int>(next % 5));
+        EXPECT_EQ(c.ipv6, next % 2 == 0);
+        EXPECT_EQ(t.host, "www.d" + std::to_string(next) + ".com");
+        ASSERT_EQ(t.metrics.rtt_samples_ms.size(), 1u);
+        EXPECT_DOUBLE_EQ(t.metrics.rtt_samples_ms[0], next + 0.5);
+        ++next;
+    });
+    EXPECT_EQ(visited, 25u);
+    EXPECT_EQ(reader.malformed_records(), 0u);
+}
+
+TEST_F(StoreTest, ShardsRollBySize) {
+    {
+        TraceStoreWriter writer{dir_, /*shard_bytes=*/2000};
+        for (std::uint32_t i = 0; i < 40; ++i) writer.append({i, 0, false, 0}, sample_trace(i));
+        EXPECT_GT(writer.shards_written(), 3u);
+    }
+    TraceStoreReader reader{dir_};
+    EXPECT_GT(reader.shards().size(), 3u);
+    std::uint64_t count = 0;
+    reader.for_each([&](const ScanContext&, const Trace&) { ++count; });
+    EXPECT_EQ(count, 40u);
+}
+
+TEST_F(StoreTest, EmptyDirectoryReadsNothing) {
+    TraceStoreReader reader{dir_ / "does_not_exist"};
+    EXPECT_TRUE(reader.shards().empty());
+    EXPECT_EQ(reader.for_each([](const ScanContext&, const Trace&) { FAIL(); }), 0u);
+}
+
+TEST_F(StoreTest, CorruptRecordsAreSkippedNotFatal) {
+    {
+        TraceStoreWriter writer{dir_};
+        writer.append({1, 0, false, 0}, sample_trace(1));
+        writer.append({2, 0, false, 0}, sample_trace(2));
+    }
+    // Append garbage + a truncated record to the shard.
+    {
+        TraceStoreReader probe{dir_};
+        ASSERT_FALSE(probe.shards().empty());
+        std::ofstream out{probe.shards().front(), std::ios::app};
+        out << "total garbage line\n";
+        out << context_line({3, 0, false, 0});
+        out << "{\"qlog\":\"spinscope\",\"host\":\"www.trunc\"";  // truncated, no metrics
+    }
+    TraceStoreReader reader{dir_};
+    std::uint64_t count = 0;
+    reader.for_each([&](const ScanContext&, const Trace&) { ++count; });
+    EXPECT_EQ(count, 2u);
+    EXPECT_GE(reader.malformed_records(), 1u);
+}
+
+TEST_F(StoreTest, ReopenAppendsNewShardGeneration) {
+    {
+        TraceStoreWriter writer{dir_};
+        writer.append({1, 0, false, 0}, sample_trace(1));
+    }
+    {
+        // A second writer starts over at shard 0 (overwrite semantics for a
+        // fresh campaign into the same directory).
+        TraceStoreWriter writer{dir_};
+        writer.append({9, 1, true, 2}, sample_trace(9));
+    }
+    TraceStoreReader reader{dir_};
+    std::vector<std::uint32_t> ids;
+    reader.for_each([&](const ScanContext& c, const Trace&) { ids.push_back(c.domain_id); });
+    ASSERT_EQ(ids.size(), 1u);
+    EXPECT_EQ(ids[0], 9u);
+}
+
+}  // namespace
+}  // namespace spinscope::qlog

@@ -1,0 +1,307 @@
+// Unit tests for AckTracker, RttEstimator and SpinState.
+
+#include <gtest/gtest.h>
+
+#include "quic/ack_tracker.hpp"
+#include "quic/rtt_estimator.hpp"
+#include "quic/spin.hpp"
+#include "util/rng.hpp"
+
+namespace spinscope::quic {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+TimePoint at_ms(std::int64_t ms) { return TimePoint::origin() + Duration::millis(ms); }
+
+// --- AckTracker -------------------------------------------------------------
+
+AckTracker::Config immediate_config() { return {1, Duration::zero()}; }
+
+TEST(AckTracker, TracksLargestAndDuplicates) {
+    AckTracker t{immediate_config()};
+    EXPECT_EQ(t.largest_received(), kInvalidPacketNumber);
+    EXPECT_TRUE(t.on_packet_received(5, true, at_ms(1)));
+    EXPECT_EQ(t.largest_received(), 5u);
+    EXPECT_FALSE(t.on_packet_received(5, true, at_ms(2)));  // duplicate
+    EXPECT_TRUE(t.on_packet_received(3, true, at_ms(3)));
+    EXPECT_EQ(t.largest_received(), 5u);
+    EXPECT_TRUE(t.on_packet_received(9, true, at_ms(4)));
+    EXPECT_EQ(t.largest_received(), 9u);
+}
+
+TEST(AckTracker, BuildsDescendingRanges) {
+    AckTracker t{immediate_config()};
+    for (const PacketNumber pn : {0, 1, 2, 5, 6, 9}) {
+        t.on_packet_received(pn, true, at_ms(1));
+    }
+    const auto ack = t.build_ack(at_ms(2));
+    ASSERT_TRUE(ack.has_value());
+    ASSERT_EQ(ack->ranges.size(), 3u);
+    EXPECT_EQ(ack->ranges[0].largest, 9u);
+    EXPECT_EQ(ack->ranges[0].smallest, 9u);
+    EXPECT_EQ(ack->ranges[1].largest, 6u);
+    EXPECT_EQ(ack->ranges[1].smallest, 5u);
+    EXPECT_EQ(ack->ranges[2].largest, 2u);
+    EXPECT_EQ(ack->ranges[2].smallest, 0u);
+}
+
+TEST(AckTracker, HoleFillMergesAdjacentRanges) {
+    // Regression: a reordered packet filling the gap between two ranges must
+    // merge them — adjacent ranges cannot be encoded in an ACK frame.
+    AckTracker t{immediate_config()};
+    for (const PacketNumber pn : {0, 1, 2, 3}) t.on_packet_received(pn, true, at_ms(1));
+    for (const PacketNumber pn : {5, 6, 7}) t.on_packet_received(pn, true, at_ms(2));
+    t.on_packet_received(4, true, at_ms(3));  // fills the hole
+    const auto ack = t.build_ack(at_ms(4));
+    ASSERT_TRUE(ack.has_value());
+    ASSERT_EQ(ack->ranges.size(), 1u);
+    EXPECT_EQ(ack->ranges[0].smallest, 0u);
+    EXPECT_EQ(ack->ranges[0].largest, 7u);
+}
+
+TEST(AckTracker, MergeUpwardAdjacent) {
+    AckTracker t{immediate_config()};
+    t.on_packet_received(3, true, at_ms(1));
+    t.on_packet_received(5, true, at_ms(1));
+    t.on_packet_received(4, true, at_ms(1));
+    const auto ack = t.build_ack(at_ms(2));
+    ASSERT_EQ(ack->ranges.size(), 1u);
+    EXPECT_EQ(ack->ranges[0].smallest, 3u);
+    EXPECT_EQ(ack->ranges[0].largest, 5u);
+}
+
+TEST(AckTracker, ImmediateThreshold) {
+    AckTracker t{{2, Duration::millis(25)}};
+    t.on_packet_received(0, true, at_ms(0));
+    EXPECT_FALSE(t.ack_due_immediately());
+    EXPECT_TRUE(t.ack_pending());
+    t.on_packet_received(1, true, at_ms(1));
+    EXPECT_TRUE(t.ack_due_immediately());
+}
+
+TEST(AckTracker, NonElicitingDoesNotForceAck) {
+    AckTracker t{{2, Duration::millis(25)}};
+    t.on_packet_received(0, false, at_ms(0));
+    t.on_packet_received(1, false, at_ms(1));
+    EXPECT_FALSE(t.ack_pending());
+    EXPECT_FALSE(t.ack_due_immediately());
+    EXPECT_TRUE(t.ack_deadline().is_never());
+}
+
+TEST(AckTracker, DeadlineFromOldestUnacked) {
+    AckTracker t{{4, Duration::millis(25)}};
+    t.on_packet_received(0, true, at_ms(10));
+    t.on_packet_received(1, true, at_ms(18));
+    EXPECT_EQ(t.ack_deadline(), at_ms(35));
+}
+
+TEST(AckTracker, BuildAckResetsPendingAndStampsDelay) {
+    AckTracker t{{2, Duration::millis(25)}};
+    t.on_packet_received(0, true, at_ms(10));
+    const auto ack = t.build_ack(at_ms(17));
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(ack->ack_delay, Duration::millis(7));
+    EXPECT_FALSE(t.ack_pending());
+    // Ranges persist for later cumulative ACKs.
+    const auto again = t.build_ack(at_ms(18));
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->ranges.size(), 1u);
+}
+
+TEST(AckTracker, EmptyBuildsNothing) {
+    AckTracker t{immediate_config()};
+    EXPECT_FALSE(t.build_ack(at_ms(0)).has_value());
+    EXPECT_FALSE(t.any_received());
+}
+
+// --- RttEstimator -----------------------------------------------------------
+
+TEST(RttEstimator, FirstSampleInitializes) {
+    RttEstimator rtt{Duration::millis(333)};
+    EXPECT_FALSE(rtt.has_samples());
+    EXPECT_EQ(rtt.smoothed_rtt(), Duration::millis(333));
+    rtt.add_sample(Duration::millis(40), Duration::zero(), Duration::millis(25), false);
+    EXPECT_TRUE(rtt.has_samples());
+    EXPECT_EQ(rtt.latest_rtt(), Duration::millis(40));
+    EXPECT_EQ(rtt.min_rtt(), Duration::millis(40));
+    EXPECT_EQ(rtt.smoothed_rtt(), Duration::millis(40));
+    EXPECT_EQ(rtt.rttvar(), Duration::millis(20));
+}
+
+TEST(RttEstimator, SmoothingFollowsRfc9002) {
+    RttEstimator rtt;
+    rtt.add_sample(Duration::millis(100), Duration::zero(), Duration::millis(25), true);
+    rtt.add_sample(Duration::millis(200), Duration::zero(), Duration::millis(25), true);
+    // smoothed = 7/8*100 + 1/8*200 = 112.5ms; rttvar = 3/4*50 + 1/4*|100-200| = 62.5ms
+    EXPECT_EQ(rtt.smoothed_rtt().count_micros(), 112500);
+    EXPECT_EQ(rtt.rttvar().count_micros(), 62500);
+}
+
+TEST(RttEstimator, MinRttIgnoresAckDelay) {
+    RttEstimator rtt;
+    // The first sample is its own min_rtt, so RFC 9002 §5.3 forbids
+    // adjusting it (the result would fall below min_rtt).
+    rtt.add_sample(Duration::millis(50), Duration::millis(20), Duration::millis(25), true);
+    EXPECT_EQ(rtt.min_rtt(), Duration::millis(50));
+    EXPECT_EQ(rtt.smoothed_rtt(), Duration::millis(50));
+    // A later inflated sample is adjusted by the reported delay.
+    rtt.add_sample(Duration::millis(80), Duration::millis(20), Duration::millis(25), true);
+    EXPECT_EQ(rtt.min_rtt(), Duration::millis(50));
+    EXPECT_EQ(rtt.adjusted_samples_ms().back(), 60.0);
+}
+
+TEST(RttEstimator, AckDelayCappedAfterHandshake) {
+    RttEstimator rtt;
+    rtt.add_sample(Duration::millis(10), Duration::zero(), Duration::millis(25), true);
+    // Reported delay 100ms but peer advertised max 25ms -> subtract only 25.
+    rtt.add_sample(Duration::millis(100), Duration::millis(100), Duration::millis(25), true);
+    EXPECT_EQ(rtt.adjusted_samples_ms().back(), 75.0);
+}
+
+TEST(RttEstimator, AckDelayUncappedBeforeHandshakeConfirmed) {
+    RttEstimator rtt;
+    rtt.add_sample(Duration::millis(10), Duration::zero(), Duration::millis(25), false);
+    rtt.add_sample(Duration::millis(100), Duration::millis(60), Duration::millis(25), false);
+    EXPECT_EQ(rtt.adjusted_samples_ms().back(), 40.0);
+}
+
+TEST(RttEstimator, NeverAdjustsBelowMinRtt) {
+    RttEstimator rtt;
+    rtt.add_sample(Duration::millis(50), Duration::zero(), Duration::millis(25), true);
+    // Adjusting 55 - 20 = 35 < min (50) -> keep unadjusted 55.
+    rtt.add_sample(Duration::millis(55), Duration::millis(20), Duration::millis(100), true);
+    EXPECT_EQ(rtt.adjusted_samples_ms().back(), 55.0);
+}
+
+TEST(RttEstimator, NegativeSamplesIgnored) {
+    RttEstimator rtt;
+    rtt.add_sample(Duration::millis(-5), Duration::zero(), Duration::millis(25), true);
+    EXPECT_FALSE(rtt.has_samples());
+}
+
+TEST(RttEstimator, PtoFormula) {
+    RttEstimator rtt;
+    rtt.add_sample(Duration::millis(100), Duration::zero(), Duration::millis(25), true);
+    // pto = smoothed + max(4*rttvar, 1ms) + max_ack_delay = 100 + 200 + 25.
+    EXPECT_EQ(rtt.pto(Duration::millis(25)), Duration::millis(325));
+}
+
+// --- SpinState ---------------------------------------------------------------
+
+SpinConfig spin_on() { return {SpinPolicy::spin, 0, SpinPolicy::always_zero}; }
+
+TEST(Spin, InitialValueIsZero) {
+    util::Rng rng{1};
+    SpinState client{Role::client, spin_on(), rng};
+    SpinState server{Role::server, spin_on(), rng};
+    EXPECT_FALSE(client.outgoing_value(rng));
+    EXPECT_FALSE(server.outgoing_value(rng));
+    EXPECT_TRUE(client.participating());
+}
+
+TEST(Spin, ClientInvertsServerReflects) {
+    util::Rng rng{2};
+    SpinState client{Role::client, spin_on(), rng};
+    SpinState server{Role::server, spin_on(), rng};
+
+    // Server saw client 0 -> reflects 0; client saw server 0 -> sends 1.
+    server.on_packet_received(0, false);
+    EXPECT_FALSE(server.outgoing_value(rng));
+    client.on_packet_received(0, false);
+    EXPECT_TRUE(client.outgoing_value(rng));
+    // Server sees the 1 -> reflects 1; client sees 1 -> sends 0.
+    server.on_packet_received(1, true);
+    EXPECT_TRUE(server.outgoing_value(rng));
+    client.on_packet_received(1, true);
+    EXPECT_FALSE(client.outgoing_value(rng));
+}
+
+TEST(Spin, OnlyHighestPacketNumberCounts) {
+    util::Rng rng{3};
+    SpinState server{Role::server, spin_on(), rng};
+    server.on_packet_received(10, true);
+    // A stale (reordered) packet with lower pn must not change the value.
+    server.on_packet_received(5, false);
+    EXPECT_TRUE(server.outgoing_value(rng));
+    server.on_packet_received(11, false);
+    EXPECT_FALSE(server.outgoing_value(rng));
+}
+
+TEST(Spin, FixedPolicies) {
+    util::Rng rng{4};
+    SpinState zero{Role::server, {SpinPolicy::always_zero, 0, SpinPolicy::always_zero}, rng};
+    SpinState one{Role::server, {SpinPolicy::always_one, 0, SpinPolicy::always_zero}, rng};
+    zero.on_packet_received(1, true);
+    one.on_packet_received(1, false);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_FALSE(zero.outgoing_value(rng));
+        EXPECT_TRUE(one.outgoing_value(rng));
+    }
+    EXPECT_FALSE(zero.participating());
+}
+
+TEST(Spin, GreasePerConnectionIsStable) {
+    for (std::uint64_t seed = 0; seed < 32; ++seed) {
+        util::Rng rng{seed};
+        SpinState grease{Role::server,
+                         {SpinPolicy::grease_per_connection, 0, SpinPolicy::always_zero}, rng};
+        const bool first = grease.outgoing_value(rng);
+        for (int i = 0; i < 10; ++i) EXPECT_EQ(grease.outgoing_value(rng), first);
+    }
+}
+
+TEST(Spin, GreasePerPacketVaries) {
+    util::Rng rng{6};
+    SpinState grease{Role::server, {SpinPolicy::grease_per_packet, 0, SpinPolicy::always_zero},
+                     rng};
+    int ones = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (grease.outgoing_value(rng)) ++ones;
+    }
+    EXPECT_GT(ones, 400);
+    EXPECT_LT(ones, 600);
+}
+
+class SpinLottery : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SpinLottery, DisablesAtConfiguredRate) {
+    const std::uint32_t one_in = GetParam();
+    util::Rng rng{123};
+    int disabled = 0;
+    constexpr int kConnections = 32000;
+    for (int i = 0; i < kConnections; ++i) {
+        SpinState state{Role::server, {SpinPolicy::spin, one_in, SpinPolicy::always_zero}, rng};
+        if (!state.participating()) ++disabled;
+    }
+    const double expected = 1.0 / one_in;
+    EXPECT_NEAR(static_cast<double>(disabled) / kConnections, expected, expected * 0.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rfc9000And9312, SpinLottery, ::testing::Values(8u, 16u));
+
+TEST(Spin, LotteryFallbackPolicyApplied) {
+    util::Rng rng{7};
+    int saw_fallback = 0;
+    for (int i = 0; i < 200; ++i) {
+        SpinState state{Role::server, {SpinPolicy::spin, 2, SpinPolicy::always_one}, rng};
+        if (!state.participating()) {
+            ++saw_fallback;
+            EXPECT_EQ(state.effective_policy(), SpinPolicy::always_one);
+            EXPECT_TRUE(state.outgoing_value(rng));
+        }
+    }
+    EXPECT_GT(saw_fallback, 50);
+}
+
+TEST(Spin, LotteryZeroNeverDisables) {
+    util::Rng rng{8};
+    for (int i = 0; i < 500; ++i) {
+        SpinState state{Role::client, spin_on(), rng};
+        EXPECT_TRUE(state.participating());
+    }
+}
+
+}  // namespace
+}  // namespace spinscope::quic

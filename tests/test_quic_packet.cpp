@@ -1,0 +1,218 @@
+// Unit tests for QUIC packet header encoding/decoding and packet-number
+// truncation/expansion, including RFC 9000 Appendix A worked examples.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "quic/packet.hpp"
+
+namespace spinscope::quic {
+namespace {
+
+std::vector<std::uint8_t> payload_of(std::initializer_list<std::uint8_t> bytes) {
+    return {bytes};
+}
+
+TEST(PacketNumber, LengthSelection) {
+    // RFC 9000 A.2: after acking 0xabe8b3, sending 0xac5c02 needs 16 bits.
+    EXPECT_EQ(packet_number_length(0xac5c02, 0xabe8b3), 2u);
+    // ... and 0xace8fe needs 24 bits (distance * 2 >= 2^16).
+    EXPECT_EQ(packet_number_length(0xace8fe, 0xabe8b3), 3u);
+    EXPECT_EQ(packet_number_length(0, kInvalidPacketNumber), 1u);
+    EXPECT_EQ(packet_number_length(100, kInvalidPacketNumber), 1u);
+    EXPECT_EQ(packet_number_length(200, kInvalidPacketNumber), 2u);
+}
+
+TEST(PacketNumber, Rfc9000ExpansionExample) {
+    // RFC 9000 A.3: largest received 0xa82f30ea, truncated 0x9b32 (2 bytes)
+    // expands to 0xa82f9b32.
+    EXPECT_EQ(expand_packet_number(0xa82f30ea, 0x9b32, 2), 0xa82f9b32u);
+}
+
+TEST(PacketNumber, ExpansionFromNothing) {
+    EXPECT_EQ(expand_packet_number(kInvalidPacketNumber, 0, 1), 0u);
+    EXPECT_EQ(expand_packet_number(kInvalidPacketNumber, 7, 1), 7u);
+}
+
+TEST(PacketNumber, ExpansionWrapsForward) {
+    // Largest received 0xff, truncated 0x02 in 1 byte -> 0x102.
+    EXPECT_EQ(expand_packet_number(0xff, 0x02, 1), 0x102u);
+}
+
+TEST(PacketNumber, RoundTripProperty) {
+    // For any (largest_acked, next) pair with the chosen length, truncating
+    // then expanding with a receiver that saw up to next-1 must recover next.
+    for (PacketNumber largest_acked : {PacketNumber{0}, PacketNumber{100},
+                                       PacketNumber{0xabe8b3}, PacketNumber{1} << 40}) {
+        for (PacketNumber delta : {PacketNumber{1}, PacketNumber{10}, PacketNumber{1000},
+                                   PacketNumber{100000}}) {
+            const PacketNumber full = largest_acked + delta;
+            const std::size_t length = packet_number_length(full, largest_acked);
+            const std::uint64_t mask = length >= 8 ? ~0ULL : ((1ULL << (8 * length)) - 1);
+            const std::uint64_t truncated = full & mask;
+            EXPECT_EQ(expand_packet_number(full - 1, truncated, length), full)
+                << "largest_acked=" << largest_acked << " delta=" << delta;
+        }
+    }
+}
+
+TEST(Packet, ShortHeaderRoundTripWithSpin) {
+    for (const bool spin : {false, true}) {
+        for (const bool key_phase : {false, true}) {
+            PacketHeader header;
+            header.type = PacketType::one_rtt;
+            header.dcid = ConnectionId::from_u64(0x1122334455667788ULL);
+            header.packet_number = 1234;
+            header.spin = spin;
+            header.key_phase = key_phase;
+
+            std::vector<std::uint8_t> wire;
+            const auto payload = payload_of({0x01, 0x01, 0x01});
+            encode_packet(wire, header, payload, 1200);
+
+            const auto decoded = decode_packet(wire, 8, 1233);
+            ASSERT_TRUE(decoded.has_value());
+            EXPECT_EQ(decoded->header.type, PacketType::one_rtt);
+            EXPECT_EQ(decoded->header.spin, spin);
+            EXPECT_EQ(decoded->header.key_phase, key_phase);
+            EXPECT_EQ(decoded->header.packet_number, 1234u);
+            EXPECT_EQ(decoded->header.dcid, header.dcid);
+            EXPECT_EQ(decoded->payload.size(), 3u);
+            EXPECT_EQ(decoded->total_size, wire.size());
+        }
+    }
+}
+
+TEST(Packet, SpinBitIsBit0x20) {
+    PacketHeader header;
+    header.type = PacketType::one_rtt;
+    header.dcid = ConnectionId::from_u64(1);
+    header.packet_number = 0;
+    header.spin = true;
+    std::vector<std::uint8_t> wire;
+    encode_packet(wire, header, {}, kInvalidPacketNumber);
+    EXPECT_NE(wire[0] & 0x20, 0);
+    header.spin = false;
+    wire.clear();
+    encode_packet(wire, header, {}, kInvalidPacketNumber);
+    EXPECT_EQ(wire[0] & 0x20, 0);
+}
+
+TEST(Packet, LongHeaderRoundTrips) {
+    for (const auto type : {PacketType::initial, PacketType::handshake, PacketType::zero_rtt}) {
+        PacketHeader header;
+        header.type = type;
+        header.version = Version::v1;
+        header.dcid = ConnectionId::from_u64(0xaaaabbbbccccddddULL);
+        header.scid = ConnectionId::from_u64(0x1111222233334444ULL);
+        header.packet_number = 2;
+
+        std::vector<std::uint8_t> wire;
+        const auto payload = payload_of({0x06, 0x00, 0x01, 0x41});
+        encode_packet(wire, header, payload, kInvalidPacketNumber);
+
+        const auto decoded = decode_packet(wire, 8, kInvalidPacketNumber);
+        ASSERT_TRUE(decoded.has_value()) << to_cstring(type);
+        EXPECT_EQ(decoded->header.type, type);
+        EXPECT_EQ(decoded->header.version, Version::v1);
+        EXPECT_EQ(decoded->header.dcid, header.dcid);
+        EXPECT_EQ(decoded->header.scid, header.scid);
+        EXPECT_EQ(decoded->header.packet_number, 2u);
+        EXPECT_EQ(decoded->payload.size(), payload.size());
+    }
+}
+
+TEST(Packet, LongHeaderCarriesAllDraftVersions) {
+    for (const auto version : {Version::v1, Version::draft27, Version::draft29,
+                               Version::draft32, Version::draft34}) {
+        PacketHeader header;
+        header.type = PacketType::initial;
+        header.version = version;
+        header.dcid = ConnectionId::from_u64(1);
+        header.scid = ConnectionId::from_u64(2);
+        std::vector<std::uint8_t> wire;
+        encode_packet(wire, header, payload_of({0x00}), kInvalidPacketNumber);
+        const auto decoded = decode_packet(wire, 8, kInvalidPacketNumber);
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(decoded->header.version, version);
+        EXPECT_TRUE(is_known_version(static_cast<std::uint32_t>(version)));
+    }
+    EXPECT_FALSE(is_known_version(0xdeadbeef));
+}
+
+TEST(Packet, DecodeRejectsGarbage) {
+    EXPECT_FALSE(decode_packet({}, 8, kInvalidPacketNumber).has_value());
+    const std::vector<std::uint8_t> no_fixed_bit{0x00, 0x01, 0x02};
+    EXPECT_FALSE(decode_packet(no_fixed_bit, 8, kInvalidPacketNumber).has_value());
+    const std::vector<std::uint8_t> truncated_long{0xc0, 0x00};
+    EXPECT_FALSE(decode_packet(truncated_long, 8, kInvalidPacketNumber).has_value());
+    const std::vector<std::uint8_t> short_too_small{0x40, 0x01};  // dcid missing
+    EXPECT_FALSE(decode_packet(short_too_small, 8, kInvalidPacketNumber).has_value());
+}
+
+TEST(Packet, LongHeaderLengthFieldBoundsPayload) {
+    PacketHeader header;
+    header.type = PacketType::handshake;
+    header.dcid = ConnectionId::from_u64(1);
+    header.scid = ConnectionId::from_u64(2);
+    header.packet_number = 0;
+    std::vector<std::uint8_t> wire;
+    encode_packet(wire, header, payload_of({0x01, 0x02, 0x03}), kInvalidPacketNumber);
+    // Corrupt the length varint upward: decode must fail (runs past end).
+    // The length field sits right before pn; find it by re-encoding with a
+    // larger claimed length: simplest is truncating the buffer instead.
+    wire.pop_back();
+    EXPECT_FALSE(decode_packet(wire, 8, kInvalidPacketNumber).has_value());
+}
+
+TEST(Packet, PeekShortHeader) {
+    PacketHeader header;
+    header.type = PacketType::one_rtt;
+    header.dcid = ConnectionId::from_u64(9);
+    header.spin = true;
+    std::vector<std::uint8_t> wire;
+    encode_packet(wire, header, payload_of({0x01}), kInvalidPacketNumber);
+    const auto view = peek_short_header(wire);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_TRUE(view->spin);
+
+    // Long headers yield nullopt.
+    PacketHeader long_header;
+    long_header.type = PacketType::initial;
+    long_header.dcid = ConnectionId::from_u64(1);
+    long_header.scid = ConnectionId::from_u64(2);
+    std::vector<std::uint8_t> long_wire;
+    encode_packet(long_wire, long_header, payload_of({0x00}), kInvalidPacketNumber);
+    EXPECT_FALSE(peek_short_header(long_wire).has_value());
+    EXPECT_FALSE(peek_short_header({}).has_value());
+}
+
+TEST(Packet, VersionNegotiationDetected) {
+    std::vector<std::uint8_t> wire{0xc0, 0x00, 0x00, 0x00, 0x00};
+    const auto decoded = decode_packet(wire, 8, kInvalidPacketNumber);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->header.type, PacketType::version_negotiation);
+}
+
+TEST(ConnectionIdT, FromU64AndEquality) {
+    const auto a = ConnectionId::from_u64(0x0102030405060708ULL);
+    EXPECT_EQ(a.size(), 8u);
+    EXPECT_EQ(a.data()[0], 0x01);
+    EXPECT_EQ(a.data()[7], 0x08);
+    EXPECT_EQ(a, ConnectionId::from_u64(0x0102030405060708ULL));
+    EXPECT_FALSE(a == ConnectionId::from_u64(0x0102030405060709ULL));
+    ConnectionId empty;
+    EXPECT_TRUE(empty.empty());
+    EXPECT_FALSE(a == empty);
+}
+
+TEST(ConnectionIdT, AssignClampsLength) {
+    std::vector<std::uint8_t> long_bytes(25, 0x7f);
+    ConnectionId cid;
+    cid.assign(long_bytes.data(), long_bytes.size());
+    EXPECT_EQ(cid.size(), ConnectionId::kMaxLength);
+}
+
+}  // namespace
+}  // namespace spinscope::quic

@@ -1,0 +1,270 @@
+// Robustness and failure-injection tests: malformed input never crashes or
+// wedges an endpoint, duplicates are harmless, and the codecs survive fuzzed
+// bytes (wire input is untrusted).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "netsim/link.hpp"
+#include "netsim/simulator.hpp"
+#include "quic/connection.hpp"
+#include "quic/frame.hpp"
+#include "quic/packet.hpp"
+#include "util/rng.hpp"
+
+namespace spinscope::quic {
+namespace {
+
+using netsim::Datagram;
+using util::Duration;
+using util::Rng;
+using util::TimePoint;
+
+/// Minimal pair on a clean 10 ms-one-way path with a transfer workload.
+struct Pair {
+    Pair() : rng{0xbeef}, path{sim, link_config(), link_config(), rng} {
+        ConnectionConfig ccfg;
+        ccfg.role = Role::client;
+        client = std::make_unique<Connection>(
+            sim, ccfg, rng.fork(1),
+            [this](Datagram dg) { path.forward_link().send(std::move(dg)); }, &trace);
+        ConnectionConfig scfg;
+        scfg.role = Role::server;
+        server = std::make_unique<Connection>(
+            sim, scfg, rng.fork(2),
+            [this](Datagram dg) { path.return_link().send(std::move(dg)); });
+        path.forward_link().set_receiver(
+            [this](const Datagram& dg) { server->on_datagram(dg); });
+        path.return_link().set_receiver(
+            [this](const Datagram& dg) { client->on_datagram(dg); });
+        server->on_stream_complete = [this](std::uint64_t, std::vector<std::uint8_t>) {
+            server->send_stream(0, std::vector<std::uint8_t>(30'000, 1), true);
+        };
+        client->on_handshake_complete = [this] {
+            client->send_stream(0, std::vector<std::uint8_t>(100, 2), true);
+        };
+        client->on_stream_complete = [this](std::uint64_t, std::vector<std::uint8_t> data) {
+            response_size = data.size();
+            client->close(0, "done");
+        };
+    }
+
+    static netsim::LinkConfig link_config() {
+        netsim::LinkConfig link;
+        link.base_delay = Duration::millis(10);
+        return link;
+    }
+
+    void run() { sim.run_until(TimePoint::origin() + Duration::seconds(60)); }
+
+    netsim::Simulator sim;
+    Rng rng;
+    netsim::Path path;
+    qlog::Trace trace;
+    std::unique_ptr<Connection> client;
+    std::unique_ptr<Connection> server;
+    std::size_t response_size = 0;
+};
+
+TEST(Robustness, GarbageDatagramsAreIgnored) {
+    Pair pair;
+    // Inject junk into both endpoints throughout the exchange.
+    Rng fuzz{1};
+    pair.sim.schedule_after(Duration::millis(1), [&] {
+        for (int i = 0; i < 50; ++i) {
+            Datagram junk(fuzz.uniform_u64(64) + 1);
+            for (auto& b : junk) b = static_cast<std::uint8_t>(fuzz.next());
+            pair.client->on_datagram(junk);
+            pair.server->on_datagram(junk);
+        }
+    });
+    pair.client->connect();
+    pair.run();
+    EXPECT_EQ(pair.response_size, 30'000u);
+}
+
+TEST(Robustness, EmptyAndTinyDatagrams) {
+    Pair pair;
+    pair.client->connect();
+    pair.sim.schedule_after(Duration::millis(30), [&] {
+        pair.client->on_datagram({});
+        pair.client->on_datagram({0x40});           // short header, missing DCID
+        pair.client->on_datagram({0x00, 0x00});     // fixed bit clear
+        pair.server->on_datagram({0xc0});           // truncated long header
+    });
+    pair.run();
+    EXPECT_EQ(pair.response_size, 30'000u);
+}
+
+TEST(Robustness, DuplicatedDatagramsAreDeduplicated) {
+    Pair pair;
+    // Duplicate every server->client datagram.
+    pair.path.return_link().set_receiver([&pair](const Datagram& dg) {
+        pair.client->on_datagram(dg);
+        pair.client->on_datagram(dg);
+    });
+    pair.client->connect();
+    pair.run();
+    EXPECT_EQ(pair.response_size, 30'000u);
+    // Trace records only deduplicated packets: packet numbers are unique.
+    std::set<std::pair<int, quic::PacketNumber>> seen;
+    for (const auto& ev : pair.trace.received) {
+        const auto key = std::make_pair(static_cast<int>(ev.type), ev.packet_number);
+        EXPECT_TRUE(seen.insert(key).second)
+            << "duplicate pn " << ev.packet_number << " recorded";
+    }
+}
+
+TEST(Robustness, VersionNegotiationPacketIgnored) {
+    Pair pair;
+    pair.client->connect();
+    pair.sim.schedule_after(Duration::millis(5), [&] {
+        pair.client->on_datagram({0xc0, 0x00, 0x00, 0x00, 0x00, 0x08});
+    });
+    pair.run();
+    EXPECT_EQ(pair.response_size, 30'000u);
+}
+
+TEST(Robustness, MalformedFramePayloadDropsPacketOnly) {
+    Pair pair;
+    pair.client->connect();
+    pair.sim.schedule_after(Duration::millis(25), [&] {
+        // Valid short header carrying an unknown frame type.
+        PacketHeader header;
+        header.type = PacketType::one_rtt;
+        header.dcid = ConnectionId::from_u64(0);  // wrong CID is fine, parse-only
+        header.packet_number = 9999;
+        std::vector<std::uint8_t> payload;
+        encode_varint(payload, 0x3f);  // unimplemented frame type
+        Datagram wire;
+        encode_packet(wire, header, payload, kInvalidPacketNumber);
+        pair.client->on_datagram(wire);
+    });
+    pair.run();
+    EXPECT_EQ(pair.response_size, 30'000u);
+}
+
+// Tiny helper so the fuzz loop's results are observed.
+void benchmarkish_use(bool) {}
+
+TEST(Robustness, CodecFuzzNeverCrashes) {
+    Rng rng{0xf00d};
+    for (int i = 0; i < 20000; ++i) {
+        Datagram bytes(rng.uniform_u64(80));
+        for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+        auto packet = decode_packet(bytes, 8, rng.uniform_u64(1000));
+        if (packet) {
+            auto frames = decode_frames(packet->payload, 3);
+            benchmarkish_use(frames.has_value());
+        }
+        auto view = peek_short_header(bytes);
+        benchmarkish_use(view.has_value());
+    }
+    SUCCEED();
+}
+
+TEST(Robustness, DecodedPacketsReencodeConsistently) {
+    // Round-trip property on structured random packets.
+    Rng rng{0xc0de};
+    for (int i = 0; i < 2000; ++i) {
+        PacketHeader header;
+        header.type = rng.coin() ? PacketType::one_rtt
+                                 : (rng.coin() ? PacketType::initial : PacketType::handshake);
+        header.dcid = ConnectionId::from_u64(rng.next());
+        header.scid = ConnectionId::from_u64(rng.next());
+        header.packet_number = rng.uniform_u64(1 << 20);
+        header.spin = rng.coin();
+        header.vec = static_cast<std::uint8_t>(rng.uniform_u64(4));
+        std::vector<std::uint8_t> payload(rng.uniform_u64(64) + 1, 0x01);  // PING frames
+
+        Datagram wire;
+        const PacketNumber largest_acked =
+            header.packet_number == 0 ? kInvalidPacketNumber : header.packet_number - 1;
+        encode_packet(wire, header, payload, largest_acked);
+        const auto decoded = decode_packet(
+            wire, 8, header.packet_number == 0 ? kInvalidPacketNumber
+                                               : header.packet_number - 1);
+        ASSERT_TRUE(decoded.has_value());
+        ASSERT_EQ(decoded->header.type, header.type);
+        ASSERT_EQ(decoded->header.packet_number, header.packet_number);
+        if (header.type == PacketType::one_rtt) {
+            ASSERT_EQ(decoded->header.spin, header.spin);
+            ASSERT_EQ(decoded->header.vec, header.vec);
+        }
+        ASSERT_EQ(decoded->payload.size(), payload.size());
+    }
+}
+
+TEST(Robustness, StreamsOnManyIdsConcurrently) {
+    Pair pair;
+    std::map<std::uint64_t, std::size_t> received;
+    pair.server->on_stream_complete = [&](std::uint64_t id, std::vector<std::uint8_t> data) {
+        received[id] = data.size();
+        if (received.size() == 4) {
+            pair.server->send_stream(0, std::vector<std::uint8_t>(500, 1), true);
+        }
+    };
+    pair.client->on_handshake_complete = [&] {
+        for (std::uint64_t id : {0, 4, 8, 12}) {
+            pair.client->send_stream(id, std::vector<std::uint8_t>(1000 + id * 100, 2), true);
+        }
+    };
+    pair.client->connect();
+    pair.run();
+    ASSERT_EQ(received.size(), 4u);
+    EXPECT_EQ(received[0], 1000u);
+    EXPECT_EQ(received[12], 1000u + 1200u);
+    EXPECT_EQ(pair.response_size, 500u);
+}
+
+TEST(Robustness, SurvivesExtremeLoss) {
+    netsim::Simulator sim;
+    Rng rng{0xbad};
+    netsim::LinkConfig lossy;
+    lossy.base_delay = Duration::millis(10);
+    lossy.loss_probability = 0.25;
+    netsim::Path path{sim, lossy, lossy, rng};
+    ConnectionConfig ccfg;
+    ccfg.role = Role::client;
+    ccfg.max_pto_count = 10;
+    ccfg.idle_timeout = Duration::seconds(40);
+    Connection client{sim, ccfg, rng.fork(1),
+                      [&path](Datagram dg) { path.forward_link().send(std::move(dg)); }};
+    ConnectionConfig scfg;
+    scfg.role = Role::server;
+    scfg.max_pto_count = 10;
+    scfg.idle_timeout = Duration::seconds(40);
+    Connection server{sim, scfg, rng.fork(2),
+                      [&path](Datagram dg) { path.return_link().send(std::move(dg)); }};
+    path.forward_link().set_receiver(
+        [&server](const Datagram& dg) { server.on_datagram(dg); });
+    path.return_link().set_receiver(
+        [&client](const Datagram& dg) { client.on_datagram(dg); });
+    std::size_t got = 0;
+    server.on_stream_complete = [&](std::uint64_t, std::vector<std::uint8_t>) {
+        server.send_stream(0, std::vector<std::uint8_t>(15'000, 1), true);
+    };
+    client.on_handshake_complete = [&] {
+        client.send_stream(0, std::vector<std::uint8_t>(100, 2), true);
+    };
+    client.on_stream_complete = [&](std::uint64_t, std::vector<std::uint8_t> data) {
+        got = data.size();
+        client.close(0, "done");
+    };
+    client.connect();
+    sim.run_until(TimePoint::origin() + Duration::seconds(120));
+    // At 25 % bidirectional loss either the transfer completes (usual case,
+    // thanks to PTO + loss recovery) or the endpoint reports failure — it
+    // must never hang in between.
+    EXPECT_TRUE(got == 15'000u || client.failed());
+    // Recovery machinery was exercised: the link dropped traffic in both
+    // directions (pto_count itself resets on forward progress, so assert on
+    // the link's ground truth instead).
+    EXPECT_GT(path.forward_link().stats().dropped + path.return_link().stats().dropped, 0u);
+}
+
+}  // namespace
+}  // namespace spinscope::quic

@@ -1,0 +1,168 @@
+// Unit tests for the RFC 9000 §16 varint codec and the Reader/Writer
+// helpers, including the RFC's worked examples (Appendix A.1).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "quic/varint.hpp"
+#include "util/rng.hpp"
+
+namespace spinscope::quic {
+namespace {
+
+TEST(Varint, SizeSelection) {
+    EXPECT_EQ(varint_size(0), 1u);
+    EXPECT_EQ(varint_size(63), 1u);
+    EXPECT_EQ(varint_size(64), 2u);
+    EXPECT_EQ(varint_size(16383), 2u);
+    EXPECT_EQ(varint_size(16384), 4u);
+    EXPECT_EQ(varint_size((1ULL << 30) - 1), 4u);
+    EXPECT_EQ(varint_size(1ULL << 30), 8u);
+    EXPECT_EQ(varint_size(kVarintMax), 8u);
+}
+
+TEST(Varint, Rfc9000Examples) {
+    // RFC 9000 A.1: the four canonical encodings.
+    struct Example {
+        std::uint64_t value;
+        std::vector<std::uint8_t> wire;
+    };
+    const Example examples[] = {
+        {37, {0x25}},
+        {15293, {0x7b, 0xbd}},
+        {494878333, {0x9d, 0x7f, 0x3e, 0x7d}},
+        {151288809941952652ULL, {0xc2, 0x19, 0x7c, 0x5e, 0xff, 0x14, 0xe8, 0x8c}},
+    };
+    for (const auto& ex : examples) {
+        std::vector<std::uint8_t> out;
+        encode_varint(out, ex.value);
+        EXPECT_EQ(out, ex.wire);
+        const auto decoded = decode_varint(ex.wire);
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(decoded->value, ex.value);
+        EXPECT_EQ(decoded->consumed, ex.wire.size());
+    }
+}
+
+TEST(Varint, TwoByteEncodingOfSmallValue) {
+    // RFC 9000 A.1: 37 can also arrive as the two-byte sequence 0x40 0x25.
+    const std::vector<std::uint8_t> wire{0x40, 0x25};
+    const auto decoded = decode_varint(wire);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->value, 37u);
+    EXPECT_EQ(decoded->consumed, 2u);
+}
+
+TEST(Varint, DecodeRejectsTruncation) {
+    EXPECT_FALSE(decode_varint({}).has_value());
+    const std::vector<std::uint8_t> truncated{0x7b};  // declares 2 bytes, has 1
+    EXPECT_FALSE(decode_varint(truncated).has_value());
+    const std::vector<std::uint8_t> truncated8{0xc2, 0x19, 0x7c};
+    EXPECT_FALSE(decode_varint(truncated8).has_value());
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, EncodeDecodeIdentity) {
+    const std::uint64_t value = GetParam();
+    std::vector<std::uint8_t> out;
+    encode_varint(out, value);
+    EXPECT_EQ(out.size(), varint_size(value));
+    const auto decoded = decode_varint(out);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->value, value);
+    EXPECT_EQ(decoded->consumed, out.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, VarintRoundTrip,
+                         ::testing::Values(0ULL, 1ULL, 63ULL, 64ULL, 16383ULL, 16384ULL,
+                                           (1ULL << 30) - 1, 1ULL << 30, kVarintMax));
+
+TEST(Varint, RandomRoundTripSweep) {
+    util::Rng rng{0xabcd};
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t value = rng.uniform_u64(kVarintMax + 1);
+        std::vector<std::uint8_t> out;
+        encode_varint(out, value);
+        const auto decoded = decode_varint(out);
+        ASSERT_TRUE(decoded.has_value());
+        ASSERT_EQ(decoded->value, value);
+    }
+}
+
+TEST(Writer, BigEndianFixedWidths) {
+    Writer w;
+    w.u8(0x01);
+    w.u16(0x0203);
+    w.u32(0x04050607);
+    w.u64(0x08090a0b0c0d0e0fULL);
+    const auto& buf = w.buffer();
+    ASSERT_EQ(buf.size(), 15u);
+    EXPECT_EQ(buf[0], 0x01);
+    EXPECT_EQ(buf[1], 0x02);
+    EXPECT_EQ(buf[2], 0x03);
+    EXPECT_EQ(buf[3], 0x04);
+    EXPECT_EQ(buf[14], 0x0f);
+}
+
+TEST(Writer, TruncatedBigEndian) {
+    Writer w;
+    w.be_truncated(0x11223344, 3);
+    const auto& buf = w.buffer();
+    ASSERT_EQ(buf.size(), 3u);
+    EXPECT_EQ(buf[0], 0x22);
+    EXPECT_EQ(buf[1], 0x33);
+    EXPECT_EQ(buf[2], 0x44);
+}
+
+TEST(Writer, ExternalBuffer) {
+    std::vector<std::uint8_t> out{0xff};
+    Writer w{out};
+    w.u8(0x01);
+    EXPECT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[1], 0x01);
+}
+
+TEST(Reader, SequentialReads) {
+    const std::vector<std::uint8_t> data{0x01, 0x02, 0x03, 0x25, 0xaa, 0xbb};
+    Reader r{data};
+    EXPECT_EQ(*r.u8(), 0x01);
+    EXPECT_EQ(*r.u16(), 0x0203);
+    EXPECT_EQ(*r.varint(), 37u);
+    const auto rest = r.bytes(2);
+    ASSERT_TRUE(rest.has_value());
+    EXPECT_EQ((*rest)[0], 0xaa);
+    EXPECT_TRUE(r.done());
+    EXPECT_EQ(r.consumed(), 6u);
+}
+
+TEST(Reader, OutOfBoundsReturnsNullopt) {
+    const std::vector<std::uint8_t> data{0x01};
+    Reader r{data};
+    EXPECT_FALSE(r.u16().has_value());
+    EXPECT_FALSE(r.u32().has_value());
+    EXPECT_FALSE(r.u64().has_value());
+    EXPECT_FALSE(r.bytes(2).has_value());
+    EXPECT_EQ(*r.u8(), 0x01);  // failed reads do not consume
+    EXPECT_FALSE(r.u8().has_value());
+}
+
+TEST(Reader, PeekRestDoesNotAdvance) {
+    const std::vector<std::uint8_t> data{0x01, 0x02, 0x03};
+    Reader r{data};
+    (void)r.u8();
+    EXPECT_EQ(r.peek_rest().size(), 2u);
+    EXPECT_EQ(r.remaining(), 2u);
+}
+
+TEST(Reader, BeTruncatedWidthValidation) {
+    const std::vector<std::uint8_t> data{1, 2, 3, 4, 5, 6, 7, 8, 9};
+    Reader r{data};
+    EXPECT_FALSE(r.be_truncated(0).has_value());
+    EXPECT_FALSE(r.be_truncated(9).has_value());
+    EXPECT_EQ(*r.be_truncated(2), 0x0102u);
+}
+
+}  // namespace
+}  // namespace spinscope::quic

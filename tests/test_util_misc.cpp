@@ -1,0 +1,113 @@
+// Unit tests for util::Duration/TimePoint arithmetic and format helpers.
+
+#include <gtest/gtest.h>
+
+#include "util/format.hpp"
+#include "util/time.hpp"
+
+namespace spinscope::util {
+namespace {
+
+TEST(Duration, Constructors) {
+    EXPECT_EQ(Duration::millis(3).count_nanos(), 3'000'000);
+    EXPECT_EQ(Duration::micros(5).count_nanos(), 5'000);
+    EXPECT_EQ(Duration::seconds(2).count_millis(), 2000);
+    EXPECT_EQ(Duration::from_ms(1.5).count_micros(), 1500);
+    EXPECT_EQ(Duration::from_ms(-1.5).count_micros(), -1500);
+}
+
+TEST(Duration, Arithmetic) {
+    const auto a = Duration::millis(10);
+    const auto b = Duration::millis(4);
+    EXPECT_EQ((a + b).count_millis(), 14);
+    EXPECT_EQ((a - b).count_millis(), 6);
+    EXPECT_EQ((b - a).count_millis(), -6);
+    EXPECT_EQ((a * 3).count_millis(), 30);
+    EXPECT_EQ((std::int64_t{3} * a).count_millis(), 30);
+    EXPECT_EQ((a / 2).count_millis(), 5);
+    EXPECT_EQ(a.scaled(2.5).count_millis(), 25);
+}
+
+TEST(Duration, ComparisonAndAbs) {
+    EXPECT_LT(Duration::millis(1), Duration::millis(2));
+    EXPECT_TRUE((Duration::millis(-7)).is_negative());
+    EXPECT_EQ(Duration::millis(-7).abs(), Duration::millis(7));
+    EXPECT_TRUE(Duration::zero().is_zero());
+}
+
+TEST(Duration, UnitConversions) {
+    const auto d = Duration::from_ms(1234.567);
+    EXPECT_NEAR(d.as_ms(), 1234.567, 1e-6);
+    EXPECT_NEAR(d.as_seconds(), 1.234567, 1e-9);
+}
+
+TEST(TimePoint, Arithmetic) {
+    const auto t0 = TimePoint::origin();
+    const auto t1 = t0 + Duration::millis(5);
+    EXPECT_EQ((t1 - t0).count_millis(), 5);
+    EXPECT_EQ((t1 - Duration::millis(2) - t0).count_millis(), 3);
+    EXPECT_LT(t0, t1);
+    EXPECT_TRUE(TimePoint::never().is_never());
+    EXPECT_FALSE(t1.is_never());
+}
+
+TEST(Format, GroupDigits) {
+    EXPECT_EQ(group_digits(0), "0");
+    EXPECT_EQ(group_digits(999), "999");
+    EXPECT_EQ(group_digits(1000), "1 000");
+    EXPECT_EQ(group_digits(2732702), "2 732 702");
+    EXPECT_EQ(group_digits(216520521), "216 520 521");
+}
+
+TEST(Format, Percent) {
+    EXPECT_EQ(percent(0.102), "10.2 %");
+    EXPECT_EQ(percent(0.0028, 2), "0.28 %");
+    EXPECT_EQ(percent(1.0), "100.0 %");
+}
+
+TEST(Format, HumanCount) {
+    EXPECT_EQ(human_count(950), "950");
+    EXPECT_EQ(human_count(802585), "802.6 k");
+    EXPECT_EQ(human_count(2257938), "2.26 M");
+    EXPECT_EQ(human_count(2.2e9), "2.20 G");
+}
+
+TEST(Format, Fixed) {
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fixed(-1.5, 0), "-2");  // round-half-even via printf
+}
+
+TEST(Format, TextTableAlignment) {
+    TextTable t;
+    t.add_row({"h1", "h2"});
+    t.add_row({"a", "1234"});
+    t.add_row({"bb"});
+    const std::string out = t.render();
+    // Header rule present, columns padded, missing cells tolerated.
+    EXPECT_NE(out.find("h1"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_NE(out.find("1234"), std::string::npos);
+    const auto first_line_end = out.find('\n');
+    const auto rule_end = out.find('\n', first_line_end + 1);
+    const auto third_end = out.find('\n', rule_end + 1);
+    const auto fourth_end = out.find('\n', third_end + 1);
+    // All data rows have equal rendered width.
+    EXPECT_EQ(third_end - rule_end, fourth_end - third_end);
+}
+
+TEST(Format, BarLineClamps) {
+    const auto full = bar_line("x", 1.5, 10);
+    EXPECT_NE(full.find("##########"), std::string::npos);
+    const auto empty = bar_line("x", -0.5, 10);
+    EXPECT_EQ(empty.find('#'), std::string::npos);
+}
+
+TEST(Format, DurationToString) {
+    EXPECT_EQ(to_string(Duration::nanos(870)), "870 ns");
+    EXPECT_EQ(to_string(Duration::micros(12)), "12.00 us");
+    EXPECT_EQ(to_string(Duration::from_ms(12.3)), "12.300 ms");
+    EXPECT_EQ(to_string(Duration::seconds(3)), "3.000 s");
+}
+
+}  // namespace
+}  // namespace spinscope::util

@@ -1,0 +1,177 @@
+// Unit tests for util::Rng — determinism, distribution sanity, edge cases.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace spinscope::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+    Rng a{42};
+    Rng b{42};
+    for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a{1};
+    Rng b{2};
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (a.next() == b.next()) ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+    Rng rng{7};
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; ++i) first.push_back(rng.next());
+    rng.reseed(7);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.next(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation) {
+    Rng parent{99};
+    Rng child = parent.fork(1);
+    // The child must not replay the parent's stream.
+    Rng parent2{99};
+    (void)parent2.next();  // parent consumed one draw to make the fork
+    int equal = 0;
+    for (int i = 0; i < 256; ++i) {
+        if (child.next() == parent2.next()) ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkDifferentStreamsDiffer) {
+    Rng parent{5};
+    Rng a = parent.fork(1);
+    Rng b = parent.fork(2);
+    int equal = 0;
+    for (int i = 0; i < 256; ++i) {
+        if (a.next() == b.next()) ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformU64ZeroBoundYieldsZero) {
+    Rng rng{1};
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_u64(0), 0u);
+}
+
+TEST(Rng, UniformU64StaysBelowBound) {
+    Rng rng{1};
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 7ULL, 100ULL, 1ULL << 33}) {
+        for (int i = 0; i < 2000; ++i) ASSERT_LT(rng.uniform_u64(bound), bound);
+    }
+}
+
+TEST(Rng, UniformU64CoversSmallRange) {
+    Rng rng{123};
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_u64(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformI64InclusiveBounds) {
+    Rng rng{11};
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.uniform_i64(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+    Rng rng{3};
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniform_double();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceClampsProbabilities) {
+    Rng rng{4};
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_FALSE(rng.chance(-1.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_TRUE(rng.chance(2.0));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+    Rng rng{5};
+    int hits = 0;
+    constexpr int kTrials = 40000;
+    for (int i = 0; i < kTrials; ++i) {
+        if (rng.chance(0.3)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.015);
+}
+
+TEST(Rng, OneInZeroNeverFires) {
+    Rng rng{6};
+    for (int i = 0; i < 1000; ++i) EXPECT_FALSE(rng.one_in(0));
+}
+
+TEST(Rng, OneInOneAlwaysFires) {
+    Rng rng{6};
+    for (int i = 0; i < 1000; ++i) EXPECT_TRUE(rng.one_in(1));
+}
+
+TEST(Rng, CoinIsRoughlyFair) {
+    Rng rng{8};
+    int heads = 0;
+    constexpr int kTrials = 40000;
+    for (int i = 0; i < kTrials; ++i) {
+        if (rng.coin()) ++heads;
+    }
+    EXPECT_NEAR(static_cast<double>(heads) / kTrials, 0.5, 0.015);
+}
+
+// Property sweep: the RFC 9000/9312 lottery rates must track 1/n.
+class OneInRate : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OneInRate, FiresAtExpectedRate) {
+    const std::uint64_t n = GetParam();
+    Rng rng{n * 77 + 1};
+    constexpr int kTrials = 64000;
+    int fires = 0;
+    for (int i = 0; i < kTrials; ++i) {
+        if (rng.one_in(n)) ++fires;
+    }
+    const double expected = 1.0 / static_cast<double>(n);
+    EXPECT_NEAR(static_cast<double>(fires) / kTrials, expected, 4.0 * expected + 0.002);
+}
+
+INSTANTIATE_TEST_SUITE_P(LotteryRates, OneInRate,
+                         ::testing::Values(2ULL, 4ULL, 8ULL, 16ULL, 32ULL, 100ULL));
+
+TEST(Splitmix, KnownAvalancheBehaviour) {
+    // Two adjacent states must produce very different outputs.
+    std::uint64_t s1 = 0;
+    std::uint64_t s2 = 1;
+    const auto a = splitmix64_next(s1);
+    const auto b = splitmix64_next(s2);
+    EXPECT_NE(a, b);
+    EXPECT_GT(__builtin_popcountll(a ^ b), 10);
+}
+
+}  // namespace
+}  // namespace spinscope::util

@@ -1,0 +1,257 @@
+// Unit tests for the synthetic web population: determinism, calibrated
+// marginals, host pools and longitudinal spin behaviour.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "web/population.hpp"
+
+namespace spinscope::web {
+namespace {
+
+PopulationConfig small_config() { return {20000.0, 20230520}; }
+
+TEST(Population, DeterministicForSeed) {
+    Population a{small_config()};
+    Population b{small_config()};
+    ASSERT_EQ(a.domains().size(), b.domains().size());
+    for (std::size_t i = 0; i < a.domains().size(); ++i) {
+        const auto& da = a.domains()[i];
+        const auto& db = b.domains()[i];
+        ASSERT_EQ(da.org, db.org);
+        ASSERT_EQ(da.quic, db.quic);
+        ASSERT_EQ(da.ipv4_host, db.ipv4_host);
+        ASSERT_FLOAT_EQ(da.rtt_ms, db.rtt_ms);
+    }
+}
+
+TEST(Population, DifferentSeedsDiffer) {
+    Population a{{20000.0, 1}};
+    Population b{{20000.0, 2}};
+    ASSERT_EQ(a.domains().size(), b.domains().size());
+    std::size_t differing = 0;
+    for (std::size_t i = 0; i < a.domains().size(); ++i) {
+        if (a.domains()[i].quic != b.domains()[i].quic ||
+            a.domains()[i].org != b.domains()[i].org) {
+            ++differing;
+        }
+    }
+    EXPECT_GT(differing, a.domains().size() / 100);
+}
+
+TEST(Population, SegmentCountsScale) {
+    Population pop{small_config()};
+    std::map<Segment, std::size_t> counts;
+    for (const auto& d : pop.domains()) ++counts[d.segment];
+    // 183.0M / 20000 ~ 9152, (216.5-183.0)M / 20000 ~ 1673.
+    EXPECT_NEAR(static_cast<double>(counts[Segment::czds_cno]), 9152.0, 5.0);
+    EXPECT_NEAR(static_cast<double>(counts[Segment::czds_other]), 1673.0, 5.0);
+    EXPECT_GT(counts[Segment::toplist_extra], 30u);
+}
+
+TEST(Population, ResolveAndQuicRatesMatchShape) {
+    Population pop{{2000.0, 7}};
+    std::size_t cno_total = 0;
+    std::size_t cno_resolved = 0;
+    std::size_t cno_quic = 0;
+    for (const auto& d : pop.domains()) {
+        if (d.segment != Segment::czds_cno || d.on_toplist) continue;
+        ++cno_total;
+        if (d.resolves) ++cno_resolved;
+        if (d.quic) ++cno_quic;
+    }
+    const auto& shape = pop.shape();
+    EXPECT_NEAR(static_cast<double>(cno_resolved) / cno_total, shape.resolve_cno, 0.01);
+    EXPECT_NEAR(static_cast<double>(cno_quic) / cno_resolved, shape.quic_cno, 0.01);
+}
+
+TEST(Population, QuicImpliesResolves) {
+    Population pop{small_config()};
+    for (const auto& d : pop.domains()) {
+        if (d.quic) {
+            ASSERT_TRUE(d.resolves);
+        }
+    }
+}
+
+TEST(Population, OrgWeightsRoughlyRespected) {
+    Population pop{{2000.0, 9}};
+    std::map<std::string, std::size_t> quic_by_org;
+    std::size_t quic_total = 0;
+    for (const auto& d : pop.domains()) {
+        if (d.segment != Segment::czds_cno || !d.quic || d.on_toplist) continue;
+        ++quic_by_org[pop.org_of(d).name];
+        ++quic_total;
+    }
+    ASSERT_GT(quic_total, 1000u);
+    EXPECT_NEAR(static_cast<double>(quic_by_org["Cloudflare"]) / quic_total, 0.504, 0.03);
+    EXPECT_NEAR(static_cast<double>(quic_by_org["Google"]) / quic_total, 0.270, 0.03);
+    EXPECT_NEAR(static_cast<double>(quic_by_org["Hostinger"]) / quic_total, 0.068, 0.015);
+}
+
+TEST(Population, HostIndicesWithinPool) {
+    Population pop{small_config()};
+    for (const auto& d : pop.domains()) {
+        if (!d.resolves) continue;
+        ASSERT_LT(d.ipv4_host, pop.ipv4_pool(d.org));
+        ASSERT_LT(d.ipv6_host, pop.ipv6_pool(d.org));
+    }
+}
+
+TEST(Population, SharedHostingDensity) {
+    Population pop{{2000.0, 11}};
+    // Cloudflare serves many domains per IP, small hosters far fewer.
+    std::map<std::uint64_t, std::size_t> per_host;
+    std::size_t cloudflare_domains = 0;
+    for (const auto& d : pop.domains()) {
+        if (!d.quic) continue;
+        if (pop.org_of(d).name != "Cloudflare") continue;
+        ++per_host[pop.host_key(d, false)];
+        ++cloudflare_domains;
+    }
+    ASSERT_GT(cloudflare_domains, 100u);
+    const double density =
+        static_cast<double>(cloudflare_domains) / static_cast<double>(per_host.size());
+    EXPECT_GT(density, 50.0);
+}
+
+TEST(Population, HostKeyDistinguishesFamiliesAndOrgs) {
+    Population pop{small_config()};
+    const Domain* a = nullptr;
+    for (const auto& d : pop.domains()) {
+        if (d.resolves) {
+            a = &d;
+            break;
+        }
+    }
+    ASSERT_NE(a, nullptr);
+    EXPECT_NE(pop.host_key(*a, false), pop.host_key(*a, true));
+}
+
+TEST(Population, RttsAreSane) {
+    Population pop{small_config()};
+    for (const auto& d : pop.domains()) {
+        if (!d.resolves) continue;
+        ASSERT_GE(d.rtt_ms, 0.8F);
+        ASSERT_LE(d.rtt_ms, 400.0F);
+    }
+}
+
+TEST(Population, HyperscalersNeverSpin) {
+    Population pop{{2000.0, 13}};
+    for (const auto& d : pop.domains()) {
+        if (!d.quic) continue;
+        const auto& org = pop.org_of(d);
+        if (org.name == "Cloudflare" || org.name == "Fastly") {
+            for (int week : {0, 20, 57}) {
+                ASSERT_FALSE(pop.host_spins(d, week, false));
+                ASSERT_FALSE(pop.host_spins(d, week, true));
+            }
+        }
+    }
+}
+
+TEST(Population, SpinEnableRateTracksProfile) {
+    Population pop{{1000.0, 20230520}};
+    std::size_t hostinger = 0;
+    std::size_t enabled = 0;
+    for (const auto& d : pop.domains()) {
+        if (!d.quic || pop.org_of(d).name != "Hostinger") continue;
+        ++hostinger;
+        if (pop.host_spins(d, 57, false)) ++enabled;
+    }
+    ASSERT_GT(hostinger, 500u);
+    const double rate = pop.orgs()[2].spin_host_rate;  // Hostinger profile
+    EXPECT_EQ(pop.orgs()[2].name, "Hostinger");
+    EXPECT_NEAR(static_cast<double>(enabled) / hostinger, rate, 0.10);
+}
+
+TEST(Population, StableHostsKeepStateAcrossWeeks) {
+    Population pop{{4000.0, 3}};
+    // With churn, week-to-week flips happen but most states persist.
+    std::size_t transitions = 0;
+    std::size_t observations = 0;
+    for (const auto& d : pop.domains()) {
+        if (!d.quic || pop.org_of(d).spin_host_rate <= 0.0) continue;
+        bool last = pop.host_spins(d, 0, false);
+        for (int week = 1; week < 10; ++week) {
+            const bool now = pop.host_spins(d, week, false);
+            ++observations;
+            if (now != last) ++transitions;
+            last = now;
+        }
+    }
+    ASSERT_GT(observations, 1000u);
+    EXPECT_LT(static_cast<double>(transitions) / observations, 0.25);
+    EXPECT_GT(transitions, 0u);
+}
+
+TEST(Population, HostSpinsDeterministicPerWeek) {
+    Population pop{{4000.0, 5}};
+    for (const auto& d : pop.domains()) {
+        if (!d.quic) continue;
+        for (int week : {0, 3, 57}) {
+            ASSERT_EQ(pop.host_spins(d, week, false), pop.host_spins(d, week, false));
+        }
+    }
+}
+
+TEST(Population, DisabledPolicyMostlyZero) {
+    Population pop{{2000.0, 17}};
+    std::map<quic::SpinPolicy, std::size_t> counts;
+    std::size_t total = 0;
+    for (const auto& d : pop.domains()) {
+        if (!d.quic) continue;
+        ++counts[pop.host_disabled_policy(d, false)];
+        ++total;
+    }
+    ASSERT_GT(total, 5000u);
+    EXPECT_GT(static_cast<double>(counts[quic::SpinPolicy::always_zero]) / total, 0.99);
+    EXPECT_GT(counts[quic::SpinPolicy::always_one], 0u);
+    EXPECT_LT(static_cast<double>(counts[quic::SpinPolicy::always_one]) / total, 0.01);
+}
+
+TEST(Population, NamesAndAddressesWellFormed) {
+    Population pop{small_config()};
+    const auto& d = pop.domains().front();
+    const auto name = pop.domain_name(d);
+    EXPECT_EQ(name.find("d0"), 0u);
+    EXPECT_NE(name.find('.'), std::string::npos);
+    const auto v4 = pop.host_address(d, false);
+    EXPECT_EQ(v4.find("10."), 0u);
+    const auto v6 = pop.host_address(d, true);
+    EXPECT_EQ(v6.find("fd00:"), 0u);
+}
+
+TEST(Population, StacksCoverProfiles) {
+    Population pop{small_config()};
+    ASSERT_EQ(pop.stacks().size(), kStackCount);
+    for (const auto& org : pop.orgs()) {
+        ASSERT_LT(org.stack, pop.stacks().size());
+    }
+    EXPECT_EQ(pop.stacks()[kStackLiteSpeed].name, "LiteSpeed");
+    // LiteSpeed-family stacks participate in spinning when enabled.
+    EXPECT_EQ(pop.stacks()[kStackLiteSpeed].spin_enabled.policy, quic::SpinPolicy::spin);
+    EXPECT_EQ(pop.stacks()[kStackLiteSpeed].spin_enabled.lottery_one_in, 16u);
+}
+
+TEST(Population, ToplistFlagPlacement) {
+    Population pop{{2000.0, 19}};
+    std::size_t toplist = 0;
+    std::size_t extra = 0;
+    for (const auto& d : pop.domains()) {
+        if (d.on_toplist) ++toplist;
+        if (d.segment == Segment::toplist_extra) {
+            ++extra;
+            ASSERT_TRUE(d.on_toplist);
+        }
+    }
+    // ~2.73M/2000 total toplist entries, 30 % outside CZDS.
+    EXPECT_NEAR(static_cast<double>(toplist), 2732702.0 / 2000.0, 120.0);
+    EXPECT_NEAR(static_cast<double>(extra), 0.3 * 2732702.0 / 2000.0, 40.0);
+}
+
+}  // namespace
+}  // namespace spinscope::web
