@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_spin.dir/bench_ablation_spin.cpp.o"
+  "CMakeFiles/bench_ablation_spin.dir/bench_ablation_spin.cpp.o.d"
+  "bench_ablation_spin"
+  "bench_ablation_spin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_spin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

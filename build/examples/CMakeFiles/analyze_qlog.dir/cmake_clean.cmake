@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_qlog.dir/analyze_qlog.cpp.o"
+  "CMakeFiles/analyze_qlog.dir/analyze_qlog.cpp.o.d"
+  "analyze_qlog"
+  "analyze_qlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_qlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passive_monitor.dir/passive_monitor.cpp.o"
+  "CMakeFiles/passive_monitor.dir/passive_monitor.cpp.o.d"
+  "passive_monitor"
+  "passive_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passive_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_to_qlog.dir/scan_to_qlog.cpp.o"
+  "CMakeFiles/scan_to_qlog.dir/scan_to_qlog.cpp.o.d"
+  "scan_to_qlog"
+  "scan_to_qlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_to_qlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

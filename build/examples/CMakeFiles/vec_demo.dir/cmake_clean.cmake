@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vec_demo.dir/vec_demo.cpp.o"
+  "CMakeFiles/vec_demo.dir/vec_demo.cpp.o.d"
+  "vec_demo"
+  "vec_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vec_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spinscope_analysis.dir/accuracy.cpp.o"
+  "CMakeFiles/spinscope_analysis.dir/accuracy.cpp.o.d"
+  "CMakeFiles/spinscope_analysis.dir/adoption.cpp.o"
+  "CMakeFiles/spinscope_analysis.dir/adoption.cpp.o.d"
+  "CMakeFiles/spinscope_analysis.dir/csv.cpp.o"
+  "CMakeFiles/spinscope_analysis.dir/csv.cpp.o.d"
+  "CMakeFiles/spinscope_analysis.dir/longitudinal.cpp.o"
+  "CMakeFiles/spinscope_analysis.dir/longitudinal.cpp.o.d"
+  "libspinscope_analysis.a"
+  "libspinscope_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spinscope_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accuracy.cpp" "src/core/CMakeFiles/spinscope_core.dir/accuracy.cpp.o" "gcc" "src/core/CMakeFiles/spinscope_core.dir/accuracy.cpp.o.d"
+  "/root/repo/src/core/flow_monitor.cpp" "src/core/CMakeFiles/spinscope_core.dir/flow_monitor.cpp.o" "gcc" "src/core/CMakeFiles/spinscope_core.dir/flow_monitor.cpp.o.d"
+  "/root/repo/src/core/observer.cpp" "src/core/CMakeFiles/spinscope_core.dir/observer.cpp.o" "gcc" "src/core/CMakeFiles/spinscope_core.dir/observer.cpp.o.d"
+  "/root/repo/src/core/wire_observer.cpp" "src/core/CMakeFiles/spinscope_core.dir/wire_observer.cpp.o" "gcc" "src/core/CMakeFiles/spinscope_core.dir/wire_observer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quic/CMakeFiles/spinscope_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/qlog/CMakeFiles/spinscope_qlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/spinscope_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spinscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

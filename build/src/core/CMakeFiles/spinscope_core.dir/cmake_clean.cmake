@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spinscope_core.dir/accuracy.cpp.o"
+  "CMakeFiles/spinscope_core.dir/accuracy.cpp.o.d"
+  "CMakeFiles/spinscope_core.dir/flow_monitor.cpp.o"
+  "CMakeFiles/spinscope_core.dir/flow_monitor.cpp.o.d"
+  "CMakeFiles/spinscope_core.dir/observer.cpp.o"
+  "CMakeFiles/spinscope_core.dir/observer.cpp.o.d"
+  "CMakeFiles/spinscope_core.dir/wire_observer.cpp.o"
+  "CMakeFiles/spinscope_core.dir/wire_observer.cpp.o.d"
+  "libspinscope_core.a"
+  "libspinscope_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spinscope_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

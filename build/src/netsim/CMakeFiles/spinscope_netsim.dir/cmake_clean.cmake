@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spinscope_netsim.dir/link.cpp.o"
+  "CMakeFiles/spinscope_netsim.dir/link.cpp.o.d"
+  "CMakeFiles/spinscope_netsim.dir/simulator.cpp.o"
+  "CMakeFiles/spinscope_netsim.dir/simulator.cpp.o.d"
+  "libspinscope_netsim.a"
+  "libspinscope_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spinscope_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

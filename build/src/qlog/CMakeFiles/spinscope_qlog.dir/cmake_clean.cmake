@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spinscope_qlog.dir/store.cpp.o"
+  "CMakeFiles/spinscope_qlog.dir/store.cpp.o.d"
+  "CMakeFiles/spinscope_qlog.dir/trace.cpp.o"
+  "CMakeFiles/spinscope_qlog.dir/trace.cpp.o.d"
+  "libspinscope_qlog.a"
+  "libspinscope_qlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spinscope_qlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

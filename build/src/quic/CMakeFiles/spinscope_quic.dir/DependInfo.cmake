@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quic/ack_tracker.cpp" "src/quic/CMakeFiles/spinscope_quic.dir/ack_tracker.cpp.o" "gcc" "src/quic/CMakeFiles/spinscope_quic.dir/ack_tracker.cpp.o.d"
+  "/root/repo/src/quic/connection.cpp" "src/quic/CMakeFiles/spinscope_quic.dir/connection.cpp.o" "gcc" "src/quic/CMakeFiles/spinscope_quic.dir/connection.cpp.o.d"
+  "/root/repo/src/quic/frame.cpp" "src/quic/CMakeFiles/spinscope_quic.dir/frame.cpp.o" "gcc" "src/quic/CMakeFiles/spinscope_quic.dir/frame.cpp.o.d"
+  "/root/repo/src/quic/packet.cpp" "src/quic/CMakeFiles/spinscope_quic.dir/packet.cpp.o" "gcc" "src/quic/CMakeFiles/spinscope_quic.dir/packet.cpp.o.d"
+  "/root/repo/src/quic/rtt_estimator.cpp" "src/quic/CMakeFiles/spinscope_quic.dir/rtt_estimator.cpp.o" "gcc" "src/quic/CMakeFiles/spinscope_quic.dir/rtt_estimator.cpp.o.d"
+  "/root/repo/src/quic/spin.cpp" "src/quic/CMakeFiles/spinscope_quic.dir/spin.cpp.o" "gcc" "src/quic/CMakeFiles/spinscope_quic.dir/spin.cpp.o.d"
+  "/root/repo/src/quic/stream.cpp" "src/quic/CMakeFiles/spinscope_quic.dir/stream.cpp.o" "gcc" "src/quic/CMakeFiles/spinscope_quic.dir/stream.cpp.o.d"
+  "/root/repo/src/quic/types.cpp" "src/quic/CMakeFiles/spinscope_quic.dir/types.cpp.o" "gcc" "src/quic/CMakeFiles/spinscope_quic.dir/types.cpp.o.d"
+  "/root/repo/src/quic/varint.cpp" "src/quic/CMakeFiles/spinscope_quic.dir/varint.cpp.o" "gcc" "src/quic/CMakeFiles/spinscope_quic.dir/varint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spinscope_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/spinscope_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

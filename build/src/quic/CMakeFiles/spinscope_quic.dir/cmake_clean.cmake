@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spinscope_quic.dir/ack_tracker.cpp.o"
+  "CMakeFiles/spinscope_quic.dir/ack_tracker.cpp.o.d"
+  "CMakeFiles/spinscope_quic.dir/connection.cpp.o"
+  "CMakeFiles/spinscope_quic.dir/connection.cpp.o.d"
+  "CMakeFiles/spinscope_quic.dir/frame.cpp.o"
+  "CMakeFiles/spinscope_quic.dir/frame.cpp.o.d"
+  "CMakeFiles/spinscope_quic.dir/packet.cpp.o"
+  "CMakeFiles/spinscope_quic.dir/packet.cpp.o.d"
+  "CMakeFiles/spinscope_quic.dir/rtt_estimator.cpp.o"
+  "CMakeFiles/spinscope_quic.dir/rtt_estimator.cpp.o.d"
+  "CMakeFiles/spinscope_quic.dir/spin.cpp.o"
+  "CMakeFiles/spinscope_quic.dir/spin.cpp.o.d"
+  "CMakeFiles/spinscope_quic.dir/stream.cpp.o"
+  "CMakeFiles/spinscope_quic.dir/stream.cpp.o.d"
+  "CMakeFiles/spinscope_quic.dir/types.cpp.o"
+  "CMakeFiles/spinscope_quic.dir/types.cpp.o.d"
+  "CMakeFiles/spinscope_quic.dir/varint.cpp.o"
+  "CMakeFiles/spinscope_quic.dir/varint.cpp.o.d"
+  "libspinscope_quic.a"
+  "libspinscope_quic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spinscope_quic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

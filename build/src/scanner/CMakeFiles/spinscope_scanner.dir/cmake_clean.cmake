@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spinscope_scanner.dir/campaign.cpp.o"
+  "CMakeFiles/spinscope_scanner.dir/campaign.cpp.o.d"
+  "CMakeFiles/spinscope_scanner.dir/http3_mini.cpp.o"
+  "CMakeFiles/spinscope_scanner.dir/http3_mini.cpp.o.d"
+  "libspinscope_scanner.a"
+  "libspinscope_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spinscope_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

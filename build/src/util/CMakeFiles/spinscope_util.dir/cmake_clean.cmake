@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spinscope_util.dir/distributions.cpp.o"
+  "CMakeFiles/spinscope_util.dir/distributions.cpp.o.d"
+  "CMakeFiles/spinscope_util.dir/format.cpp.o"
+  "CMakeFiles/spinscope_util.dir/format.cpp.o.d"
+  "CMakeFiles/spinscope_util.dir/stats.cpp.o"
+  "CMakeFiles/spinscope_util.dir/stats.cpp.o.d"
+  "libspinscope_util.a"
+  "libspinscope_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spinscope_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

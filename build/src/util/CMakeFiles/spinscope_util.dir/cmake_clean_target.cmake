@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspinscope_util.a"
+)

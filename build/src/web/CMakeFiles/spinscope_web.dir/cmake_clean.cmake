@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spinscope_web.dir/population.cpp.o"
+  "CMakeFiles/spinscope_web.dir/population.cpp.o.d"
+  "libspinscope_web.a"
+  "libspinscope_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spinscope_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core_flow_monitor.cpp" "tests/CMakeFiles/test_core_flow_monitor.dir/test_core_flow_monitor.cpp.o" "gcc" "tests/CMakeFiles/test_core_flow_monitor.dir/test_core_flow_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/spinscope_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/scanner/CMakeFiles/spinscope_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spinscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/spinscope_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/quic/CMakeFiles/spinscope_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/qlog/CMakeFiles/spinscope_qlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/spinscope_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spinscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

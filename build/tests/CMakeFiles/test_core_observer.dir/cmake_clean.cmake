@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_observer.dir/test_core_observer.cpp.o"
+  "CMakeFiles/test_core_observer.dir/test_core_observer.cpp.o.d"
+  "test_core_observer"
+  "test_core_observer.pdb"
+  "test_core_observer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_observer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

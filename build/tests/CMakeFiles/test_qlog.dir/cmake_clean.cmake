@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qlog.dir/test_qlog.cpp.o"
+  "CMakeFiles/test_qlog.dir/test_qlog.cpp.o.d"
+  "test_qlog"
+  "test_qlog.pdb"
+  "test_qlog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

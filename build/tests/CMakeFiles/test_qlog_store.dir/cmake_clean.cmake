@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qlog_store.dir/test_qlog_store.cpp.o"
+  "CMakeFiles/test_qlog_store.dir/test_qlog_store.cpp.o.d"
+  "test_qlog_store"
+  "test_qlog_store.pdb"
+  "test_qlog_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qlog_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

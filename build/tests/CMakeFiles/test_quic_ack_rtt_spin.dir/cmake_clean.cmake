@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quic_ack_rtt_spin.dir/test_quic_ack_rtt_spin.cpp.o"
+  "CMakeFiles/test_quic_ack_rtt_spin.dir/test_quic_ack_rtt_spin.cpp.o.d"
+  "test_quic_ack_rtt_spin"
+  "test_quic_ack_rtt_spin.pdb"
+  "test_quic_ack_rtt_spin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quic_ack_rtt_spin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

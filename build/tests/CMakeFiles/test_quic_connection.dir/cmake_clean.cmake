@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quic_connection.dir/test_quic_connection.cpp.o"
+  "CMakeFiles/test_quic_connection.dir/test_quic_connection.cpp.o.d"
+  "test_quic_connection"
+  "test_quic_connection.pdb"
+  "test_quic_connection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quic_connection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

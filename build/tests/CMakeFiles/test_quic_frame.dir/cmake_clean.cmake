@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quic_frame.dir/test_quic_frame.cpp.o"
+  "CMakeFiles/test_quic_frame.dir/test_quic_frame.cpp.o.d"
+  "test_quic_frame"
+  "test_quic_frame.pdb"
+  "test_quic_frame[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quic_frame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

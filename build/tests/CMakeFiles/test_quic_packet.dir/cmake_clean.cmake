@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quic_packet.dir/test_quic_packet.cpp.o"
+  "CMakeFiles/test_quic_packet.dir/test_quic_packet.cpp.o.d"
+  "test_quic_packet"
+  "test_quic_packet.pdb"
+  "test_quic_packet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quic_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quic_robustness.dir/test_quic_robustness.cpp.o"
+  "CMakeFiles/test_quic_robustness.dir/test_quic_robustness.cpp.o.d"
+  "test_quic_robustness"
+  "test_quic_robustness.pdb"
+  "test_quic_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quic_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quic_stream.dir/test_quic_stream.cpp.o"
+  "CMakeFiles/test_quic_stream.dir/test_quic_stream.cpp.o.d"
+  "test_quic_stream"
+  "test_quic_stream.pdb"
+  "test_quic_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quic_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

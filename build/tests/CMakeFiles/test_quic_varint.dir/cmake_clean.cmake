@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quic_varint.dir/test_quic_varint.cpp.o"
+  "CMakeFiles/test_quic_varint.dir/test_quic_varint.cpp.o.d"
+  "test_quic_varint"
+  "test_quic_varint.pdb"
+  "test_quic_varint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quic_varint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_distributions.dir/test_util_distributions.cpp.o"
+  "CMakeFiles/test_util_distributions.dir/test_util_distributions.cpp.o.d"
+  "test_util_distributions"
+  "test_util_distributions.pdb"
+  "test_util_distributions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_web_population.dir/test_web_population.cpp.o"
+  "CMakeFiles/test_web_population.dir/test_web_population.cpp.o.d"
+  "test_web_population"
+  "test_web_population.pdb"
+  "test_web_population[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_web_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_util_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_util_distributions[1]_include.cmake")
+include("/root/repo/build/tests/test_util_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_netsim[1]_include.cmake")
+include("/root/repo/build/tests/test_quic_varint[1]_include.cmake")
+include("/root/repo/build/tests/test_quic_packet[1]_include.cmake")
+include("/root/repo/build/tests/test_quic_frame[1]_include.cmake")
+include("/root/repo/build/tests/test_quic_ack_rtt_spin[1]_include.cmake")
+include("/root/repo/build/tests/test_quic_stream[1]_include.cmake")
+include("/root/repo/build/tests/test_quic_connection[1]_include.cmake")
+include("/root/repo/build/tests/test_qlog[1]_include.cmake")
+include("/root/repo/build/tests/test_core_observer[1]_include.cmake")
+include("/root/repo/build/tests/test_core_accuracy[1]_include.cmake")
+include("/root/repo/build/tests/test_core_wire_observer[1]_include.cmake")
+include("/root/repo/build/tests/test_web_population[1]_include.cmake")
+include("/root/repo/build/tests/test_scanner[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_vec[1]_include.cmake")
+include("/root/repo/build/tests/test_quic_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_qlog_store[1]_include.cmake")
+include("/root/repo/build/tests/test_core_flow_monitor[1]_include.cmake")
