@@ -13,6 +13,9 @@
 #include <cstring>
 #include <string>
 
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+
 namespace spinscope::bench {
 
 /// Common harness options. `scale` divides the paper's CW 20/2023 universe;
@@ -25,6 +28,9 @@ struct Options {
     /// When non-empty, figure benches also write their data series as
     /// <csv_prefix><figure>.csv for external plotting.
     std::string csv_prefix;
+    /// Telemetry sidecar path; "<bench>.telemetry.json" by default,
+    /// overridable with --telemetry=path, disabled with --telemetry=off.
+    std::string telemetry_path;
 };
 
 inline Options parse_options(int argc, char** argv, std::uint64_t default_count = 0) {
@@ -40,13 +46,34 @@ inline Options parse_options(int argc, char** argv, std::uint64_t default_count 
             options.count = std::strtoull(arg + 8, nullptr, 10);
         } else if (std::strncmp(arg, "--csv=", 6) == 0) {
             options.csv_prefix = arg + 6;
+        } else if (std::strncmp(arg, "--telemetry=", 12) == 0) {
+            options.telemetry_path = arg + 12;
         } else if (std::strcmp(arg, "--help") == 0) {
-            std::printf("usage: %s [--scale=N] [--seed=N] [--count=N] [--csv=prefix]\n",
-                        argv[0]);
+            std::printf(
+                "usage: %s [--scale=N] [--seed=N] [--count=N] [--csv=prefix] "
+                "[--telemetry=path|off]\n",
+                argv[0]);
             std::exit(0);
         }
     }
     return options;
+}
+
+/// Writes the run's metrics registry as a JSON sidecar next to the bench
+/// output, so a BENCH_*.json delta can be attributed to specific phases.
+/// `name` is the bench identifier ("table1"); the default path is
+/// <name>.telemetry.json. --telemetry=off suppresses the sidecar.
+inline void write_telemetry(const Options& options, const char* name,
+                            const telemetry::MetricsRegistry& registry) {
+    if (options.telemetry_path == "off") return;
+    const std::string path = options.telemetry_path.empty()
+                                 ? std::string{name} + ".telemetry.json"
+                                 : options.telemetry_path;
+    if (telemetry::write_json_file(registry, path)) {
+        std::printf("wrote %s (%zu metrics)\n", path.c_str(), registry.size());
+    } else {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    }
 }
 
 /// RAII wall-clock section timer.

@@ -29,9 +29,13 @@ int main(int argc, char** argv) {
     scan_options.week = 57;  // CW 20/2023, counted from CW 15/2022
     scanner::Campaign campaign{population, scan_options};
 
+    telemetry::MetricsRegistry registry;
+    campaign.set_metrics(&registry);
+
     analysis::AdoptionAggregator aggregator{population, /*ipv6=*/false};
     std::uint64_t scanned = 0;
-    campaign.run([&](const web::Domain& domain, scanner::DomainScan&& scan) {
+    const auto stats = campaign.run([&](const web::Domain& domain,
+                                        scanner::DomainScan&& scan) {
         aggregator.add(domain, scan);
         ++scanned;
     });
@@ -44,7 +48,9 @@ int main(int argc, char** argv) {
                 "               #IPs                  10 271 558 ->   259 766 -> 45.3 %%\n"
                 "  com/net/org  #Domains 183 047 638 -> 158 891 771 -> 18 415 242 -> 11.1 %%\n"
                 "               #IPs                   9 203 681 ->   242 877 -> 46.4 %%\n");
-    std::printf("\nscanned %llu domains in %.1f s\n",
-                static_cast<unsigned long long>(scanned), watch.seconds());
+    std::printf("\nscanned %llu domains in %.1f s (%.0f domains/sec, QUIC-ok %.1f %%)\n",
+                static_cast<unsigned long long>(scanned), watch.seconds(),
+                stats.domains_per_sec(), stats.quic_ok_rate() * 100.0);
+    bench::write_telemetry(options, "table1", registry);
     return 0;
 }

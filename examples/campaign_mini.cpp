@@ -4,6 +4,11 @@
 // synthesize a small web population, scan every domain over HTTP/3-mini,
 // classify spin behaviour, and print an adoption overview plus the accuracy
 // headlines — the whole §3 pipeline in one runnable program.
+//
+// The run is fully instrumented: a telemetry::MetricsRegistry collects
+// simulator, link, QUIC and scanner metrics across every attempt, prints the
+// campaign snapshot, and writes a machine-readable JSON sidecar
+// (campaign_mini.telemetry.json) for offline attribution.
 
 #include <cstdio>
 
@@ -11,6 +16,7 @@
 #include "analysis/adoption.hpp"
 #include "core/accuracy.hpp"
 #include "scanner/campaign.hpp"
+#include "telemetry/export.hpp"
 #include "web/population.hpp"
 
 using namespace spinscope;
@@ -32,21 +38,28 @@ int main(int argc, char** argv) {
     options.week = 57;  // CW 20/2023
     scanner::Campaign campaign{population, options};
 
+    telemetry::MetricsRegistry registry;
+    campaign.set_metrics(&registry);
+    campaign.set_progress(200, [](const scanner::CampaignStats& stats) {
+        std::printf("  ...%llu domains scanned (%.0f domains/sec, QUIC-ok %.1f %%)\n",
+                    static_cast<unsigned long long>(stats.domains_scanned),
+                    stats.domains_per_sec(), stats.quic_ok_rate() * 100.0);
+    });
+
     analysis::AdoptionAggregator adoption{population, false};
     analysis::AccuracyAggregator accuracy;
-    std::uint64_t scanned = 0;
     std::uint64_t connections = 0;
-    campaign.run([&](const web::Domain& domain, scanner::DomainScan&& scan) {
-        ++scanned;
-        for (const auto& trace : scan.connections) {
-            if (trace.outcome != qlog::ConnectionOutcome::ok) continue;
-            ++connections;
-            accuracy.add(core::assess_connection(trace));
-        }
-        adoption.add(domain, scan);
-    });
+    const scanner::CampaignStats stats =
+        campaign.run([&](const web::Domain& domain, scanner::DomainScan&& scan) {
+            for (const auto& trace : scan.connections) {
+                if (trace.outcome != qlog::ConnectionOutcome::ok) continue;
+                ++connections;
+                accuracy.add(core::assess_connection(trace));
+            }
+            adoption.add(domain, scan);
+        });
     std::printf("scanned %llu domains, %llu QUIC connections\n\n",
-                static_cast<unsigned long long>(scanned),
+                static_cast<unsigned long long>(stats.domains_scanned),
                 static_cast<unsigned long long>(connections));
 
     std::printf("--- adoption (Table 1 shape) ---\n%s\n",
@@ -57,5 +70,14 @@ int main(int argc, char** argv) {
                 adoption.render_org_table(5).c_str());
     std::printf("--- RTT accuracy (Figures 3/4 headlines) ---\n%s\n",
                 accuracy.render_headlines().c_str());
+
+    std::printf("--- campaign telemetry ---\n%s\n", stats.render().c_str());
+    const char* sidecar = "campaign_mini.telemetry.json";
+    if (telemetry::write_json_file(registry, sidecar)) {
+        std::printf("wrote %s (%zu metrics)\n", sidecar, registry.size());
+    } else {
+        std::fprintf(stderr, "failed to write %s\n", sidecar);
+        return 1;
+    }
     return 0;
 }

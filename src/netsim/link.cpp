@@ -23,6 +23,7 @@ void Link::send(Datagram datagram) {
     ++stats_.sent;
     if (rng_.chance(config_.loss_probability)) {
         ++stats_.dropped;
+        stats_.dropped_bytes += datagram.size();
         return;
     }
 
@@ -50,11 +51,25 @@ void Link::send(Datagram datagram) {
     }
     if (!reorder_event) last_scheduled_arrival_ = arrival;
 
-    sim_->schedule_at(arrival, [this, dg = std::move(datagram)] {
-        ++stats_.delivered;
-        for (const auto& tap : taps_) tap(sim_->now(), dg);
-        if (receiver_) receiver_(dg);
-    });
+    sim_->schedule_at(
+        arrival,
+        [this, dg = std::move(datagram)] {
+            ++stats_.delivered;
+            stats_.delivered_bytes += dg.size();
+            for (const auto& tap : taps_) tap(sim_->now(), dg);
+            if (receiver_) receiver_(dg);
+        },
+        "link.delivery");
+}
+
+void Link::publish_metrics(telemetry::MetricsRegistry& registry,
+                           const std::string& prefix) const {
+    registry.counter(prefix + ".sent").add(stats_.sent);
+    registry.counter(prefix + ".delivered").add(stats_.delivered);
+    registry.counter(prefix + ".dropped").add(stats_.dropped);
+    registry.counter(prefix + ".reordered").add(stats_.reordered);
+    registry.counter(prefix + ".delivered_bytes").add(stats_.delivered_bytes);
+    registry.counter(prefix + ".dropped_bytes").add(stats_.dropped_bytes);
 }
 
 Path::Path(Simulator& sim, const LinkConfig& forward, const LinkConfig& ret, util::Rng& rng)

@@ -51,10 +51,12 @@ struct LinkConfig {
 
 /// Statistics a link keeps about itself (ground truth for tests/benches).
 struct LinkStats {
-    std::uint64_t sent = 0;       ///< datagrams handed to the link
-    std::uint64_t delivered = 0;  ///< datagrams delivered to the receiver
-    std::uint64_t dropped = 0;    ///< datagrams lost
-    std::uint64_t reordered = 0;  ///< datagrams that overtook or were overtaken
+    std::uint64_t sent = 0;             ///< datagrams handed to the link
+    std::uint64_t delivered = 0;        ///< datagrams delivered to the receiver
+    std::uint64_t dropped = 0;          ///< datagrams lost
+    std::uint64_t reordered = 0;        ///< datagrams that overtook or were overtaken
+    std::uint64_t delivered_bytes = 0;  ///< payload bytes of delivered datagrams
+    std::uint64_t dropped_bytes = 0;    ///< payload bytes of lost datagrams
 };
 
 /// Unidirectional link.
@@ -81,6 +83,12 @@ public:
 
     [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
     [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
+
+    /// Adds this link's stats into `registry` as counters `<prefix>.sent`,
+    /// `.delivered`, `.dropped`, `.reordered`, `.delivered_bytes`,
+    /// `.dropped_bytes` (additive, so per-attempt links aggregate into
+    /// campaign-wide totals).
+    void publish_metrics(telemetry::MetricsRegistry& registry, const std::string& prefix) const;
 
 private:
     [[nodiscard]] Duration sample_jitter();

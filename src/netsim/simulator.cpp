@@ -4,14 +4,15 @@
 
 namespace spinscope::netsim {
 
-void Simulator::schedule_at(TimePoint t, Callback cb) {
+void Simulator::schedule_at(TimePoint t, Callback cb, const char* category) {
     if (t < now_) t = now_;
-    queue_.push(Event{t, next_seq_++, std::move(cb)});
+    queue_.push(Event{t, next_seq_++, std::move(cb), category});
+    if (queue_.size() > queue_hwm_) queue_hwm_ = queue_.size();
 }
 
-void Simulator::schedule_after(Duration d, Callback cb) {
+void Simulator::schedule_after(Duration d, Callback cb, const char* category) {
     if (d.is_negative()) d = Duration::zero();
-    schedule_at(now_ + d, std::move(cb));
+    schedule_at(now_ + d, std::move(cb), category);
 }
 
 void Simulator::pop_and_run() {
@@ -22,6 +23,17 @@ void Simulator::pop_and_run() {
     queue_.pop();
     now_ = ev.at;
     ++processed_;
+    if (ev.category != nullptr) {
+        bool found = false;
+        for (auto& [name, count] : category_counts_) {
+            if (name == ev.category) {
+                ++count;
+                found = true;
+                break;
+            }
+        }
+        if (!found) category_counts_.emplace_back(ev.category, 1);
+    }
     ev.cb();
 }
 
@@ -39,15 +51,28 @@ void Simulator::run_steps(std::size_t max_events) {
     for (std::size_t i = 0; i < max_events && !queue_.empty(); ++i) pop_and_run();
 }
 
+void Simulator::publish_metrics(telemetry::MetricsRegistry& registry,
+                                const std::string& prefix) const {
+    registry.counter(prefix + ".events_scheduled").add(next_seq_);
+    registry.counter(prefix + ".events_processed").add(processed_);
+    registry.gauge(prefix + ".queue_depth_hwm").set_max(static_cast<double>(queue_hwm_));
+    for (const auto& [category, count] : category_counts_) {
+        registry.counter(prefix + ".events." + category).add(count);
+    }
+}
+
 void Timer::set_at(TimePoint t, Callback cb) {
     const std::uint64_t generation = ++state_->generation;
     state_->armed = true;
     state_->expiry = t;
-    sim_->schedule_at(t, [state = state_, generation, cb = std::move(cb)] {
-        if (generation != state->generation || !state->armed) return;
-        state->armed = false;
-        cb();
-    });
+    sim_->schedule_at(
+        t,
+        [state = state_, generation, cb = std::move(cb)] {
+            if (generation != state->generation || !state->armed) return;
+            state->armed = false;
+            cb();
+        },
+        "timer");
 }
 
 void Timer::set_after(Duration d, Callback cb) { set_at(sim_->now() + d, std::move(cb)); }

@@ -13,8 +13,10 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <utility>
 #include <vector>
 
+#include "telemetry/metrics.hpp"
 #include "util/time.hpp"
 
 namespace spinscope::netsim {
@@ -34,11 +36,13 @@ public:
     [[nodiscard]] TimePoint now() const noexcept { return now_; }
 
     /// Schedules `cb` at absolute time `t`. Times in the past fire "now"
-    /// (the queue never runs backwards).
-    void schedule_at(TimePoint t, Callback cb);
+    /// (the queue never runs backwards). `category` optionally tags the
+    /// event for per-category accounting; it must be a string literal (or
+    /// otherwise outlive the simulator) — categories are interned by pointer.
+    void schedule_at(TimePoint t, Callback cb, const char* category = nullptr);
 
     /// Schedules `cb` after a relative delay (>= 0; negative is clamped).
-    void schedule_after(Duration d, Callback cb);
+    void schedule_after(Duration d, Callback cb, const char* category = nullptr);
 
     /// Runs events until the queue is empty.
     void run();
@@ -53,11 +57,31 @@ public:
     [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
     [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
 
+    // --- instrumentation ---------------------------------------------------
+    /// Largest queue depth ever reached (after a push).
+    [[nodiscard]] std::size_t queue_depth_high_water() const noexcept { return queue_hwm_; }
+    /// Total events ever scheduled (processed + dropped-by-never-running).
+    [[nodiscard]] std::uint64_t scheduled() const noexcept { return next_seq_; }
+    /// Events processed per category tag, in first-seen order. Untagged
+    /// events are not listed (processed() minus the sum gives them).
+    [[nodiscard]] const std::vector<std::pair<const char*, std::uint64_t>>& category_counts()
+        const noexcept {
+        return category_counts_;
+    }
+
+    /// Adds this simulator's stats into `registry` under `<prefix>.*`:
+    /// counters events_scheduled / events_processed / events.<category>, and
+    /// a queue_depth_hwm gauge (max-merged, so per-attempt publishes keep
+    /// the campaign-wide high-water mark).
+    void publish_metrics(telemetry::MetricsRegistry& registry,
+                         const std::string& prefix = "netsim.sim") const;
+
 private:
     struct Event {
         TimePoint at;
         std::uint64_t seq;
         Callback cb;
+        const char* category = nullptr;
     };
     struct Later {
         bool operator()(const Event& a, const Event& b) const noexcept {
@@ -72,6 +96,10 @@ private:
     TimePoint now_ = TimePoint::origin();
     std::uint64_t next_seq_ = 0;
     std::uint64_t processed_ = 0;
+    std::size_t queue_hwm_ = 0;
+    /// Interned by pointer: a handful of distinct literals per process, so a
+    /// linear scan beats any map.
+    std::vector<std::pair<const char*, std::uint64_t>> category_counts_;
 };
 
 /// A single re-armable, cancellable timer (QUIC PTO, idle timeout, delayed

@@ -92,7 +92,7 @@ std::optional<quic::PacketType> packet_type_from(const std::string& token) {
 
 std::optional<ConnectionOutcome> outcome_from(const std::string& token) {
     for (auto o : {ConnectionOutcome::ok, ConnectionOutcome::handshake_timeout,
-                   ConnectionOutcome::aborted}) {
+                   ConnectionOutcome::aborted, ConnectionOutcome::attempt_timeout}) {
         if (token == to_cstring(o)) return o;
     }
     return std::nullopt;

@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -57,13 +58,19 @@ enum class ConnectionOutcome : std::uint8_t {
     ok,                 ///< handshake + request/response completed
     handshake_timeout,  ///< peer silent / not QUIC-capable
     aborted,            ///< closed with error before completing
+    attempt_timeout,    ///< scanner's per-attempt deadline hit with the event
+                        ///< queue still busy (neither completed nor failed)
 };
+
+/// Number of ConnectionOutcome values (for outcome-indexed tables).
+inline constexpr std::size_t kConnectionOutcomeCount = 4;
 
 [[nodiscard]] constexpr const char* to_cstring(ConnectionOutcome o) noexcept {
     switch (o) {
         case ConnectionOutcome::ok: return "ok";
         case ConnectionOutcome::handshake_timeout: return "handshake_timeout";
         case ConnectionOutcome::aborted: return "aborted";
+        case ConnectionOutcome::attempt_timeout: return "attempt_timeout";
     }
     return "?";
 }

@@ -252,6 +252,7 @@ void Connection::handle_packet(const DecodedPacket& packet) {
     }
 
     if (packet.header.type == PacketType::one_rtt) {
+        ++counters_.one_rtt_received;
         spin_.on_packet_received(packet.header.packet_number, packet.header.spin,
                                  packet.header.vec);
     }
@@ -279,10 +280,13 @@ void Connection::schedule_flush() {
     const std::int64_t lo = config_.emission_latency_min.count_nanos();
     const std::int64_t hi = std::max(lo, config_.emission_latency_max.count_nanos());
     const Duration latency = Duration::nanos(rng_.uniform_i64(lo, hi));
-    sim_->schedule_after(latency, [this] {
-        flush_scheduled_ = false;
-        flush_now();
-    });
+    sim_->schedule_after(
+        latency,
+        [this] {
+            flush_scheduled_ = false;
+            flush_now();
+        },
+        "conn.flush");
 }
 
 void Connection::flush_now() {
@@ -492,6 +496,7 @@ void Connection::arm_pto() {
 void Connection::on_pto() {
     if (closed_ || failed_) return;
     ++counters_.pto_count;
+    ++counters_.pto_fired_total;
     if (counters_.pto_count > config_.max_pto_count) {
         fail();
         return;
@@ -568,6 +573,40 @@ void Connection::finalize_trace() {
     if (failed_) {
         trace_->outcome = handshake_complete_ ? qlog::ConnectionOutcome::aborted
                                               : qlog::ConnectionOutcome::handshake_timeout;
+    }
+}
+
+void Connection::publish_metrics(telemetry::MetricsRegistry& registry,
+                                 const std::string& prefix) const {
+    registry.counter(prefix + ".attempts").add(1);
+    if (handshake_complete_) registry.counter(prefix + ".handshake_completed").add(1);
+    if (failed_) {
+        registry
+            .counter(prefix + (handshake_complete_ ? ".failed_after_handshake"
+                                                   : ".handshake_failed"))
+            .add(1);
+    }
+    registry.counter(prefix + ".packets_sent").add(counters_.packets_sent);
+    registry.counter(prefix + ".packets_received").add(counters_.packets_received);
+    registry.counter(prefix + ".packets_lost").add(counters_.packets_lost);
+    registry.counter(prefix + ".bytes_sent").add(counters_.bytes_sent);
+    registry.counter(prefix + ".bytes_received").add(counters_.bytes_received);
+    registry.counter(prefix + ".pto_fired").add(counters_.pto_fired_total);
+
+    const std::uint64_t edges = spin_.edges_observed();
+    registry.counter(prefix + ".spin_edges_observed").add(edges);
+    // A participating peer flips about once per RTT; per-packet greasing
+    // flips on ~half of all packets. Edges on more than a third of a
+    // non-trivial 1-RTT packet sample cannot be a plausible spin wave.
+    if (counters_.one_rtt_received >= 8 && edges * 3 >= counters_.one_rtt_received) {
+        registry.counter(prefix + ".grease_suspected").add(1);
+    }
+
+    if (rtt_.has_samples()) {
+        registry.histogram(prefix + ".min_rtt_ms", telemetry::HistogramSpec{0.1, 2.0, 24})
+            .record(rtt_.min_rtt().as_ms());
+        registry.histogram(prefix + ".smoothed_rtt_ms", telemetry::HistogramSpec{0.1, 2.0, 24})
+            .record(rtt_.smoothed_rtt().as_ms());
     }
 }
 

@@ -36,6 +36,7 @@
 #include "quic/spin.hpp"
 #include "quic/stream.hpp"
 #include "quic/types.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace spinscope::quic {
@@ -87,7 +88,9 @@ struct ConnectionCounters {
     std::uint64_t packets_sent = 0;
     std::uint64_t packets_received = 0;
     std::uint64_t packets_lost = 0;   // declared lost by loss detection
-    std::uint64_t pto_count = 0;
+    std::uint64_t pto_count = 0;      // consecutive, resets on forward progress
+    std::uint64_t pto_fired_total = 0;  // cumulative over the connection's life
+    std::uint64_t one_rtt_received = 0;
     std::uint64_t bytes_sent = 0;
     std::uint64_t bytes_received = 0;
 };
@@ -143,6 +146,13 @@ public:
     /// Writes final recovery metrics into the attached trace (call once the
     /// connection is done; the scanner does this for every attempt).
     void finalize_trace();
+
+    /// Adds this connection's transport-level telemetry into `registry`
+    /// under `<prefix>.*`: attempt/handshake/failure counters, cumulative
+    /// PTO fires, loss, spin edges observed, a per-packet-grease suspicion
+    /// counter, and RTT histograms. Call once, when the connection is done.
+    void publish_metrics(telemetry::MetricsRegistry& registry,
+                         const std::string& prefix = "quic.conn") const;
 
 private:
     struct SentPacket {

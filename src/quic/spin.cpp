@@ -20,6 +20,7 @@ void SpinState::on_packet_received(PacketNumber pn, bool spin, std::uint8_t vec)
         // value (the incoming edge); later same-value packets carry 0 and
         // must not reset it.
         if (!seen_any_ || spin != highest_value_) highest_vec_ = vec;
+        if (seen_any_ && spin != highest_value_) ++edges_observed_;
         seen_any_ = true;
         highest_pn_ = pn;
         highest_value_ = spin;

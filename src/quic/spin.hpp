@@ -111,6 +111,12 @@ public:
     /// Convenience accessor for callers that ignore the VEC.
     [[nodiscard]] bool outgoing_value(util::Rng& rng) noexcept { return outgoing(rng).spin; }
 
+    /// Number of times the tracked incoming spin value flipped (spin edges
+    /// observed at this endpoint). On a healthy spinning connection this is
+    /// about one per RTT; per-packet greasing flips on ~half the packets,
+    /// which is how the telemetry layer flags suspected grease.
+    [[nodiscard]] std::uint64_t edges_observed() const noexcept { return edges_observed_; }
+
 private:
     Role role_;
     bool vec_enabled_ = false;
@@ -123,6 +129,7 @@ private:
     std::uint8_t highest_vec_ = 0;
     bool sent_any_ = false;
     bool last_sent_value_ = false;
+    std::uint64_t edges_observed_ = 0;
 };
 
 }  // namespace spinscope::quic

@@ -1,12 +1,16 @@
 #include "scanner/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
+#include <optional>
 
 #include "netsim/link.hpp"
 #include "netsim/simulator.hpp"
+#include "telemetry/span.hpp"
 #include "util/distributions.hpp"
+#include "util/format.hpp"
 
 namespace spinscope::scanner {
 
@@ -26,10 +30,36 @@ bool DomainScan::quic_ok() const noexcept {
     });
 }
 
+std::string CampaignStats::render() const {
+    util::TextTable table;
+    table.add_row({"campaign", "value"});
+    table.add_row({"domains scanned", util::group_digits(domains_scanned)});
+    table.add_row({"domains resolved", util::group_digits(domains_resolved)});
+    table.add_row({"domains QUIC ok", util::group_digits(domains_quic_ok)});
+    table.add_row({"QUIC-ok rate (resolved)", util::percent(quic_ok_rate())});
+    table.add_row({"connections", util::group_digits(connections)});
+    table.add_row({"redirects followed", util::group_digits(redirects_followed)});
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        table.add_row({std::string{"outcome "} +
+                           qlog::to_cstring(static_cast<qlog::ConnectionOutcome>(i)),
+                       util::group_digits(outcomes[i])});
+    }
+    table.add_row({"wall seconds", util::fixed(wall_seconds, 2)});
+    table.add_row({"domains/sec", util::fixed(domains_per_sec(), 1)});
+    return table.render(true);
+}
+
 Campaign::AttemptOutcome Campaign::run_attempt(const web::Domain& domain,
                                                const std::string& host, int attempt,
                                                bool serve_redirect) const {
     const web::Population& pop = *population_;
+    // Redirect follow-ups are profiled as their own phase: their cost is
+    // extra connections, which the first-attempt phase must not absorb.
+    std::optional<telemetry::ScopedTimer> attempt_timer;
+    if (metrics_ != nullptr) {
+        attempt_timer.emplace(*metrics_, attempt == 0 ? "scanner.phase.attempt_ms"
+                                                      : "scanner.phase.redirect_ms");
+    }
     AttemptOutcome out;
     out.trace.host = host;
     out.trace.ip = pop.host_address(domain, options_.ipv6);
@@ -58,13 +88,43 @@ Campaign::AttemptOutcome Campaign::run_attempt(const web::Domain& domain,
                       [&path](Datagram dg) { path.forward_link().send(std::move(dg)); },
                       &out.trace};
 
+    // Shared attempt epilogue: trace finalization (its own profiled phase),
+    // the deadline-vs-drained outcome decision, and per-attempt telemetry.
+    const auto finish_attempt = [&](bool drained, bool got_response) {
+        {
+            std::optional<telemetry::ScopedTimer> finalize_timer;
+            if (metrics_ != nullptr) {
+                finalize_timer.emplace(*metrics_, "scanner.phase.finalize_ms");
+            }
+            client.finalize_trace();
+            if (got_response) {
+                out.trace.outcome = qlog::ConnectionOutcome::ok;
+            } else if (!drained && !client.failed() && !client.closed()) {
+                // The deadline cut the simulation short with events still
+                // pending: the attempt neither completed nor failed on its
+                // own. Record that distinctly instead of pretending the
+                // queue drained (the old behaviour left `aborted`, which
+                // conflated deadline hits with protocol-level aborts).
+                out.trace.outcome = qlog::ConnectionOutcome::attempt_timeout;
+            }
+        }
+        if (metrics_ != nullptr) {
+            sim.publish_metrics(*metrics_);
+            path.forward_link().publish_metrics(*metrics_, "netsim.link.forward");
+            path.return_link().publish_metrics(*metrics_, "netsim.link.return");
+            client.publish_metrics(*metrics_);
+            telemetry::record_sim_time(*metrics_, "scanner.attempt_sim_ms",
+                                       sim.now() - TimePoint::origin());
+        }
+    };
+
     if (!domain.quic) {
         // Nothing QUIC-capable listens: Initials vanish, the client retries
         // via PTO and gives up at the handshake timeout (paper §3.3: "check
         // whether the endpoints answer to QUIC packets").
         client.connect();
-        sim.run_until(TimePoint::origin() + options_.attempt_deadline);
-        client.finalize_trace();
+        const bool drained = sim.run_until(TimePoint::origin() + options_.attempt_deadline);
+        finish_attempt(drained, /*got_response=*/false);
         return out;
     }
 
@@ -151,16 +211,21 @@ Campaign::AttemptOutcome Campaign::run_attempt(const web::Domain& domain,
     };
 
     client.connect();
-    sim.run_until(TimePoint::origin() + options_.attempt_deadline);
-    client.finalize_trace();
-    if (got_response) out.trace.outcome = qlog::ConnectionOutcome::ok;
+    const bool drained = sim.run_until(TimePoint::origin() + options_.attempt_deadline);
+    finish_attempt(drained, got_response);
     return out;
 }
 
 DomainScan Campaign::scan_domain(const web::Domain& domain) const {
     DomainScan scan;
     scan.domain_id = domain.id;
-    scan.resolved = domain.resolves && (!options_.ipv6 || domain.has_ipv6);
+    {
+        // DNS is modelled as a population lookup, but it is still a campaign
+        // phase: profiling it keeps the phase breakdown exhaustive.
+        std::optional<telemetry::ScopedTimer> resolve_timer;
+        if (metrics_ != nullptr) resolve_timer.emplace(*metrics_, "scanner.phase.resolve_ms");
+        scan.resolved = domain.resolves && (!options_.ipv6 || domain.has_ipv6);
+    }
     if (!scan.resolved) return scan;
 
     std::string host = "www." + population_->domain_name(domain);
@@ -173,17 +238,62 @@ DomainScan Campaign::scan_domain(const web::Domain& domain) const {
         scan.final_response = outcome.response;
         scan.connections.push_back(std::move(outcome.trace));
         if (!redirected) break;
+        if (metrics_ != nullptr) metrics_->counter("scanner.redirects_followed").add(1);
         host = outcome.response->location;
         serve_redirect = false;  // the canonical target serves the page
     }
     return scan;
 }
 
-void Campaign::run(
+CampaignStats Campaign::run(
     const std::function<void(const web::Domain&, DomainScan&&)>& sink) const {
+    CampaignStats stats;
+    const auto wall_start = std::chrono::steady_clock::now();
+    const auto wall_elapsed = [&wall_start] {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+            .count();
+    };
+
     for (const auto& domain : population_->domains()) {
-        sink(domain, scan_domain(domain));
+        DomainScan scan = scan_domain(domain);
+
+        ++stats.domains_scanned;
+        if (scan.resolved) ++stats.domains_resolved;
+        if (scan.quic_ok()) ++stats.domains_quic_ok;
+        stats.connections += scan.connections.size();
+        if (scan.connections.size() > 1) {
+            stats.redirects_followed += scan.connections.size() - 1;
+        }
+        for (const auto& trace : scan.connections) {
+            ++stats.outcomes[static_cast<std::size_t>(trace.outcome)];
+            if (metrics_ != nullptr) {
+                metrics_->counter(std::string{"scanner.outcome."} +
+                                  qlog::to_cstring(trace.outcome))
+                    .add(1);
+            }
+        }
+        if (metrics_ != nullptr) {
+            metrics_->counter("scanner.domains_scanned").add(1);
+            if (scan.resolved) metrics_->counter("scanner.domains_resolved").add(1);
+            if (scan.quic_ok()) metrics_->counter("scanner.domains_quic_ok").add(1);
+            metrics_->counter("scanner.connections").add(scan.connections.size());
+        }
+
+        sink(domain, std::move(scan));
+
+        if (progress_ && progress_every_ > 0 &&
+            stats.domains_scanned % progress_every_ == 0) {
+            stats.wall_seconds = wall_elapsed();
+            progress_(stats);
+        }
     }
+
+    stats.wall_seconds = wall_elapsed();
+    if (metrics_ != nullptr) {
+        metrics_->gauge("scanner.domains_per_sec").set(stats.domains_per_sec());
+        metrics_->gauge("scanner.quic_ok_rate").set(stats.quic_ok_rate());
+    }
+    return stats;
 }
 
 }  // namespace spinscope::scanner

@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -21,6 +22,7 @@
 #include "qlog/trace.hpp"
 #include "quic/connection.hpp"
 #include "scanner/http3_mini.hpp"
+#include "telemetry/metrics.hpp"
 #include "web/population.hpp"
 
 namespace spinscope::scanner {
@@ -56,18 +58,65 @@ struct DomainScan {
     [[nodiscard]] bool quic_ok() const noexcept;
 };
 
+/// Aggregate snapshot of one sweep — what the scanner actually did (the
+/// paper's §3.2-3.3 operational view). Returned by Campaign::run and handed
+/// to the periodic progress callback mid-sweep.
+struct CampaignStats {
+    std::uint64_t domains_scanned = 0;
+    std::uint64_t domains_resolved = 0;
+    std::uint64_t domains_quic_ok = 0;
+    std::uint64_t connections = 0;         ///< attempts incl. followed redirects
+    std::uint64_t redirects_followed = 0;
+    /// Connection attempts by qlog::ConnectionOutcome (index via the enum).
+    std::array<std::uint64_t, qlog::kConnectionOutcomeCount> outcomes{};
+    /// Host wall-clock seconds spent in run() so far.
+    double wall_seconds = 0.0;
+
+    [[nodiscard]] std::uint64_t outcome(qlog::ConnectionOutcome o) const noexcept {
+        return outcomes[static_cast<std::size_t>(o)];
+    }
+    /// Scan throughput; 0 before any wall time elapsed.
+    [[nodiscard]] double domains_per_sec() const noexcept {
+        return wall_seconds > 0.0 ? static_cast<double>(domains_scanned) / wall_seconds : 0.0;
+    }
+    /// Share of resolved domains where some connection completed QUIC.
+    [[nodiscard]] double quic_ok_rate() const noexcept {
+        return domains_resolved > 0
+                   ? static_cast<double>(domains_quic_ok) / static_cast<double>(domains_resolved)
+                   : 0.0;
+    }
+
+    /// Aligned-table rendering (throughput, rates, outcome breakdown).
+    [[nodiscard]] std::string render() const;
+};
+
 /// Scans domains of a Population.
 class Campaign {
 public:
     Campaign(const web::Population& population, ScanOptions options)
         : population_{&population}, options_{options} {}
 
+    /// Attaches a metrics registry: every attempt then publishes simulator,
+    /// link and connection telemetry plus scanner phase timings into it
+    /// (pass nullptr to detach). The registry must outlive the campaign
+    /// runs; it is written to even from const scan methods.
+    void set_metrics(telemetry::MetricsRegistry* registry) noexcept { metrics_ = registry; }
+
+    /// Installs a progress callback fired every `every_n` scanned domains
+    /// during run() (0 disables). The callback sees a point-in-time
+    /// CampaignStats snapshot, e.g. for a live domains/sec readout.
+    void set_progress(std::uint64_t every_n,
+                      std::function<void(const CampaignStats&)> callback) {
+        progress_every_ = every_n;
+        progress_ = std::move(callback);
+    }
+
     /// Scans a single domain (resolution, connection, redirects).
     [[nodiscard]] DomainScan scan_domain(const web::Domain& domain) const;
 
     /// Scans every domain, streaming results to `sink` (traces are large;
-    /// aggregate, then drop them).
-    void run(const std::function<void(const web::Domain&, DomainScan&&)>& sink) const;
+    /// aggregate, then drop them). Returns the sweep's aggregate stats.
+    CampaignStats run(const std::function<void(const web::Domain&, DomainScan&&)>& sink) const;
 
     [[nodiscard]] const ScanOptions& options() const noexcept { return options_; }
 
@@ -83,6 +132,11 @@ private:
 
     const web::Population* population_;
     ScanOptions options_;
+    /// Not owned; written to from const scan methods (instrumentation sink,
+    /// not campaign state).
+    telemetry::MetricsRegistry* metrics_ = nullptr;
+    std::uint64_t progress_every_ = 0;
+    std::function<void(const CampaignStats&)> progress_;
 };
 
 }  // namespace spinscope::scanner

@@ -1,0 +1,164 @@
+#include "telemetry/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/format.hpp"
+
+namespace spinscope::telemetry {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+    out += buf;
+}
+
+void append_double(std::string& out, double v) {
+    if (!std::isfinite(v)) {
+        out += "0";  // JSON has no inf/nan; metrics should never produce them
+        return;
+    }
+    char buf[40];
+    // %.9g round-trips every value these metrics produce (ms timings, byte
+    // counts) and stays compact for integers.
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    out += buf;
+}
+
+void append_quoted(std::string& out, const std::string& s) {
+    out.push_back('"');
+    for (char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+    out.push_back('"');
+}
+
+[[nodiscard]] std::string format_value(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.9g", std::isfinite(v) ? v : 0.0);
+    return buf;
+}
+
+}  // namespace
+
+std::string to_json(const MetricsRegistry& registry) {
+    std::string out = "{\"schema\":\"spinscope-telemetry-v1\"";
+
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, counter] : registry.counters()) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_quoted(out, name);
+        out.push_back(':');
+        append_u64(out, counter->value());
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, gauge] : registry.gauges()) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_quoted(out, name);
+        out.push_back(':');
+        append_double(out, gauge->value());
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, hist] : registry.histograms()) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_quoted(out, name);
+        out += ":{\"count\":";
+        append_u64(out, hist->count());
+        out += ",\"sum\":";
+        append_double(out, hist->sum());
+        out += ",\"min\":";
+        append_double(out, hist->min());
+        out += ",\"max\":";
+        append_double(out, hist->max());
+        out += ",\"spec\":{\"min_value\":";
+        append_double(out, hist->spec().min_value);
+        out += ",\"factor\":";
+        append_double(out, hist->spec().factor);
+        out += ",\"buckets\":";
+        append_u64(out, hist->spec().bucket_count);
+        out += "},\"bucket_counts\":[";
+        const auto& buckets = hist->buckets();
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+            if (i > 0) out.push_back(',');
+            append_u64(out, buckets[i]);
+        }
+        out += "]}";
+    }
+    out += "}}";
+    return out;
+}
+
+std::string to_csv(const MetricsRegistry& registry) {
+    std::string out = "kind,name,field,value\n";
+    auto row = [&out](const char* kind, const std::string& name, const std::string& field,
+                      const std::string& value) {
+        out += kind;
+        out.push_back(',');
+        out += name;
+        out.push_back(',');
+        out += field;
+        out.push_back(',');
+        out += value;
+        out.push_back('\n');
+    };
+    for (const auto& [name, counter] : registry.counters()) {
+        std::string v;
+        append_u64(v, counter->value());
+        row("counter", name, "value", v);
+    }
+    for (const auto& [name, gauge] : registry.gauges()) {
+        row("gauge", name, "value", format_value(gauge->value()));
+    }
+    for (const auto& [name, hist] : registry.histograms()) {
+        std::string count;
+        append_u64(count, hist->count());
+        row("histogram", name, "count", count);
+        row("histogram", name, "sum", format_value(hist->sum()));
+        row("histogram", name, "min", format_value(hist->min()));
+        row("histogram", name, "max", format_value(hist->max()));
+        const auto& buckets = hist->buckets();
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+            if (buckets[i] == 0) continue;  // sparse: empty buckets are implied
+            std::string v;
+            append_u64(v, buckets[i]);
+            row("histogram", name, "bucket_ge_" + format_value(hist->bucket_lower_bound(i)), v);
+        }
+    }
+    return out;
+}
+
+std::string render_table(const MetricsRegistry& registry) {
+    util::TextTable table;
+    table.add_row({"metric", "kind", "value", "detail"});
+    for (const auto& [name, counter] : registry.counters()) {
+        table.add_row({name, "counter", util::group_digits(counter->value()), ""});
+    }
+    for (const auto& [name, gauge] : registry.gauges()) {
+        table.add_row({name, "gauge", format_value(gauge->value()), ""});
+    }
+    for (const auto& [name, hist] : registry.histograms()) {
+        std::string detail = "mean " + format_value(hist->mean()) + "  min " +
+                             format_value(hist->min()) + "  max " + format_value(hist->max());
+        table.add_row({name, "histogram", util::group_digits(hist->count()), detail});
+    }
+    return table.render(true);
+}
+
+bool write_json_file(const MetricsRegistry& registry, const std::string& path) {
+    std::ofstream out{path, std::ios::trunc};
+    if (!out) return false;
+    out << to_json(registry) << '\n';
+    return static_cast<bool>(out);
+}
+
+}  // namespace spinscope::telemetry

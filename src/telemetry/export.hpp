@@ -1,0 +1,41 @@
+// spinscope/telemetry/export.hpp
+//
+// Registry exporters: machine-readable JSON (the bench sidecar format — one
+// self-contained object per run so BENCH_*.json deltas can be attributed to
+// specific phases), flat CSV for spreadsheet/plotting pipelines, and an
+// aligned text table for terminals.
+//
+// Field order is deterministic (name-sorted, fixed key order per object), so
+// two runs of the same binary produce byte-identical output modulo the
+// metric values themselves — sidecars are diffable.
+
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace spinscope::telemetry {
+
+/// Serializes the whole registry as one JSON object:
+///
+///   {"schema":"spinscope-telemetry-v1",
+///    "counters":{"name":123,...},
+///    "gauges":{"name":1.5,...},
+///    "histograms":{"name":{"count":N,"sum":S,"min":m,"max":M,
+///                          "spec":{"min_value":..,"factor":..,"buckets":N},
+///                          "bucket_counts":[...]},...}}
+[[nodiscard]] std::string to_json(const MetricsRegistry& registry);
+
+/// Flat CSV: `kind,name,field,value` rows (counters/gauges one row each,
+/// histograms one row per summary field plus one per non-empty bucket).
+[[nodiscard]] std::string to_csv(const MetricsRegistry& registry);
+
+/// Aligned text table (util::TextTable) for human consumption.
+[[nodiscard]] std::string render_table(const MetricsRegistry& registry);
+
+/// Writes to_json() to `path`. Returns false when the file cannot be
+/// opened/written.
+bool write_json_file(const MetricsRegistry& registry, const std::string& path);
+
+}  // namespace spinscope::telemetry

@@ -1,0 +1,74 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace spinscope::telemetry {
+
+Histogram::Histogram(HistogramSpec spec) : spec_{spec} {
+    assert(spec_.min_value > 0.0);
+    assert(spec_.factor > 1.0);
+    if (spec_.bucket_count == 0) spec_.bucket_count = 1;
+    bounds_.reserve(spec_.bucket_count);
+    double bound = spec_.min_value;
+    for (std::size_t i = 0; i < spec_.bucket_count; ++i) {
+        bounds_.push_back(bound);
+        bound *= spec_.factor;
+    }
+    counts_.assign(spec_.bucket_count, 0);
+}
+
+void Histogram::record(double value) noexcept {
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+
+    // upper_bound over the precomputed bounds: first bound > value, minus
+    // one, clamped into [0, buckets). Exact and platform-independent, unlike
+    // a log()-based index.
+    const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value);
+    const std::size_t index =
+        it == bounds_.begin() ? 0 : static_cast<std::size_t>(it - bounds_.begin()) - 1;
+    ++counts_[std::min(index, counts_.size() - 1)];
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, HistogramSpec spec) {
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<Histogram>(spec);
+    return *slot;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace spinscope::telemetry

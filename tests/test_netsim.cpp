@@ -7,6 +7,7 @@
 
 #include "netsim/link.hpp"
 #include "netsim/simulator.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace spinscope::netsim {
 namespace {
@@ -127,6 +128,144 @@ TEST(Timer, DestructionWithPendingFiringIsSafe) {
     EXPECT_EQ(fires, 0);  // generation state kept alive, callback suppressed
 }
 
+TEST(Timer, RearmWithStaleFiringQueuedFiresOnlyNewExpiry) {
+    // Arm at 5 ms, re-arm to 2 ms while the 5 ms firing is still queued: the
+    // stale queue entry must become a no-op (generation bumped), the new one
+    // must fire, and the timer must not "fire twice".
+    Simulator sim;
+    Timer timer{sim};
+    std::vector<std::int64_t> fired_at;
+    timer.set_after(Duration::millis(5), [&] { fired_at.push_back(sim.now().count_nanos()); });
+    timer.set_after(Duration::millis(2), [&] { fired_at.push_back(sim.now().count_nanos()); });
+    EXPECT_EQ(sim.pending(), 2u);  // the stale entry is still in the queue
+    sim.run();
+    ASSERT_EQ(fired_at.size(), 1u);
+    EXPECT_EQ(fired_at[0], Duration::millis(2).count_nanos());
+    EXPECT_EQ(sim.processed(), 2u);  // stale entry processed as a no-op
+    EXPECT_FALSE(timer.armed());
+}
+
+TEST(Timer, RearmAfterPartialRunSuppressesStaleEntry) {
+    // Run past nothing, leave the first firing queued, then re-arm *later*:
+    // the earlier queued entry has a stale generation and must not fire.
+    Simulator sim;
+    Timer timer{sim};
+    int fires = 0;
+    timer.set_after(Duration::millis(4), [&] { ++fires; });
+    sim.run_until(TimePoint::origin() + Duration::millis(1));  // firing still queued
+    timer.set_after(Duration::millis(10), [&] { fires += 100; });
+    sim.run();
+    EXPECT_EQ(fires, 100);  // only the re-armed firing ran
+}
+
+TEST(Timer, CancelThenRearmStillFires) {
+    Simulator sim;
+    Timer timer{sim};
+    int fires = 0;
+    timer.set_after(Duration::millis(3), [&] { fires = 1; });
+    timer.cancel();
+    timer.set_after(Duration::millis(6), [&] { fires = 2; });
+    sim.run();
+    EXPECT_EQ(fires, 2);
+    EXPECT_EQ(timer.expiry(), TimePoint::never());
+}
+
+TEST(Timer, DestroyAfterPartialRunWithQueuedFiringIsSafe) {
+    Simulator sim;
+    int fires = 0;
+    {
+        Timer timer{sim};
+        timer.set_after(Duration::millis(5), [&] { ++fires; });
+        sim.run_until(TimePoint::origin() + Duration::millis(1));
+        EXPECT_EQ(sim.pending(), 1u);
+    }  // destroyed while its (now stale) firing is still queued
+    sim.run();
+    EXPECT_EQ(fires, 0);
+}
+
+TEST(Simulator, RunStepsSafetyValveStopsSelfRescheduling) {
+    // A pathological event that always reschedules itself would hang run();
+    // run_steps must bound it to exactly max_events callbacks.
+    Simulator sim;
+    std::uint64_t count = 0;
+    std::function<void()> reschedule = [&] {
+        ++count;
+        sim.schedule_after(Duration::millis(1), reschedule);
+    };
+    sim.schedule_after(Duration::millis(1), reschedule);
+    sim.run_steps(100);
+    EXPECT_EQ(count, 100u);
+    EXPECT_EQ(sim.pending(), 1u);  // the next self-rescheduled event remains
+    EXPECT_EQ(sim.processed(), 100u);
+}
+
+TEST(Simulator, RunStepsZeroIsNoOp) {
+    Simulator sim;
+    int count = 0;
+    sim.schedule_after(Duration::millis(1), [&] { ++count; });
+    sim.run_steps(0);
+    EXPECT_EQ(count, 0);
+    EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, TracksQueueDepthHighWaterMark) {
+    Simulator sim;
+    for (int i = 0; i < 5; ++i) sim.schedule_after(Duration::millis(i), [] {});
+    EXPECT_EQ(sim.queue_depth_high_water(), 5u);
+    sim.run();
+    // Draining does not lower the high-water mark.
+    EXPECT_EQ(sim.queue_depth_high_water(), 5u);
+    EXPECT_EQ(sim.scheduled(), 5u);
+}
+
+TEST(Simulator, CountsProcessedEventsPerCategory) {
+    Simulator sim;
+    sim.schedule_after(Duration::millis(1), [] {}, "io");
+    sim.schedule_after(Duration::millis(2), [] {}, "io");
+    sim.schedule_after(Duration::millis(3), [] {}, "app");
+    sim.schedule_after(Duration::millis(4), [] {});  // untagged
+    sim.run();
+    const auto& counts = sim.category_counts();
+    ASSERT_EQ(counts.size(), 2u);
+    EXPECT_STREQ(counts[0].first, "io");
+    EXPECT_EQ(counts[0].second, 2u);
+    EXPECT_STREQ(counts[1].first, "app");
+    EXPECT_EQ(counts[1].second, 1u);
+}
+
+TEST(Simulator, PublishMetricsExportsCountersAndHighWater) {
+    Simulator sim;
+    sim.schedule_after(Duration::millis(1), [] {}, "io");
+    sim.schedule_after(Duration::millis(2), [] {});
+    sim.run();
+
+    telemetry::MetricsRegistry registry;
+    sim.publish_metrics(registry);
+    EXPECT_EQ(registry.counter("netsim.sim.events_scheduled").value(), 2u);
+    EXPECT_EQ(registry.counter("netsim.sim.events_processed").value(), 2u);
+    EXPECT_EQ(registry.counter("netsim.sim.events.io").value(), 1u);
+    EXPECT_DOUBLE_EQ(registry.gauge("netsim.sim.queue_depth_hwm").value(), 2.0);
+
+    // Additive publish: a second simulator merges counters, max-merges hwm.
+    Simulator other;
+    for (int i = 0; i < 4; ++i) other.schedule_after(Duration::millis(i), [] {});
+    other.run();
+    other.publish_metrics(registry);
+    EXPECT_EQ(registry.counter("netsim.sim.events_processed").value(), 6u);
+    EXPECT_DOUBLE_EQ(registry.gauge("netsim.sim.queue_depth_hwm").value(), 4.0);
+}
+
+TEST(Timer, TimerEventsAreCategorized) {
+    Simulator sim;
+    Timer timer{sim};
+    timer.set_after(Duration::millis(1), [] {});
+    sim.run();
+    const auto& counts = sim.category_counts();
+    ASSERT_EQ(counts.size(), 1u);
+    EXPECT_STREQ(counts[0].first, "timer");
+    EXPECT_EQ(counts[0].second, 1u);
+}
+
 TEST(Timer, RearmFromInsideCallback) {
     Simulator sim;
     Timer timer{sim};
@@ -232,6 +371,28 @@ TEST(Link, TapsSeeDeliveredDatagramsOnly) {
     sim.run();
     EXPECT_EQ(tapped, received);
     EXPECT_LT(tapped, 1000);
+}
+
+TEST(Link, CountsDeliveredAndDroppedBytes) {
+    Simulator sim;
+    LinkConfig config;
+    config.base_delay = Duration::millis(1);
+    config.loss_probability = 0.5;
+    Link link{sim, config, util::Rng{42}};
+    link.set_receiver([](const Datagram&) {});
+    for (int i = 0; i < 200; ++i) link.send(make_datagram(100));
+    sim.run();
+    const auto& stats = link.stats();
+    EXPECT_EQ(stats.delivered_bytes, stats.delivered * 100);
+    EXPECT_EQ(stats.dropped_bytes, stats.dropped * 100);
+    EXPECT_EQ(stats.delivered_bytes + stats.dropped_bytes, 200u * 100u);
+
+    telemetry::MetricsRegistry registry;
+    link.publish_metrics(registry, "netsim.link");
+    EXPECT_EQ(registry.counter("netsim.link.sent").value(), 200u);
+    EXPECT_EQ(registry.counter("netsim.link.delivered").value(), stats.delivered);
+    EXPECT_EQ(registry.counter("netsim.link.delivered_bytes").value(), stats.delivered_bytes);
+    EXPECT_EQ(registry.counter("netsim.link.dropped_bytes").value(), stats.dropped_bytes);
 }
 
 TEST(Link, BandwidthSerializesBackToBack) {

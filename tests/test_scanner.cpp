@@ -226,5 +226,105 @@ TEST_F(CampaignTest, RunVisitsEveryDomain) {
     EXPECT_EQ(visited, tiny.domains().size());
 }
 
+TEST_F(CampaignTest, DeadlineWithPendingEventsIsAttemptTimeout) {
+    // A deadline far below the handshake timeout cuts the simulation short
+    // while timers are still queued: the attempt must be reported as
+    // attempt_timeout, not conflated with a protocol-level abort.
+    const auto* domain = find_domain(true);
+    ASSERT_NE(domain, nullptr);
+    ScanOptions options;
+    options.attempt_deadline = util::Duration::micros(50);  // < one-way delay
+    Campaign campaign{population_, options};
+    const auto scan = campaign.scan_domain(*domain);
+    ASSERT_EQ(scan.connections.size(), 1u);
+    EXPECT_EQ(scan.connections[0].outcome, qlog::ConnectionOutcome::attempt_timeout);
+    EXPECT_FALSE(scan.quic_ok());
+}
+
+TEST_F(CampaignTest, RunReturnsConsistentStats) {
+    web::Population tiny{{200000.0, 1}};
+    Campaign campaign{tiny, {}};
+    std::uint64_t quic_ok_seen = 0;
+    const CampaignStats stats =
+        campaign.run([&](const web::Domain&, DomainScan&& scan) {
+            if (scan.quic_ok()) ++quic_ok_seen;
+        });
+    EXPECT_EQ(stats.domains_scanned, tiny.domains().size());
+    EXPECT_GE(stats.domains_scanned, stats.domains_resolved);
+    EXPECT_GE(stats.domains_resolved, stats.domains_quic_ok);
+    EXPECT_EQ(stats.domains_quic_ok, quic_ok_seen);
+    // Every connection has exactly one outcome.
+    std::uint64_t outcome_total = 0;
+    for (const auto count : stats.outcomes) outcome_total += count;
+    EXPECT_EQ(outcome_total, stats.connections);
+    EXPECT_EQ(stats.outcome(qlog::ConnectionOutcome::ok) > 0, stats.domains_quic_ok > 0);
+    EXPECT_GE(stats.quic_ok_rate(), 0.0);
+    EXPECT_LE(stats.quic_ok_rate(), 1.0);
+    EXPECT_GE(stats.wall_seconds, 0.0);
+    // The snapshot renders (labels + outcome breakdown).
+    const std::string rendered = stats.render();
+    EXPECT_NE(rendered.find("domains scanned"), std::string::npos);
+    EXPECT_NE(rendered.find("outcome ok"), std::string::npos);
+}
+
+TEST_F(CampaignTest, ProgressCallbackFiresEveryN) {
+    web::Population tiny{{200000.0, 1}};
+    Campaign campaign{tiny, {}};
+    std::vector<std::uint64_t> checkpoints;
+    campaign.set_progress(2, [&](const CampaignStats& stats) {
+        checkpoints.push_back(stats.domains_scanned);
+    });
+    campaign.run([](const web::Domain&, DomainScan&&) {});
+    ASSERT_EQ(checkpoints.size(), tiny.domains().size() / 2);
+    for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+        EXPECT_EQ(checkpoints[i], (i + 1) * 2);
+    }
+}
+
+TEST_F(CampaignTest, MetricsRegistrySpansAllLayers) {
+    web::Population tiny{{200000.0, 1}};
+    Campaign campaign{tiny, {}};
+    telemetry::MetricsRegistry registry;
+    campaign.set_metrics(&registry);
+    const auto stats = campaign.run([](const web::Domain&, DomainScan&&) {});
+
+    // The sidecar's acceptance bar: >= 10 distinct metrics spanning netsim,
+    // quic and scanner.
+    EXPECT_GE(registry.size(), 10u);
+    std::size_t netsim = 0;
+    std::size_t quic = 0;
+    std::size_t scanner = 0;
+    const auto tally = [&](const std::string& name) {
+        if (name.rfind("netsim.", 0) == 0) ++netsim;
+        if (name.rfind("quic.", 0) == 0) ++quic;
+        if (name.rfind("scanner.", 0) == 0) ++scanner;
+    };
+    for (const auto& entry : registry.counters()) tally(entry.first);
+    for (const auto& entry : registry.gauges()) tally(entry.first);
+    for (const auto& entry : registry.histograms()) tally(entry.first);
+    EXPECT_GT(netsim, 0u);
+    EXPECT_GT(quic, 0u);
+    EXPECT_GT(scanner, 0u);
+
+    // Cross-layer consistency: scanner counters match the returned stats,
+    // and every attempt produced exactly one quic.conn attempt record.
+    EXPECT_EQ(registry.counter("scanner.domains_scanned").value(), stats.domains_scanned);
+    EXPECT_EQ(registry.counter("scanner.connections").value(), stats.connections);
+    EXPECT_EQ(registry.counter("quic.conn.attempts").value(), stats.connections);
+    EXPECT_EQ(registry.counter("scanner.outcome.ok").value(),
+              stats.outcome(qlog::ConnectionOutcome::ok));
+    // Phase histograms recorded one attempt-phase sample per first attempt.
+    const auto* attempt_hist = registry.find_histogram("scanner.phase.attempt_ms");
+    ASSERT_NE(attempt_hist, nullptr);
+    EXPECT_EQ(attempt_hist->count(), stats.domains_resolved);
+    // Simulated time was accounted separately from wall clock.
+    const auto* sim_hist = registry.find_histogram("scanner.attempt_sim_ms");
+    ASSERT_NE(sim_hist, nullptr);
+    EXPECT_EQ(sim_hist->count(), stats.connections);
+    // The simulator layer reported event totals.
+    EXPECT_GT(registry.counter("netsim.sim.events_processed").value(), 0u);
+    EXPECT_GT(registry.counter("netsim.sim.events.link.delivery").value(), 0u);
+}
+
 }  // namespace
 }  // namespace spinscope::scanner

@@ -1,0 +1,224 @@
+// Unit tests for the telemetry subsystem: registry instruments, log-scale
+// histogram bucketing, spans, and the JSON/CSV/table exporters.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+
+namespace spinscope::telemetry {
+namespace {
+
+TEST(Counter, AccumulatesAndStartsAtZero) {
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndSetMax) {
+    Gauge g;
+    g.set(5.0);
+    EXPECT_DOUBLE_EQ(g.value(), 5.0);
+    g.set_max(3.0);
+    EXPECT_DOUBLE_EQ(g.value(), 5.0);  // smaller value does not win
+    g.set_max(9.0);
+    EXPECT_DOUBLE_EQ(g.value(), 9.0);
+    g.set(1.0);  // plain set always overwrites
+    EXPECT_DOUBLE_EQ(g.value(), 1.0);
+}
+
+TEST(Gauge, SetMaxOnFreshGaugeTakesAnyValue) {
+    Gauge g;
+    g.set_max(-7.0);  // no prior value: even a negative one is adopted
+    EXPECT_DOUBLE_EQ(g.value(), -7.0);
+}
+
+TEST(Histogram, BucketBoundsAreGeometric) {
+    Histogram h{{1.0, 2.0, 8}};
+    EXPECT_DOUBLE_EQ(h.bucket_lower_bound(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.bucket_lower_bound(3), 8.0);
+    EXPECT_DOUBLE_EQ(h.bucket_lower_bound(7), 128.0);
+    EXPECT_EQ(h.buckets().size(), 8u);
+}
+
+TEST(Histogram, BucketCountsAreCorrect) {
+    // Bucket i of {min=1, factor=2, n=4} spans [2^i, 2^(i+1)) with bucket 0
+    // also absorbing underflow and bucket 3 absorbing overflow.
+    Histogram h{{1.0, 2.0, 4}};
+    h.record(0.25);  // underflow -> bucket 0
+    h.record(1.0);   // exactly at bound 0 -> bucket 0
+    h.record(1.9);   // bucket 0
+    h.record(2.0);   // exactly at bound 1 -> bucket 1
+    h.record(3.999);
+    h.record(4.0);  // bucket 2
+    h.record(7.5);  // bucket 2
+    h.record(8.0);  // bucket 3
+    h.record(1e9);  // overflow -> bucket 3
+    const auto& buckets = h.buckets();
+    EXPECT_EQ(buckets[0], 3u);
+    EXPECT_EQ(buckets[1], 2u);
+    EXPECT_EQ(buckets[2], 2u);
+    EXPECT_EQ(buckets[3], 2u);
+    EXPECT_EQ(h.count(), 9u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.25);
+    EXPECT_DOUBLE_EQ(h.max(), 1e9);
+}
+
+TEST(Histogram, SumAndMeanTrackRecordedValues) {
+    Histogram h{{0.001, 2.0, 16}};
+    h.record(1.0);
+    h.record(2.0);
+    h.record(3.0);
+    EXPECT_DOUBLE_EQ(h.sum(), 6.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, EmptyHistogramIsAllZero) {
+    Histogram h{{1.0, 10.0, 4}};
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameInstrument) {
+    MetricsRegistry registry;
+    Counter& a = registry.counter("x.count");
+    a.add(3);
+    Counter& b = registry.counter("x.count");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 3u);
+
+    Histogram& h1 = registry.histogram("x.hist", {1.0, 2.0, 4});
+    // A second lookup with a different spec returns the existing geometry.
+    Histogram& h2 = registry.histogram("x.hist", {99.0, 3.0, 7});
+    EXPECT_EQ(&h1, &h2);
+    EXPECT_EQ(h2.spec().bucket_count, 4u);
+}
+
+TEST(MetricsRegistry, NamespacesAreIndependent) {
+    MetricsRegistry registry;
+    registry.counter("same.name").add(1);
+    registry.gauge("same.name").set(2.0);
+    (void)registry.histogram("same.name");
+    EXPECT_EQ(registry.size(), 3u);
+    EXPECT_NE(registry.find_counter("same.name"), nullptr);
+    EXPECT_NE(registry.find_gauge("same.name"), nullptr);
+    EXPECT_NE(registry.find_histogram("same.name"), nullptr);
+    EXPECT_EQ(registry.find_counter("missing"), nullptr);
+}
+
+TEST(Span, FinishRecordsIntoHistogram) {
+    MetricsRegistry registry;
+    Span span{registry, "phase.test_ms"};
+    const double ms = span.finish();
+    EXPECT_GE(ms, 0.0);
+    const Histogram* h = registry.find_histogram("phase.test_ms");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 1u);
+    // finish() is idempotent.
+    EXPECT_DOUBLE_EQ(span.finish(), 0.0);
+    EXPECT_EQ(h->count(), 1u);
+}
+
+TEST(ScopedTimer, RecordsOnScopeExit) {
+    MetricsRegistry registry;
+    {
+        ScopedTimer timer{registry, "phase.scoped_ms"};
+    }
+    {
+        ScopedTimer timer{registry, "phase.scoped_ms"};
+    }
+    const Histogram* h = registry.find_histogram("phase.scoped_ms");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 2u);
+}
+
+TEST(SimTime, RecordsDurationMillis) {
+    MetricsRegistry registry;
+    record_sim_time(registry, "attempt.sim_ms", util::Duration::millis(250));
+    record_sim_time(registry, "attempt.sim_ms", util::Duration::millis(-5));  // clamped
+    const Histogram* h = registry.find_histogram("attempt.sim_ms");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 2u);
+    EXPECT_DOUBLE_EQ(h->max(), 250.0);
+    EXPECT_DOUBLE_EQ(h->min(), 0.0);
+}
+
+TEST(Export, JsonContainsAllKindsInSortedOrder) {
+    MetricsRegistry registry;
+    registry.counter("b.count").add(7);
+    registry.counter("a.count").add(1);
+    registry.gauge("z.gauge").set(2.5);
+    registry.histogram("m.hist", {1.0, 2.0, 3}).record(2.0);
+
+    const std::string json = to_json(registry);
+    EXPECT_NE(json.find("\"schema\":\"spinscope-telemetry-v1\""), std::string::npos);
+    EXPECT_NE(json.find("\"a.count\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"b.count\":7"), std::string::npos);
+    EXPECT_NE(json.find("\"z.gauge\":2.5"), std::string::npos);
+    EXPECT_NE(json.find("\"bucket_counts\":[0,1,0]"), std::string::npos);
+    // Name-sorted: "a.count" must precede "b.count".
+    EXPECT_LT(json.find("\"a.count\""), json.find("\"b.count\""));
+}
+
+TEST(Export, JsonIsDeterministic) {
+    auto build = [] {
+        MetricsRegistry registry;
+        registry.counter("x").add(1);
+        registry.gauge("y").set(3.0);
+        registry.histogram("z").record(0.5);
+        return to_json(registry);
+    };
+    EXPECT_EQ(build(), build());
+}
+
+TEST(Export, CsvListsEveryInstrument) {
+    MetricsRegistry registry;
+    registry.counter("c").add(3);
+    registry.gauge("g").set(1.25);
+    registry.histogram("h", {1.0, 2.0, 4}).record(5.0);
+
+    const std::string csv = to_csv(registry);
+    EXPECT_NE(csv.find("kind,name,field,value\n"), std::string::npos);
+    EXPECT_NE(csv.find("counter,c,value,3\n"), std::string::npos);
+    EXPECT_NE(csv.find("gauge,g,value,1.25\n"), std::string::npos);
+    EXPECT_NE(csv.find("histogram,h,count,1\n"), std::string::npos);
+    EXPECT_NE(csv.find("histogram,h,bucket_ge_4,1\n"), std::string::npos);
+}
+
+TEST(Export, TableRendersEveryMetricName) {
+    MetricsRegistry registry;
+    registry.counter("layer.counter").add(1234567);
+    registry.gauge("layer.gauge").set(0.5);
+    registry.histogram("layer.hist").record(1.0);
+    const std::string table = render_table(registry);
+    EXPECT_NE(table.find("layer.counter"), std::string::npos);
+    EXPECT_NE(table.find("layer.gauge"), std::string::npos);
+    EXPECT_NE(table.find("layer.hist"), std::string::npos);
+    EXPECT_NE(table.find("1 234 567"), std::string::npos);  // grouped digits
+}
+
+TEST(Export, WriteJsonFileRoundTripsThroughDisk) {
+    MetricsRegistry registry;
+    registry.counter("disk.count").add(9);
+    const std::string path = ::testing::TempDir() + "spinscope_telemetry_test.json";
+    ASSERT_TRUE(write_json_file(registry, path));
+    std::ifstream in{path};
+    ASSERT_TRUE(in.good());
+    std::stringstream content;
+    content << in.rdbuf();
+    EXPECT_EQ(content.str(), to_json(registry) + "\n");
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace spinscope::telemetry
