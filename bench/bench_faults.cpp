@@ -1,0 +1,88 @@
+// bench/bench_faults.cpp
+//
+// Microbenchmarks of the fault-injection layer. The headline number is the
+// no-plan link send path: attaching nothing must cost nothing (one optional
+// check), so fault support never taxes the calibrated fault-free campaigns.
+
+#include <benchmark/benchmark.h>
+
+#include "faults/faults.hpp"
+#include "faults/retry_policy.hpp"
+#include "netsim/link.hpp"
+#include "netsim/simulator.hpp"
+
+namespace {
+
+using namespace spinscope;
+
+constexpr std::size_t kBatch = 1024;
+
+faults::FaultPlan active_plan() {
+    faults::FaultPlan plan;
+    plan.burst_loss.enabled = true;
+    plan.burst_loss.p_good_to_bad = 0.01;
+    plan.burst_loss.p_bad_to_good = 0.25;
+    plan.burst_loss.loss_bad = 0.6;
+    plan.duplicate_probability = 0.01;
+    return plan;
+}
+
+// mode 0: no injector; 1: attached-but-empty plan; 2: GE + duplication.
+void link_send_batch(benchmark::State& state, int mode) {
+    std::size_t delivered = 0;
+    for (auto _ : state) {
+        netsim::Simulator sim;
+        netsim::LinkConfig config;
+        config.base_delay = util::Duration::micros(100);
+        config.jitter_scale = util::Duration::micros(10);
+        netsim::Link link{sim, config, util::Rng{1}};
+        if (mode == 1) link.attach_faults(faults::FaultPlan{}, util::Rng{2});
+        if (mode == 2) link.attach_faults(active_plan(), util::Rng{2});
+        link.set_receiver([&delivered](const netsim::Datagram&) { ++delivered; });
+        const netsim::Datagram datagram(1200, 0xab);
+        for (std::size_t i = 0; i < kBatch; ++i) link.send(datagram);
+        sim.run();
+        benchmark::DoNotOptimize(link.stats().delivered);
+    }
+    benchmark::DoNotOptimize(delivered);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(kBatch));
+}
+
+void BM_LinkSendNoFaultPlan(benchmark::State& state) { link_send_batch(state, 0); }
+BENCHMARK(BM_LinkSendNoFaultPlan);
+
+void BM_LinkSendEmptyFaultPlan(benchmark::State& state) { link_send_batch(state, 1); }
+BENCHMARK(BM_LinkSendEmptyFaultPlan);
+
+void BM_LinkSendActiveFaultPlan(benchmark::State& state) { link_send_batch(state, 2); }
+BENCHMARK(BM_LinkSendActiveFaultPlan);
+
+void BM_FaultInjectorVerdict(benchmark::State& state) {
+    faults::FaultInjector injector{active_plan(), util::Rng{3}};
+    std::int64_t t = 0;
+    for (auto _ : state) {
+        const auto verdict = injector.on_send(util::TimePoint::from_nanos(t));
+        benchmark::DoNotOptimize(verdict.drop);
+        t += 1000;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultInjectorVerdict);
+
+void BM_RetryBackoffSchedule(benchmark::State& state) {
+    faults::RetryPolicy policy;
+    policy.max_attempts = 4;
+    util::Rng rng{4};
+    for (auto _ : state) {
+        for (int k = 1; k < policy.max_attempts; ++k) {
+            benchmark::DoNotOptimize(policy.backoff_delay(k, rng));
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * (policy.max_attempts - 1));
+}
+BENCHMARK(BM_RetryBackoffSchedule);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+#include "faults/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace spinscope::faults {
+
+namespace {
+
+/// NaN is a configuration bug, not a degenerate probability: reject loudly.
+double checked_probability(double p, const char* name) {
+    if (std::isnan(p)) {
+        throw std::invalid_argument(std::string{"faults: "} + name + " is NaN");
+    }
+    return std::clamp(p, 0.0, 1.0);
+}
+
+}  // namespace
+
+void FaultPlan::validate() {
+    burst_loss.p_good_to_bad =
+        checked_probability(burst_loss.p_good_to_bad, "burst_loss.p_good_to_bad");
+    burst_loss.p_bad_to_good =
+        checked_probability(burst_loss.p_bad_to_good, "burst_loss.p_bad_to_good");
+    burst_loss.loss_good = checked_probability(burst_loss.loss_good, "burst_loss.loss_good");
+    burst_loss.loss_bad = checked_probability(burst_loss.loss_bad, "burst_loss.loss_bad");
+    duplicate_probability =
+        checked_probability(duplicate_probability, "duplicate_probability");
+    for (const auto& window : blackholes) {
+        if (window.end < window.start) {
+            throw std::invalid_argument("faults: blackhole window ends before it starts");
+        }
+    }
+    for (const auto& spike : delay_spikes) {
+        if (spike.extra.is_negative()) {
+            throw std::invalid_argument("faults: delay spike with negative extra delay");
+        }
+    }
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, util::Rng rng)
+    : plan_{std::move(plan)}, rng_{rng} {
+    plan_.validate();
+    // Spikes fire in time order regardless of declaration order.
+    std::sort(plan_.delay_spikes.begin(), plan_.delay_spikes.end(),
+              [](const DelaySpike& a, const DelaySpike& b) { return a.at < b.at; });
+}
+
+FaultInjector::Verdict FaultInjector::on_send(TimePoint now) {
+    Verdict verdict;
+
+    // Blackhole windows dominate: a dead link drops regardless of the
+    // channel state, and skipping the other draws here would make loss
+    // patterns after the window depend on its placement — so the chain below
+    // still advances (state continuity), only the delivery decision is
+    // overridden at the end.
+    bool blackholed = false;
+    for (const auto& window : plan_.blackholes) {
+        if (window.start <= now && now < window.end) {
+            blackholed = true;
+            break;
+        }
+    }
+
+    if (plan_.burst_loss.enabled) {
+        // Transition, then emit — a freshly entered burst already loses.
+        if (in_bad_state_) {
+            if (rng_.chance(plan_.burst_loss.p_bad_to_good)) in_bad_state_ = false;
+        } else if (rng_.chance(plan_.burst_loss.p_good_to_bad)) {
+            in_bad_state_ = true;
+            ++stats_.burst_entries;
+        }
+        const double p = in_bad_state_ ? plan_.burst_loss.loss_bad : plan_.burst_loss.loss_good;
+        if (rng_.chance(p)) {
+            verdict.drop = true;
+            ++stats_.burst_dropped;
+        }
+    }
+
+    if (!verdict.drop && next_spike_ < plan_.delay_spikes.size() &&
+        plan_.delay_spikes[next_spike_].at <= now) {
+        verdict.extra_delay = plan_.delay_spikes[next_spike_].extra;
+        ++next_spike_;
+        ++stats_.delay_spiked;
+    }
+
+    if (!verdict.drop && plan_.duplicate_probability > 0.0 &&
+        rng_.chance(plan_.duplicate_probability)) {
+        verdict.duplicate = true;
+        ++stats_.duplicated;
+    }
+
+    if (blackholed) {
+        if (verdict.drop) {
+            --stats_.burst_dropped;  // reclassify: the outage is the cause
+        }
+        verdict.drop = true;
+        verdict.blackholed = true;
+        verdict.duplicate = false;
+        ++stats_.blackhole_dropped;
+    }
+    return verdict;
+}
+
+}  // namespace spinscope::faults

@@ -1,15 +1,55 @@
 #include "netsim/link.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "util/distributions.hpp"
 
 namespace spinscope::netsim {
 
+namespace {
+
+double checked_probability(double p, const char* name) {
+    if (std::isnan(p)) {
+        throw std::invalid_argument(std::string{"netsim: LinkConfig."} + name + " is NaN");
+    }
+    return std::clamp(p, 0.0, 1.0);
+}
+
+}  // namespace
+
+void validate_link_config(LinkConfig& config) {
+    config.loss_probability = checked_probability(config.loss_probability, "loss_probability");
+    config.reorder_probability =
+        checked_probability(config.reorder_probability, "reorder_probability");
+    if (std::isnan(config.jitter_sigma)) {
+        throw std::invalid_argument("netsim: LinkConfig.jitter_sigma is NaN");
+    }
+    if (std::isnan(config.bandwidth_bps)) {
+        throw std::invalid_argument("netsim: LinkConfig.bandwidth_bps is NaN");
+    }
+    config.jitter_sigma = std::max(0.0, config.jitter_sigma);
+    config.bandwidth_bps = std::max(0.0, config.bandwidth_bps);
+    if (config.reorder_extra_min > config.reorder_extra_max) {
+        throw std::invalid_argument(
+            "netsim: LinkConfig.reorder_extra_min exceeds reorder_extra_max");
+    }
+    if (config.reorder_extra_min.is_negative()) {
+        throw std::invalid_argument("netsim: LinkConfig.reorder_extra_min is negative");
+    }
+    if (config.base_delay.is_negative() || config.jitter_scale.is_negative()) {
+        throw std::invalid_argument("netsim: LinkConfig delay knobs must be >= 0");
+    }
+}
+
 Link::Link(Simulator& sim, LinkConfig config, util::Rng rng)
-    : sim_{&sim}, config_{config}, rng_{rng} {}
+    : sim_{&sim}, config_{config}, rng_{rng} {
+    validate_link_config(config_);
+}
 
 Duration Link::sample_jitter() {
     if (config_.jitter_scale.is_zero()) return Duration::zero();
@@ -21,6 +61,28 @@ Duration Link::sample_jitter() {
 
 void Link::send(Datagram datagram) {
     ++stats_.sent;
+
+    // Injected faults decide first: an outage or burst loss costs the
+    // datagram before the steady-state channel model sees it. The injector
+    // runs on its own RNG stream, so the link's draws below are unperturbed
+    // whether or not a plan is attached.
+    faults::FaultInjector::Verdict fault;
+    if (injector_) {
+        fault = injector_->on_send(sim_->now());
+        if (fault.drop) {
+            ++stats_.dropped;
+            stats_.dropped_bytes += datagram.size();
+            if (fault.blackholed) {
+                ++stats_.fault_blackhole_dropped;
+            } else {
+                ++stats_.fault_burst_dropped;
+            }
+            return;
+        }
+        if (!fault.extra_delay.is_zero()) ++stats_.fault_delay_spiked;
+        if (fault.duplicate) ++stats_.fault_duplicated;
+    }
+
     if (rng_.chance(config_.loss_probability)) {
         ++stats_.dropped;
         stats_.dropped_bytes += datagram.size();
@@ -38,7 +100,10 @@ void Link::send(Datagram datagram) {
         departure = serializer_free_at_;  // last bit leaves at end of serialization
     }
 
-    TimePoint arrival = departure + config_.base_delay + sample_jitter();
+    // A delay spike acts like a bufferbloat excursion: it delays this
+    // datagram pre-clamp, so with FIFO enforcement later datagrams queue up
+    // behind it instead of overtaking.
+    TimePoint arrival = departure + config_.base_delay + sample_jitter() + fault.extra_delay;
 
     const bool reorder_event = rng_.chance(config_.reorder_probability);
     if (reorder_event) {
@@ -51,6 +116,15 @@ void Link::send(Datagram datagram) {
     }
     if (!reorder_event) last_scheduled_arrival_ = arrival;
 
+    if (fault.duplicate) {
+        // The copy shares the original's arrival instant; scheduling order
+        // keeps it right behind the original (stable same-time ordering).
+        schedule_delivery(datagram, arrival);
+    }
+    schedule_delivery(std::move(datagram), arrival);
+}
+
+void Link::schedule_delivery(Datagram datagram, TimePoint arrival) {
     sim_->schedule_at(
         arrival,
         [this, dg = std::move(datagram)] {
@@ -70,6 +144,17 @@ void Link::publish_metrics(telemetry::MetricsRegistry& registry,
     registry.counter(prefix + ".reordered").add(stats_.reordered);
     registry.counter(prefix + ".delivered_bytes").add(stats_.delivered_bytes);
     registry.counter(prefix + ".dropped_bytes").add(stats_.dropped_bytes);
+    // Fault counters are published only when a plan is attached, so idle
+    // campaigns keep their metric schema unchanged.
+    if (injector_) {
+        registry.counter(prefix + ".fault.burst_dropped").add(stats_.fault_burst_dropped);
+        registry.counter(prefix + ".fault.blackhole_dropped")
+            .add(stats_.fault_blackhole_dropped);
+        registry.counter(prefix + ".fault.delay_spiked").add(stats_.fault_delay_spiked);
+        registry.counter(prefix + ".fault.duplicated").add(stats_.fault_duplicated);
+        registry.counter(prefix + ".fault.burst_entries")
+            .add(injector_->stats().burst_entries);
+    }
 }
 
 Path::Path(Simulator& sim, const LinkConfig& forward, const LinkConfig& ret, util::Rng& rng)

@@ -15,9 +15,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "faults/faults.hpp"
 #include "netsim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -49,6 +51,13 @@ struct LinkConfig {
     bool enforce_fifo = true;
 };
 
+/// Sanitizes a LinkConfig in place: NaN probabilities and an inverted
+/// reorder-delay range throw std::invalid_argument (configuration bugs);
+/// finite out-of-range probabilities and negative scales are clamped into
+/// their valid domain. Link's constructor applies this to its copy, so no
+/// downstream sampling ever sees an invalid knob.
+void validate_link_config(LinkConfig& config);
+
 /// Statistics a link keeps about itself (ground truth for tests/benches).
 struct LinkStats {
     std::uint64_t sent = 0;             ///< datagrams handed to the link
@@ -57,6 +66,11 @@ struct LinkStats {
     std::uint64_t reordered = 0;        ///< datagrams that overtook or were overtaken
     std::uint64_t delivered_bytes = 0;  ///< payload bytes of delivered datagrams
     std::uint64_t dropped_bytes = 0;    ///< payload bytes of lost datagrams
+    // Injected-fault accounting (all zero unless a FaultPlan is attached).
+    std::uint64_t fault_burst_dropped = 0;      ///< Gilbert–Elliott losses
+    std::uint64_t fault_blackhole_dropped = 0;  ///< losses in outage windows
+    std::uint64_t fault_delay_spiked = 0;       ///< datagrams hit by a spike
+    std::uint64_t fault_duplicated = 0;         ///< extra copies injected
 };
 
 /// Unidirectional link.
@@ -81,6 +95,19 @@ public:
     /// Queues one datagram for transmission at the current simulated time.
     void send(Datagram datagram);
 
+    /// Attaches an adversarial fault plan. `rng` must be a stream
+    /// independent of the link's own (the injector never touches the link's
+    /// draws, so an empty plan — or no plan — yields byte-identical
+    /// schedules). Re-attaching replaces the previous plan and its state.
+    void attach_faults(faults::FaultPlan plan, util::Rng rng) {
+        injector_.emplace(std::move(plan), rng);
+    }
+
+    /// The active injector, if a plan is attached (stats introspection).
+    [[nodiscard]] const faults::FaultInjector* fault_injector() const noexcept {
+        return injector_ ? &*injector_ : nullptr;
+    }
+
     [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
     [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
 
@@ -92,6 +119,7 @@ public:
 
 private:
     [[nodiscard]] Duration sample_jitter();
+    void schedule_delivery(Datagram datagram, TimePoint arrival);
 
     Simulator* sim_;
     LinkConfig config_;
@@ -99,6 +127,7 @@ private:
     Receiver receiver_;
     std::vector<Tap> taps_;
     LinkStats stats_;
+    std::optional<faults::FaultInjector> injector_;
     TimePoint last_scheduled_arrival_ = TimePoint::origin();
     TimePoint serializer_free_at_ = TimePoint::origin();
 };

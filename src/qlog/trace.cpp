@@ -92,7 +92,8 @@ std::optional<quic::PacketType> packet_type_from(const std::string& token) {
 
 std::optional<ConnectionOutcome> outcome_from(const std::string& token) {
     for (auto o : {ConnectionOutcome::ok, ConnectionOutcome::handshake_timeout,
-                   ConnectionOutcome::aborted, ConnectionOutcome::attempt_timeout}) {
+                   ConnectionOutcome::aborted, ConnectionOutcome::attempt_timeout,
+                   ConnectionOutcome::protocol_error}) {
         if (token == to_cstring(o)) return o;
     }
     return std::nullopt;

@@ -60,10 +60,13 @@ enum class ConnectionOutcome : std::uint8_t {
     aborted,            ///< closed with error before completing
     attempt_timeout,    ///< scanner's per-attempt deadline hit with the event
                         ///< queue still busy (neither completed nor failed)
+    protocol_error,     ///< peer sent undecodable or protocol-violating data
+                        ///< (e.g. garbage frame payloads) and the connection
+                        ///< was torn down with a transport error
 };
 
 /// Number of ConnectionOutcome values (for outcome-indexed tables).
-inline constexpr std::size_t kConnectionOutcomeCount = 4;
+inline constexpr std::size_t kConnectionOutcomeCount = 5;
 
 [[nodiscard]] constexpr const char* to_cstring(ConnectionOutcome o) noexcept {
     switch (o) {
@@ -71,6 +74,7 @@ inline constexpr std::size_t kConnectionOutcomeCount = 4;
         case ConnectionOutcome::handshake_timeout: return "handshake_timeout";
         case ConnectionOutcome::aborted: return "aborted";
         case ConnectionOutcome::attempt_timeout: return "attempt_timeout";
+        case ConnectionOutcome::protocol_error: return "protocol_error";
     }
     return "?";
 }

@@ -38,6 +38,16 @@ constexpr std::size_t kHeaderMargin = 40;
 /// Conservative STREAM frame overhead (type + ids + offsets + length).
 constexpr std::size_t kStreamFrameMargin = 20;
 
+// RFC 9000 §20.1 transport error codes spinscope raises.
+constexpr std::uint64_t kFlowControlError = 0x03;
+constexpr std::uint64_t kFrameEncodingError = 0x07;
+
+/// Hard bound on reassembly state per stream. A hostile peer can encode
+/// offsets up to 2^62-1; without this cap a single frame could make the
+/// ReassemblyBuffer allocate petabytes. Far above any simulated response
+/// body, so honest transfers never hit it.
+constexpr std::uint64_t kMaxStreamBytes = 1ull << 24;
+
 }  // namespace
 
 Connection::Connection(netsim::Simulator& sim, ConnectionConfig config, util::Rng rng,
@@ -148,6 +158,38 @@ void Connection::send_packet(PnSpace pn_space, std::vector<Frame> frames, bool p
     send_fn_(std::move(datagram));
 }
 
+void Connection::send_raw_payload(std::vector<std::uint8_t> payload) {
+    if (closed_ || failed_) return;
+    Space& sp = space(PnSpace::application);
+    if (!sp.open) return;
+
+    PacketHeader header;
+    header.type = PacketType::one_rtt;
+    header.version = config_.version;
+    header.dcid = remote_cid_;
+    header.scid = local_cid_;
+    header.packet_number = sp.next_pn++;
+    const auto bits = spin_.outgoing(rng_);
+    header.spin = bits.spin;
+    header.vec = bits.vec;
+
+    netsim::Datagram datagram;
+    encode_packet(datagram, header, payload, sp.largest_acked);
+    ++counters_.packets_sent;
+    counters_.bytes_sent += datagram.size();
+    if (trace_ != nullptr) {
+        trace_->record_sent({sim_->now(), header.type, header.packet_number, header.spin,
+                             static_cast<std::uint32_t>(datagram.size()), false, header.vec});
+    }
+    send_fn_(std::move(datagram));
+}
+
+void Connection::on_protocol_error(std::uint64_t error_code, const std::string& reason) {
+    if (closed_ || failed_) return;
+    protocol_error_ = true;
+    close(error_code, reason, /*application=*/false);
+}
+
 void Connection::send_ack_only(PnSpace pn_space) {
     Space& sp = space(pn_space);
     if (!sp.open) return;
@@ -225,12 +267,28 @@ void Connection::handle_packet(const DecodedPacket& packet) {
         packet.header.type == PacketType::retry) {
         return;  // not produced by spinscope endpoints
     }
+    // Hostile-endpoint faults (see faults::ServerFaultMode): a stalled
+    // handshake ignores everything before 1-RTT; a deaf endpoint drops every
+    // short-header packet before ack tracking, so nothing post-handshake is
+    // ever acknowledged.
+    if (config_.fault_stall_handshake && packet.header.type != PacketType::one_rtt) return;
+    if (config_.fault_never_ack && packet.header.type == PacketType::one_rtt) return;
     const PnSpace pn_space = pn_space_of(packet.header.type);
     Space& sp = space(pn_space);
     if (!sp.open) return;
 
     const auto frames = decode_frames(packet.payload, config_.params.ack_delay_exponent);
-    if (!frames) return;
+    if (!frames) {
+        // A frame-decode failure on a short-header packet that carries our
+        // connection ID models post-decryption garbage from the peer: a
+        // protocol violation (RFC 9000 §12.4), torn down with
+        // FRAME_ENCODING_ERROR. Anything else — off-path junk never matches
+        // the DCID — stays silently dropped.
+        if (packet.header.type == PacketType::one_rtt && packet.header.dcid == local_cid_) {
+            on_protocol_error(kFrameEncodingError, "undecodable frame payload");
+        }
+        return;
+    }
 
     const bool eliciting = any_ack_eliciting(*frames);
     if (!sp.tracker.on_packet_received(packet.header.packet_number, eliciting, sim_->now())) {
@@ -453,6 +511,11 @@ void Connection::handle_crypto(PnSpace pn_space, const CryptoFrame& crypto) {
 }
 
 void Connection::handle_stream(const StreamFrame& stream) {
+    if (stream.offset > kMaxStreamBytes ||
+        stream.data.size() > kMaxStreamBytes - stream.offset) {
+        on_protocol_error(kFlowControlError, "stream data beyond receive bound");
+        return;
+    }
     stream_bytes_received_ += stream.data.size();
     if (config_.flow_update_interval > 0 &&
         stream_bytes_received_ >= flow_credit_granted_ + config_.flow_update_interval) {
@@ -570,7 +633,9 @@ void Connection::finalize_trace() {
     trace_->metrics.packets_lost = counters_.packets_lost;
     trace_->metrics.packets_sent = counters_.packets_sent;
     trace_->metrics.packets_received = counters_.packets_received;
-    if (failed_) {
+    if (protocol_error_) {
+        trace_->outcome = qlog::ConnectionOutcome::protocol_error;
+    } else if (failed_) {
         trace_->outcome = handshake_complete_ ? qlog::ConnectionOutcome::aborted
                                               : qlog::ConnectionOutcome::handshake_timeout;
     }
@@ -592,6 +657,7 @@ void Connection::publish_metrics(telemetry::MetricsRegistry& registry,
     registry.counter(prefix + ".bytes_sent").add(counters_.bytes_sent);
     registry.counter(prefix + ".bytes_received").add(counters_.bytes_received);
     registry.counter(prefix + ".pto_fired").add(counters_.pto_fired_total);
+    if (protocol_error_) registry.counter(prefix + ".protocol_error").add(1);
 
     const std::uint64_t edges = spin_.edges_observed();
     registry.counter(prefix + ".spin_edges_observed").add(edges);

@@ -81,6 +81,15 @@ struct ConnectionConfig {
     /// Connection fails after this long without receiving anything.
     Duration idle_timeout = Duration::seconds(15);
     std::uint32_t max_pto_count = 5;
+
+    // --- hostile-endpoint fault knobs (faults::ServerFaultMode wiring) -----
+    /// Server receives Initials but never answers (handshake stall): the
+    /// peer observes a silent host and times out.
+    bool fault_stall_handshake = false;
+    /// Endpoint goes deaf in 1-RTT: received short-header packets are
+    /// dropped before tracking, so nothing post-handshake is ever
+    /// acknowledged or processed (broken stack / deaf middlebox).
+    bool fault_never_ack = false;
 };
 
 /// Counters exposed for analysis and tests.
@@ -120,6 +129,13 @@ public:
     /// Sends CONNECTION_CLOSE and tears the connection down locally.
     void close(std::uint64_t error_code, const std::string& reason, bool application = true);
 
+    /// Hostile-server hook: emits a correctly addressed 1-RTT packet whose
+    /// payload is `payload` verbatim — no frame encoding, no reliability
+    /// tracking. Used to model servers that produce garbage or truncated
+    /// frame payloads; the receiving peer must classify this as a protocol
+    /// error, never crash or hang.
+    void send_raw_payload(std::vector<std::uint8_t> payload);
+
     /// Feeds one received datagram (wired to netsim::Link's receiver).
     void on_datagram(const netsim::Datagram& datagram);
 
@@ -138,6 +154,9 @@ public:
     [[nodiscard]] bool handshake_complete() const noexcept { return handshake_complete_; }
     [[nodiscard]] bool closed() const noexcept { return closed_; }
     [[nodiscard]] bool failed() const noexcept { return failed_; }
+    /// True when the connection was torn down because the peer sent
+    /// undecodable or protocol-violating data (FRAME_ENCODING_ERROR et al.).
+    [[nodiscard]] bool protocol_error() const noexcept { return protocol_error_; }
     [[nodiscard]] const RttEstimator& rtt() const noexcept { return rtt_; }
     [[nodiscard]] const SpinState& spin_state() const noexcept { return spin_; }
     [[nodiscard]] const ConnectionCounters& counters() const noexcept { return counters_; }
@@ -192,6 +211,11 @@ private:
     void schedule_flush();
     void flush_now();
 
+    /// Tears the connection down as a transport-level protocol error
+    /// (CONNECTION_CLOSE with `error_code`); finalize_trace() records the
+    /// protocol_error outcome.
+    void on_protocol_error(std::uint64_t error_code, const std::string& reason);
+
     // --- timers / teardown -------------------------------------------------
     void arm_pto();
     void on_pto();
@@ -238,6 +262,7 @@ private:
     bool handshake_confirmed_ = false;
     bool closed_ = false;
     bool failed_ = false;
+    bool protocol_error_ = false;
     bool server_saw_chlo_ = false;
 };
 

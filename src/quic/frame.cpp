@@ -21,6 +21,11 @@ constexpr std::uint8_t kStreamFin = 0x01;
 constexpr std::uint8_t kStreamLen = 0x02;
 constexpr std::uint8_t kStreamOff = 0x04;
 
+/// Ack-delay ceiling (~52 days in µs). Wire values are clamped here so that
+/// `units << exponent` and the µs→ns conversion can never overflow int64 —
+/// a hostile peer cannot poison RTT adjustment with a wrap-around delay.
+constexpr std::uint64_t kMaxAckDelayMicros = 1ULL << 42;
+
 [[nodiscard]] std::optional<AckFrame> decode_ack(Reader& r, std::uint8_t exponent) {
     AckFrame ack;
     const auto largest = r.varint();
@@ -30,8 +35,9 @@ constexpr std::uint8_t kStreamOff = 0x04;
     if (!largest || !delay_units || !range_count || !first_range) return std::nullopt;
     if (*first_range > *largest) return std::nullopt;
 
-    ack.ack_delay = Duration::micros(
-        static_cast<std::int64_t>(*delay_units << exponent));
+    const std::uint64_t delay_micros =
+        std::min(*delay_units, kMaxAckDelayMicros >> exponent) << exponent;
+    ack.ack_delay = Duration::micros(static_cast<std::int64_t>(delay_micros));
     PacketNumber smallest = *largest - *first_range;
     ack.ranges.push_back(AckRange{smallest, *largest});
 
@@ -153,7 +159,9 @@ std::optional<std::vector<Frame>> decode_frames(std::span<const std::uint8_t> pa
     std::vector<Frame> frames;
     Reader r{payload};
     while (!r.done()) {
-        const auto type = r.varint();
+        // Frame types must use the minimal varint encoding (RFC 9000 §12.4);
+        // an overlong type is a FRAME_ENCODING_ERROR, not an alias.
+        const auto type = r.varint_minimal();
         if (!type) return std::nullopt;
         switch (*type) {
             case kTypePadding: {
@@ -178,6 +186,8 @@ std::optional<std::vector<Frame>> decode_frames(std::span<const std::uint8_t> pa
                 const auto offset = r.varint();
                 const auto length = r.varint();
                 if (!offset || !length) return std::nullopt;
+                // RFC 9000 §19.6: offset + length must stay a valid varint.
+                if (*offset > kVarintMax - *length) return std::nullopt;
                 const auto data = r.bytes(*length);
                 if (!data) return std::nullopt;
                 frames.emplace_back(CryptoFrame{*offset, {data->begin(), data->end()}});
@@ -221,13 +231,16 @@ std::optional<std::vector<Frame>> decode_frames(std::span<const std::uint8_t> pa
                         if (!offset) return std::nullopt;
                         stream.offset = *offset;
                     }
-                    std::size_t length = r.remaining();
+                    std::uint64_t length = r.remaining();
                     if ((bits & kStreamLen) != 0) {
                         const auto explicit_length = r.varint();
                         if (!explicit_length) return std::nullopt;
                         length = *explicit_length;
                     }
-                    const auto data = r.bytes(length);
+                    // RFC 9000 §19.8: the final byte offset must stay a
+                    // valid varint — rejects hostile offsets near 2^62.
+                    if (stream.offset > kVarintMax - length) return std::nullopt;
+                    const auto data = r.bytes(static_cast<std::size_t>(length));
                     if (!data) return std::nullopt;
                     stream.data.assign(data->begin(), data->end());
                     frames.emplace_back(std::move(stream));

@@ -106,6 +106,13 @@ std::optional<std::uint64_t> Reader::varint() noexcept {
     return decoded->value;
 }
 
+std::optional<std::uint64_t> Reader::varint_minimal() noexcept {
+    const auto decoded = decode_varint(data_.subspan(pos_));
+    if (!decoded || decoded->consumed != varint_size(decoded->value)) return std::nullopt;
+    pos_ += decoded->consumed;
+    return decoded->value;
+}
+
 std::optional<std::span<const std::uint8_t>> Reader::bytes(std::size_t n) noexcept {
     if (remaining() < n) return std::nullopt;
     auto view = data_.subspan(pos_, n);

@@ -80,6 +80,10 @@ public:
     /// Big-endian read of `width` bytes (1..8) into the low bits.
     [[nodiscard]] std::optional<std::uint64_t> be_truncated(std::size_t width) noexcept;
     [[nodiscard]] std::optional<std::uint64_t> varint() noexcept;
+    /// Like varint(), but rejects non-minimal ("overlong") encodings —
+    /// required for frame types (RFC 9000 §12.4). Does not advance on
+    /// failure.
+    [[nodiscard]] std::optional<std::uint64_t> varint_minimal() noexcept;
     /// Returns a view of the next `n` bytes and advances, or nullopt.
     [[nodiscard]] std::optional<std::span<const std::uint8_t>> bytes(std::size_t n) noexcept;
 

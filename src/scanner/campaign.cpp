@@ -5,6 +5,7 @@
 #include <cmath>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 
 #include "netsim/link.hpp"
 #include "netsim/simulator.hpp"
@@ -24,6 +25,26 @@ using util::Duration;
 using util::Rng;
 using util::TimePoint;
 
+void ScanOptions::validate() {
+    const auto checked_probability = [](double p, const char* name) {
+        if (std::isnan(p)) {
+            throw std::invalid_argument(std::string{"scanner: ScanOptions."} + name +
+                                        " is NaN");
+        }
+        return std::clamp(p, 0.0, 1.0);
+    };
+    loss_rate = checked_probability(loss_rate, "loss_rate");
+    reorder_rate = checked_probability(reorder_rate, "reorder_rate");
+    if (max_redirects < 0) {
+        throw std::invalid_argument("scanner: ScanOptions.max_redirects is negative");
+    }
+    if (attempt_deadline.is_negative() || attempt_deadline.is_zero()) {
+        throw std::invalid_argument("scanner: ScanOptions.attempt_deadline must be > 0");
+    }
+    retry.validate();
+    if (fault_plan) fault_plan->validate();
+}
+
 bool DomainScan::quic_ok() const noexcept {
     return std::any_of(connections.begin(), connections.end(), [](const qlog::Trace& t) {
         return t.outcome == qlog::ConnectionOutcome::ok;
@@ -39,10 +60,21 @@ std::string CampaignStats::render() const {
     table.add_row({"QUIC-ok rate (resolved)", util::percent(quic_ok_rate())});
     table.add_row({"connections", util::group_digits(connections)});
     table.add_row({"redirects followed", util::group_digits(redirects_followed)});
+    table.add_row({"retries", util::group_digits(retries)});
+    table.add_row({"domains recovered by retry", util::group_digits(domains_recovered_by_retry)});
+    table.add_row({"domains errored", util::group_digits(domains_errored)});
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         table.add_row({std::string{"outcome "} +
                            qlog::to_cstring(static_cast<qlog::ConnectionOutcome>(i)),
                        util::group_digits(outcomes[i])});
+    }
+    // Server-fault exposure rows only when some fault fired — the healthy
+    // sweep's table stays as it always was.
+    for (std::size_t i = 1; i < server_faults.size(); ++i) {
+        if (server_faults[i] == 0) continue;
+        table.add_row({std::string{"server fault "} +
+                           faults::to_cstring(static_cast<faults::ServerFaultMode>(i)),
+                       util::group_digits(server_faults[i])});
     }
     table.add_row({"wall seconds", util::fixed(wall_seconds, 2)});
     table.add_row({"domains/sec", util::fixed(domains_per_sec(), 1)});
@@ -50,24 +82,34 @@ std::string CampaignStats::render() const {
 }
 
 Campaign::AttemptOutcome Campaign::run_attempt(const web::Domain& domain,
-                                               const std::string& host, int attempt,
-                                               bool serve_redirect) const {
+                                               const std::string& host, int redirect_hop,
+                                               int retry, bool serve_redirect) const {
     const web::Population& pop = *population_;
     // Redirect follow-ups are profiled as their own phase: their cost is
     // extra connections, which the first-attempt phase must not absorb.
     std::optional<telemetry::ScopedTimer> attempt_timer;
     if (metrics_ != nullptr) {
-        attempt_timer.emplace(*metrics_, attempt == 0 ? "scanner.phase.attempt_ms"
-                                                      : "scanner.phase.redirect_ms");
+        attempt_timer.emplace(*metrics_, redirect_hop == 0 ? "scanner.phase.attempt_ms"
+                                                           : "scanner.phase.redirect_ms");
     }
     AttemptOutcome out;
     out.trace.host = host;
     out.trace.ip = pop.host_address(domain, options_.ipv6);
 
     Simulator sim;
-    Rng rng{options_.seed ^ (0x9e3779b97f4a7c15ULL * (domain.id + 1)) ^
-            (static_cast<std::uint64_t>(options_.week) << 32) ^
-            (options_.ipv6 ? 0x10000ULL : 0ULL) ^ static_cast<std::uint64_t>(attempt)};
+    // (hop | retry << 16) keeps retry 0 byte-identical to the pre-retry
+    // seeding while giving every retry an independent stream.
+    const std::uint64_t attempt_key = static_cast<std::uint64_t>(redirect_hop) |
+                                      (static_cast<std::uint64_t>(retry) << 16);
+    const std::uint64_t attempt_seed =
+        options_.seed ^ (0x9e3779b97f4a7c15ULL * (domain.id + 1)) ^
+        (static_cast<std::uint64_t>(options_.week) << 32) ^
+        (options_.ipv6 ? 0x10000ULL : 0ULL) ^ attempt_key;
+    Rng rng{attempt_seed};
+    // Fault decisions run on their own streams so attaching a fault plan (or
+    // drawing a server-fault lottery that comes up healthy) never perturbs
+    // the attempt's own randomness.
+    Rng server_fault_rng{~attempt_seed};
 
     const auto one_way = Duration::from_ms(domain.rtt_ms / 2.0);
     LinkConfig link;
@@ -79,6 +121,10 @@ Campaign::AttemptOutcome Campaign::run_attempt(const web::Domain& domain,
     link.reorder_extra_min = Duration::micros(60);
     link.reorder_extra_max = Duration::from_ms(1.5);
     Path path{sim, link, link, rng};
+    if (options_.fault_plan) {
+        path.forward_link().attach_faults(*options_.fault_plan, Rng{attempt_seed ^ 0xFA017'F0ULL});
+        path.return_link().attach_faults(*options_.fault_plan, Rng{attempt_seed ^ 0xFA017'F1ULL});
+    }
 
     ConnectionConfig client_cfg;
     client_cfg.role = quic::Role::client;
@@ -131,12 +177,28 @@ Campaign::AttemptOutcome Campaign::run_attempt(const web::Domain& domain,
     const auto& stack = pop.stack_of(domain);
     const bool spins = pop.host_spins(domain, options_.week, options_.ipv6);
 
+    // Serving-side fault lottery: the mode is a host property, whether it
+    // fires is a per-attempt draw (transient faults are what retries can
+    // beat). A healthy profile draws nothing, keeping fault-free campaigns
+    // byte-identical.
+    const faults::ServerFaultProfile fault_profile =
+        pop.server_fault_profile(domain, options_.ipv6);
+    faults::ServerFaultMode active_fault = faults::ServerFaultMode::none;
+    if (!fault_profile.healthy() &&
+        server_fault_rng.chance(fault_profile.per_attempt_probability)) {
+        active_fault = fault_profile.mode;
+    }
+    out.server_fault = active_fault;
+
     ConnectionConfig server_cfg;
     server_cfg.role = quic::Role::server;
     server_cfg.spin = spins ? stack.spin_enabled
                             : quic::SpinConfig{pop.host_disabled_policy(domain, options_.ipv6),
                                                0, quic::SpinPolicy::always_zero};
     server_cfg.params.max_ack_delay = stack.max_ack_delay;
+    server_cfg.fault_stall_handshake =
+        active_fault == faults::ServerFaultMode::handshake_stall;
+    server_cfg.fault_never_ack = active_fault == faults::ServerFaultMode::never_ack;
     Connection server{sim, server_cfg, rng.fork(200),
                       [&path](Datagram dg) { path.return_link().send(std::move(dg)); },
                       nullptr};
@@ -157,8 +219,31 @@ Campaign::AttemptOutcome Campaign::run_attempt(const web::Domain& domain,
         const Duration header_delay = stack.header_delay.sample(rng);
         (void)requested;
 
-        sim.schedule_after(header_delay, [&, redirect_target] {
+        sim.schedule_after(header_delay, [&, redirect_target, active_fault] {
             if (server.closed() || server.failed()) return;
+            if (active_fault == faults::ServerFaultMode::garbage_payload) {
+                // Instead of a response, emit an undecodable 1-RTT payload
+                // (unknown frame type + noise). The client must classify
+                // this as protocol_error — never crash or hang.
+                std::vector<std::uint8_t> junk(48);
+                junk[0] = 0x21;  // unknown frame type
+                for (std::size_t i = 1; i < junk.size(); ++i) {
+                    junk[i] = static_cast<std::uint8_t>(server_fault_rng.next());
+                }
+                server.send_raw_payload(std::move(junk));
+                return;
+            }
+            if (active_fault == faults::ServerFaultMode::mid_transfer_abort) {
+                // Headers arrive, then the server tears the connection down
+                // where the body should begin (worker crash, LB drain).
+                server.send_stream(kRequestStream,
+                                   build_response_headers(200, "", stack.name), false);
+                sim.schedule_after(stack.body_delay.sample(server_fault_rng), [&] {
+                    if (server.closed() || server.failed()) return;
+                    server.close(0x10c, "backend worker lost");
+                });
+                return;
+            }
             if (!redirect_target.empty()) {
                 server.send_stream(
                     kRequestStream,
@@ -230,16 +315,38 @@ DomainScan Campaign::scan_domain(const web::Domain& domain) const {
 
     std::string host = "www." + population_->domain_name(domain);
     bool serve_redirect = domain.redirects;
-    for (int attempt = 0; attempt <= options_.max_redirects; ++attempt) {
-        auto outcome = run_attempt(domain, host, attempt, serve_redirect);
+    // Backoff jitter runs on its own per-domain stream: with retries off it
+    // is never drawn from, and with them on it cannot perturb attempt seeds.
+    Rng backoff_rng{options_.seed ^ (0x9e3779b97f4a7c15ULL * (domain.id + 1)) ^ 0xb0ffULL};
+    for (int hop = 0; hop <= options_.max_redirects; ++hop) {
+        std::optional<AttemptOutcome> outcome;
+        Duration backoff = Duration::zero();
+        bool first_try_failed = false;
+        for (int retry = 0;; ++retry) {
+            outcome = run_attempt(domain, host, hop, retry, serve_redirect);
+            const bool ok = outcome->trace.outcome == qlog::ConnectionOutcome::ok;
+            scan.attempts.push_back(DomainScan::AttemptRecord{
+                hop, retry, outcome->trace.outcome, backoff, outcome->server_fault});
+            scan.connections.push_back(std::move(outcome->trace));
+            if (retry > 0) ++scan.retries;
+            if (ok) {
+                if (first_try_failed) scan.recovered_by_retry = true;
+                break;
+            }
+            first_try_failed = true;
+            if (!options_.retry.should_retry(retry, false)) break;
+            // Attempts run on per-attempt simulators, so the backoff is
+            // campaign bookkeeping in simulated time, not a sim event.
+            backoff = options_.retry.backoff_delay(retry + 1, backoff_rng);
+        }
         const bool redirected =
-            outcome.response.has_value() && outcome.response->status == 301 &&
-            !outcome.response->location.empty();
-        scan.final_response = outcome.response;
-        scan.connections.push_back(std::move(outcome.trace));
+            outcome->response.has_value() && outcome->response->status == 301 &&
+            !outcome->response->location.empty();
+        scan.final_response = outcome->response;
         if (!redirected) break;
+        ++scan.redirects_followed;
         if (metrics_ != nullptr) metrics_->counter("scanner.redirects_followed").add(1);
-        host = outcome.response->location;
+        host = outcome->response->location;
         serve_redirect = false;  // the canonical target serves the page
     }
     return scan;
@@ -255,15 +362,26 @@ CampaignStats Campaign::run(
     };
 
     for (const auto& domain : population_->domains()) {
-        DomainScan scan = scan_domain(domain);
+        // Per-domain fault isolation: one pathological target must cost one
+        // scan record, never the sweep. Telemetry/stats may be partially
+        // written for the failed domain; counters stay monotonic either way.
+        DomainScan scan;
+        try {
+            scan = scan_domain(domain);
+        } catch (const std::exception& e) {
+            scan = DomainScan{};
+            scan.domain_id = domain.id;
+            scan.error = e.what();
+        }
 
         ++stats.domains_scanned;
         if (scan.resolved) ++stats.domains_resolved;
         if (scan.quic_ok()) ++stats.domains_quic_ok;
         stats.connections += scan.connections.size();
-        if (scan.connections.size() > 1) {
-            stats.redirects_followed += scan.connections.size() - 1;
-        }
+        stats.redirects_followed += scan.redirects_followed;
+        stats.retries += scan.retries;
+        if (scan.recovered_by_retry) ++stats.domains_recovered_by_retry;
+        if (!scan.error.empty()) ++stats.domains_errored;
         for (const auto& trace : scan.connections) {
             ++stats.outcomes[static_cast<std::size_t>(trace.outcome)];
             if (metrics_ != nullptr) {
@@ -272,11 +390,25 @@ CampaignStats Campaign::run(
                     .add(1);
             }
         }
+        for (const auto& attempt : scan.attempts) {
+            ++stats.server_faults[static_cast<std::size_t>(attempt.server_fault)];
+            if (metrics_ != nullptr &&
+                attempt.server_fault != faults::ServerFaultMode::none) {
+                metrics_->counter(std::string{"scanner.server_fault."} +
+                                  faults::to_cstring(attempt.server_fault))
+                    .add(1);
+            }
+        }
         if (metrics_ != nullptr) {
             metrics_->counter("scanner.domains_scanned").add(1);
             if (scan.resolved) metrics_->counter("scanner.domains_resolved").add(1);
             if (scan.quic_ok()) metrics_->counter("scanner.domains_quic_ok").add(1);
             metrics_->counter("scanner.connections").add(scan.connections.size());
+            if (scan.retries > 0) metrics_->counter("scanner.retries").add(scan.retries);
+            if (scan.recovered_by_retry) {
+                metrics_->counter("scanner.domains_recovered_by_retry").add(1);
+            }
+            if (!scan.error.empty()) metrics_->counter("scanner.domains_errored").add(1);
         }
 
         sink(domain, std::move(scan));

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "faults/faults.hpp"
+#include "faults/retry_policy.hpp"
 #include "qlog/trace.hpp"
 #include "quic/connection.hpp"
 #include "scanner/http3_mini.hpp"
@@ -43,16 +45,51 @@ struct ScanOptions {
     quic::SpinConfig client_spin{quic::SpinPolicy::spin, 0, quic::SpinPolicy::always_zero};
     /// Safety bound per connection attempt (simulated time).
     util::Duration attempt_deadline = util::Duration::seconds(60);
+    /// Adversarial network fault plan, attached to both directions of every
+    /// attempt's path. nullopt attaches nothing; an engaged-but-empty plan
+    /// attaches an idle injector, which draws no randomness and therefore
+    /// yields byte-identical campaign results.
+    std::optional<faults::FaultPlan> fault_plan;
+    /// Per-hop retry schedule. The default (single attempt, no retries) is
+    /// byte-identical to the pre-retry scanner.
+    faults::RetryPolicy retry{};
+
+    /// Sanitizes the knobs in place: NaN probabilities, a negative redirect
+    /// budget, a non-positive deadline and invalid retry/fault-plan settings
+    /// throw std::invalid_argument; finite out-of-range probabilities are
+    /// clamped into [0, 1]. Campaign's constructor applies this to its copy.
+    void validate();
 };
 
 /// Everything recorded about one domain in one sweep.
 struct DomainScan {
+    /// Error taxonomy of one connection attempt (one entry per trace in
+    /// `connections`, same order).
+    struct AttemptRecord {
+        int redirect_hop = 0;  ///< 0 = landing page, n = nth redirect target
+        int retry = 0;         ///< 0 = first try at this hop
+        qlog::ConnectionOutcome outcome = qlog::ConnectionOutcome::aborted;
+        /// Simulated-time backoff the retry policy waited before this attempt.
+        util::Duration backoff = util::Duration::zero();
+        /// Server fault active during this attempt (none when healthy).
+        faults::ServerFaultMode server_fault = faults::ServerFaultMode::none;
+    };
+
     std::uint32_t domain_id = 0;
     bool resolved = false;  ///< DNS yielded an address of the scanned family
-    /// One trace per connection (first attempt plus followed redirects).
+    /// One trace per connection attempt (retries and followed redirects).
     std::vector<qlog::Trace> connections;
+    /// Per-attempt taxonomy, parallel to `connections`.
+    std::vector<AttemptRecord> attempts;
     /// Parsed response of the final connection, if any.
     std::optional<ResponseInfo> final_response;
+    std::uint32_t redirects_followed = 0;
+    std::uint64_t retries = 0;  ///< attempts beyond the first, any hop
+    /// A hop whose first try failed later succeeded on a retry.
+    bool recovered_by_retry = false;
+    /// Set when scanning this domain threw; the domain was skipped, the
+    /// sweep continued (graceful degradation).
+    std::string error;
 
     /// True if any connection completed the QUIC handshake.
     [[nodiscard]] bool quic_ok() const noexcept;
@@ -65,10 +102,16 @@ struct CampaignStats {
     std::uint64_t domains_scanned = 0;
     std::uint64_t domains_resolved = 0;
     std::uint64_t domains_quic_ok = 0;
-    std::uint64_t connections = 0;         ///< attempts incl. followed redirects
+    std::uint64_t connections = 0;  ///< attempts incl. retries and redirects
     std::uint64_t redirects_followed = 0;
+    std::uint64_t retries = 0;  ///< attempts beyond the first at some hop
+    std::uint64_t domains_recovered_by_retry = 0;
+    std::uint64_t domains_errored = 0;  ///< scan threw; skipped, not fatal
     /// Connection attempts by qlog::ConnectionOutcome (index via the enum).
     std::array<std::uint64_t, qlog::kConnectionOutcomeCount> outcomes{};
+    /// Connection attempts by active faults::ServerFaultMode (index 0 =
+    /// healthy server).
+    std::array<std::uint64_t, faults::kServerFaultModeCount> server_faults{};
     /// Host wall-clock seconds spent in run() so far.
     double wall_seconds = 0.0;
 
@@ -93,8 +136,12 @@ struct CampaignStats {
 /// Scans domains of a Population.
 class Campaign {
 public:
+    /// Throws std::invalid_argument when `options` fails validation (see
+    /// ScanOptions::validate); clampable knobs are sanitized silently.
     Campaign(const web::Population& population, ScanOptions options)
-        : population_{&population}, options_{options} {}
+        : population_{&population}, options_{std::move(options)} {
+        options_.validate();
+    }
 
     /// Attaches a metrics registry: every attempt then publishes simulator,
     /// link and connection telemetry plus scanner phase timings into it
@@ -124,11 +171,12 @@ private:
     struct AttemptOutcome {
         qlog::Trace trace;
         std::optional<ResponseInfo> response;
+        faults::ServerFaultMode server_fault = faults::ServerFaultMode::none;
     };
 
     [[nodiscard]] AttemptOutcome run_attempt(const web::Domain& domain,
-                                             const std::string& host, int attempt,
-                                             bool serve_redirect) const;
+                                             const std::string& host, int redirect_hop,
+                                             int retry, bool serve_redirect) const;
 
     const web::Population* population_;
     ScanOptions options_;

@@ -402,6 +402,32 @@ quic::SpinPolicy Population::host_disabled_policy(const Domain& d, bool ipv6) co
     return quic::SpinPolicy::always_zero;
 }
 
+faults::ServerFaultProfile Population::server_fault_profile(const Domain& d, bool ipv6) const {
+    faults::ServerFaultProfile profile;
+    const double rate =
+        std::clamp(std::max(config_.host_fault_rate, orgs_[d.org].fault_host_rate), 0.0, 1.0);
+    if (rate <= 0.0) return profile;
+    const std::uint64_t host = host_key(d, ipv6);
+    if (hashed_uniform(config_.seed, host, 23, 1) >= rate) return profile;
+
+    // The failure mode is a host property: a broken stack fails the same way
+    // on every visit. Modes are drawn uniformly from the non-healthy ones.
+    const double mode_draw = hashed_uniform(config_.seed, host, 29, 2);
+    const auto mode_index =
+        1 + static_cast<std::size_t>(mode_draw *
+                                     static_cast<double>(faults::kServerFaultModeCount - 1));
+    profile.mode = static_cast<faults::ServerFaultMode>(
+        std::min<std::size_t>(mode_index, faults::kServerFaultModeCount - 1));
+
+    // Persistent vs. transient is a host property as well; only transient
+    // faults leave room for retries to succeed.
+    const bool transient =
+        hashed_uniform(config_.seed, host, 31, 3) < config_.transient_fault_share;
+    profile.per_attempt_probability =
+        transient ? std::clamp(config_.transient_fault_probability, 0.0, 1.0) : 1.0;
+    return profile;
+}
+
 std::string Population::domain_name(const Domain& d) const {
     static constexpr const char* kCnoTlds[] = {"com", "com", "com", "net", "org"};
     static constexpr const char* kOtherTlds[] = {"xyz", "info", "online", "shop", "site"};

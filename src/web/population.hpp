@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/faults.hpp"
 #include "quic/spin.hpp"
 #include "util/distributions.hpp"
 #include "util/rng.hpp"
@@ -91,6 +92,10 @@ struct OrgProfile {
     /// with the given persistence probability (deployment churn).
     double spin_stable_fraction = 0.5;
     double spin_weekly_persistence = 0.85;
+    /// Fraction of this org's hosts with a serving-side failure mode
+    /// (broken stacks, deaf middleboxes — see faults::ServerFaultMode).
+    /// Defaults to 0 so the calibrated universe stays fault-free.
+    double fault_host_rate = 0.0;
 };
 
 /// One synthetic domain. Kept compact; names are derived on demand.
@@ -114,6 +119,15 @@ struct PopulationConfig {
     /// this; percentages are scale-invariant).
     double scale = 1000.0;
     std::uint64_t seed = 20230520;
+    /// Floor on every org's fault_host_rate — hostile-universe sweeps raise
+    /// this; the default 0 leaves the calibrated universe fault-free.
+    double host_fault_rate = 0.0;
+    /// Among faulty hosts, the fraction whose failure is transient (fires
+    /// per attempt with `transient_fault_probability`) rather than
+    /// persistent (fires on every attempt). Transient faults are what a
+    /// campaign retry policy can recover from.
+    double transient_fault_share = 0.7;
+    double transient_fault_probability = 0.6;
 };
 
 /// Counts of the paper's CW 20/2023 universe at 1:1 scale, used to size the
@@ -160,6 +174,14 @@ public:
     /// always zero, rarely fixed one, rarely greased per packet or per
     /// connection. Deterministic per host.
     [[nodiscard]] quic::SpinPolicy host_disabled_policy(const Domain& d, bool ipv6) const;
+
+    /// Serving-side failure behaviour of the host behind `d` (v4 or v6
+    /// flavour). Deterministic per host: a broken stack fails the same way
+    /// on every visit, and whether the failure is persistent or transient is
+    /// a host property too. Returns a healthy profile unless the config (or
+    /// the org) opts into faults.
+    [[nodiscard]] faults::ServerFaultProfile server_fault_profile(const Domain& d,
+                                                                  bool ipv6) const;
 
     /// Synthesized DNS name, e.g. "d001234.com".
     [[nodiscard]] std::string domain_name(const Domain& d) const;

@@ -266,5 +266,118 @@ TEST(Robustness, SurvivesExtremeLoss) {
     EXPECT_GT(path.forward_link().stats().dropped + path.return_link().stats().dropped, 0u);
 }
 
+TEST(Robustness, GarbagePayloadFromPeerIsProtocolError) {
+    // A hostile server answers the request with an undecodable 1-RTT packet
+    // (correct connection ID, junk frames). The client must classify this as
+    // a protocol error — close cleanly, never crash or hang.
+    Pair pair;
+    pair.server->on_stream_complete = [&pair](std::uint64_t, std::vector<std::uint8_t>) {
+        std::vector<std::uint8_t> junk(48, 0xAA);
+        junk[0] = 0x21;  // unknown frame type
+        pair.server->send_raw_payload(std::move(junk));
+    };
+    pair.client->connect();
+    pair.run();
+    EXPECT_TRUE(pair.client->protocol_error());
+    EXPECT_TRUE(pair.client->closed());
+    EXPECT_EQ(pair.response_size, 0u);
+    pair.client->finalize_trace();
+    EXPECT_EQ(pair.trace.outcome, qlog::ConnectionOutcome::protocol_error);
+}
+
+TEST(Robustness, HostileStreamOffsetIsBoundedNotAllocated) {
+    // A STREAM offset of 2^30 passes the frame-level varint checks but must
+    // trip the connection's reassembly bound (protocol error), not reserve a
+    // gigabyte of buffer.
+    Pair pair;
+    pair.server->on_stream_complete = [&pair](std::uint64_t, std::vector<std::uint8_t>) {
+        StreamFrame poison;
+        poison.stream_id = 0;
+        poison.offset = 1ULL << 30;
+        poison.data = {1, 2, 3};
+        std::vector<std::uint8_t> payload;
+        encode_frame(payload, Frame{poison}, 3);
+        pair.server->send_raw_payload(std::move(payload));
+    };
+    pair.client->connect();
+    pair.run();
+    EXPECT_TRUE(pair.client->protocol_error());
+    EXPECT_EQ(pair.response_size, 0u);
+}
+
+TEST(Robustness, OverlongFrameTypeEncodingRejected) {
+    // RFC 9000 §12.4: frame types use the minimal varint encoding. 0x4001 is
+    // an overlong PING and must not alias it.
+    const std::vector<std::uint8_t> overlong{0x40, 0x01};
+    EXPECT_FALSE(decode_frames(overlong, 3).has_value());
+    const std::vector<std::uint8_t> minimal{0x01};
+    const auto frames = decode_frames(minimal, 3);
+    ASSERT_TRUE(frames.has_value());
+    ASSERT_EQ(frames->size(), 1u);
+    EXPECT_TRUE(std::holds_alternative<PingFrame>(frames->front()));
+}
+
+TEST(Robustness, HugeAckDelayIsClampedNotOverflowed) {
+    // delay_units = kVarintMax with a large exponent would shift far past
+    // int64 without the clamp; the decoded delay must stay finite and sane.
+    std::vector<std::uint8_t> wire;
+    Writer w{wire};
+    w.varint(0x02);        // ACK
+    w.varint(5);           // largest acked
+    w.varint(kVarintMax);  // ack delay units
+    w.varint(0);           // extra range count
+    w.varint(1);           // first range
+    const auto frames = decode_frames(wire, /*ack_delay_exponent=*/20);
+    ASSERT_TRUE(frames.has_value());
+    const auto* ack = std::get_if<AckFrame>(&frames->front());
+    ASSERT_NE(ack, nullptr);
+    EXPECT_FALSE(ack->ack_delay.is_negative());
+    EXPECT_LE(ack->ack_delay.count_micros(), static_cast<std::int64_t>(1ULL << 42));
+}
+
+TEST(Robustness, FrameOffsetsNearVarintMaxRejected) {
+    // STREAM: offset + length may not exceed the varint ceiling (§19.8).
+    std::vector<std::uint8_t> stream_wire;
+    Writer sw{stream_wire};
+    sw.varint(0x0e);  // STREAM | OFF | LEN
+    sw.varint(0);     // stream id
+    sw.varint(kVarintMax);
+    sw.varint(1);
+    sw.u8(0xAB);
+    EXPECT_FALSE(decode_frames(stream_wire, 3).has_value());
+
+    // CRYPTO: same rule (§19.6).
+    std::vector<std::uint8_t> crypto_wire;
+    Writer cw{crypto_wire};
+    cw.varint(0x06);
+    cw.varint(kVarintMax);
+    cw.varint(2);
+    cw.u8(0x01);
+    cw.u8(0x02);
+    EXPECT_FALSE(decode_frames(crypto_wire, 3).has_value());
+}
+
+TEST(Robustness, TruncatedFramesNeverOverread) {
+    // Every prefix of a valid multi-frame payload either decodes or fails
+    // cleanly — no crash, no over-read (run under ASan to enforce).
+    std::vector<Frame> frames;
+    StreamFrame stream;
+    stream.stream_id = 4;
+    stream.offset = 100;
+    stream.data.assign(32, 0x5c);
+    frames.emplace_back(stream);
+    AckFrame ack;
+    ack.ranges.push_back({3, 9});
+    ack.ack_delay = Duration::millis(5);
+    frames.emplace_back(ack);
+    frames.emplace_back(PingFrame{});
+    const auto payload = encode_frames(frames, 3);
+    for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+        const std::span<const std::uint8_t> prefix{payload.data(), cut};
+        benchmarkish_use(decode_frames(prefix, 3).has_value());
+    }
+    ASSERT_TRUE(decode_frames(payload, 3).has_value());
+}
+
 }  // namespace
 }  // namespace spinscope::quic

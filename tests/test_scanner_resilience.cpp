@@ -1,0 +1,212 @@
+// Campaign resilience tests: hostile-universe sweeps finish and classify
+// every attempt, retries recover transiently-faulted domains, an attached
+// empty fault plan leaves campaign results byte-identical, and bad knobs are
+// rejected at construction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "faults/faults.hpp"
+#include "qlog/trace.hpp"
+#include "scanner/campaign.hpp"
+#include "web/population.hpp"
+
+namespace spinscope::scanner {
+namespace {
+
+web::PopulationConfig hostile_config(double transient_share, double transient_probability) {
+    web::PopulationConfig cfg;
+    cfg.scale = 200000.0;  // ~1k domains: a fast full sweep
+    cfg.seed = 1;
+    cfg.host_fault_rate = 1.0;  // every serving host is broken
+    cfg.transient_fault_share = transient_share;
+    cfg.transient_fault_probability = transient_probability;
+    return cfg;
+}
+
+TEST(Resilience, HostileSweepCompletesAndClassifiesEveryAttempt) {
+    // Persistent faults only: every attempt against a QUIC host hits its
+    // host's failure mode. The sweep must still finish, classify every
+    // attempt (including protocol_error for garbage payloads) and never
+    // fall back to the graceful-degradation error path.
+    web::Population hostile{hostile_config(/*transient_share=*/0.0, 0.6)};
+    Campaign campaign{hostile, {}};
+    std::uint64_t faulted_attempts = 0;
+    const CampaignStats stats =
+        campaign.run([&](const web::Domain&, DomainScan&& scan) {
+            ASSERT_EQ(scan.attempts.size(), scan.connections.size());
+            for (std::size_t i = 0; i < scan.attempts.size(); ++i) {
+                EXPECT_EQ(scan.attempts[i].outcome, scan.connections[i].outcome);
+                if (scan.attempts[i].server_fault != faults::ServerFaultMode::none) {
+                    ++faulted_attempts;
+                }
+            }
+        });
+
+    EXPECT_EQ(stats.domains_scanned, hostile.domains().size());
+    EXPECT_EQ(stats.domains_errored, 0u);
+    EXPECT_EQ(stats.domains_quic_ok, 0u) << "no host is healthy in this universe";
+
+    // Every attempt got exactly one outcome...
+    std::uint64_t outcome_total = 0;
+    for (const auto count : stats.outcomes) outcome_total += count;
+    EXPECT_EQ(outcome_total, stats.connections);
+    // ...and exactly one server-fault class (index 0 = healthy).
+    std::uint64_t fault_total = 0;
+    for (std::size_t mode = 1; mode < stats.server_faults.size(); ++mode) {
+        fault_total += stats.server_faults[mode];
+    }
+    EXPECT_EQ(fault_total, faulted_attempts);
+    EXPECT_EQ(fault_total + stats.server_faults[0], stats.connections);
+    EXPECT_GT(fault_total, 0u);
+
+    // Garbage payloads surfaced as protocol errors, not crashes or hangs.
+    EXPECT_GT(stats.outcome(qlog::ConnectionOutcome::protocol_error), 0u);
+    const std::string rendered = stats.render();
+    EXPECT_NE(rendered.find("domains errored"), std::string::npos);
+    EXPECT_NE(rendered.find("fault"), std::string::npos);
+}
+
+TEST(Resilience, RetriesRecoverTransientlyFaultedDomains) {
+    // Every host is broken, but every fault is transient (fires on 60 % of
+    // attempts). With three attempts per hop, a domain that failed its first
+    // try recovers unless all retries also draw the fault (~0.6^2 of the
+    // time), so well over half of the no-retry failures must come back.
+    web::Population flaky{hostile_config(/*transient_share=*/1.0, 0.6)};
+
+    ScanOptions no_retry;  // default: single attempt
+    Campaign baseline{flaky, no_retry};
+
+    ScanOptions with_retry;
+    with_retry.retry.max_attempts = 3;
+    with_retry.retry.initial_backoff = util::Duration::millis(100);
+    Campaign retrying{flaky, with_retry};
+
+    std::uint64_t failed_without_retry = 0;
+    std::uint64_t recovered = 0;
+    std::uint64_t retries_spent = 0;
+    for (const auto& domain : flaky.domains()) {
+        if (!domain.resolves || !domain.quic) continue;
+        const DomainScan a = baseline.scan_domain(domain);
+        if (a.quic_ok()) continue;
+        ++failed_without_retry;
+
+        const DomainScan b = retrying.scan_domain(domain);
+        retries_spent += b.retries;
+        if (b.quic_ok()) {
+            ++recovered;
+            EXPECT_TRUE(b.recovered_by_retry);
+            EXPECT_GT(b.retries, 0u);
+            // The first success is a retry at the landing hop, and it waited
+            // a positive backoff before running.
+            for (const auto& attempt : b.attempts) {
+                if (attempt.outcome != qlog::ConnectionOutcome::ok) continue;
+                EXPECT_EQ(attempt.redirect_hop, 0);
+                EXPECT_GT(attempt.retry, 0);
+                EXPECT_FALSE(attempt.backoff.is_zero());
+                break;
+            }
+        }
+    }
+    ASSERT_GT(failed_without_retry, 10u) << "universe too small to be meaningful";
+    EXPECT_GT(retries_spent, 0u);
+    EXPECT_GE(recovered * 2, failed_without_retry)
+        << "retries must recover at least half of the transient failures ("
+        << recovered << "/" << failed_without_retry << ")";
+}
+
+TEST(Resilience, RetryStatsAggregateAcrossTheSweep) {
+    web::PopulationConfig cfg = hostile_config(1.0, 0.6);
+    cfg.scale = 2000000.0;  // ~100 domains: retries make attempts pricier
+    web::Population flaky{cfg};
+    ScanOptions options;
+    options.retry.max_attempts = 2;
+    Campaign campaign{flaky, options};
+    std::uint64_t retries_seen = 0;
+    std::uint64_t recovered_seen = 0;
+    const CampaignStats stats =
+        campaign.run([&](const web::Domain&, DomainScan&& scan) {
+            retries_seen += scan.retries;
+            if (scan.recovered_by_retry) ++recovered_seen;
+        });
+    EXPECT_EQ(stats.retries, retries_seen);
+    EXPECT_EQ(stats.domains_recovered_by_retry, recovered_seen);
+    EXPECT_GT(stats.retries, 0u);
+    std::uint64_t outcome_total = 0;
+    for (const auto count : stats.outcomes) outcome_total += count;
+    EXPECT_EQ(outcome_total, stats.connections);
+}
+
+TEST(Resilience, EmptyFaultPlanIsByteIdenticalToNoPlan) {
+    // An engaged-but-empty FaultPlan attaches an idle injector to every
+    // link; the injector draws no randomness, so every trace of the sweep
+    // must serialize identically to a plan-free sweep with the same seed.
+    web::Population tiny{{200000.0, 1}};
+
+    const auto sweep_jsonl = [&tiny](bool attach_empty_plan) {
+        ScanOptions options;
+        if (attach_empty_plan) options.fault_plan = faults::FaultPlan{};
+        Campaign campaign{tiny, options};
+        std::string jsonl;
+        campaign.run([&](const web::Domain&, DomainScan&& scan) {
+            for (const auto& trace : scan.connections) jsonl += qlog::to_jsonl(trace);
+        });
+        return jsonl;
+    };
+
+    const std::string without = sweep_jsonl(false);
+    const std::string with = sweep_jsonl(true);
+    ASSERT_FALSE(without.empty());
+    EXPECT_EQ(without, with);
+}
+
+TEST(Resilience, ActiveFaultPlanDegradesButNeverCrashesTheSweep) {
+    web::Population tiny{{2000000.0, 1}};
+    ScanOptions options;
+    faults::FaultPlan plan;
+    plan.burst_loss.enabled = true;
+    plan.burst_loss.p_good_to_bad = 0.02;
+    plan.duplicate_probability = 0.05;
+    options.fault_plan = plan;
+    Campaign campaign{tiny, options};
+    const CampaignStats stats = campaign.run([](const web::Domain&, DomainScan&&) {});
+    EXPECT_EQ(stats.domains_scanned, tiny.domains().size());
+    EXPECT_EQ(stats.domains_errored, 0u);
+    std::uint64_t outcome_total = 0;
+    for (const auto count : stats.outcomes) outcome_total += count;
+    EXPECT_EQ(outcome_total, stats.connections);
+}
+
+TEST(Resilience, CampaignConstructorRejectsInvalidKnobs) {
+    web::Population tiny{{2000000.0, 1}};
+
+    ScanOptions nan_loss;
+    nan_loss.loss_rate = std::nan("");
+    EXPECT_THROW((Campaign{tiny, nan_loss}), std::invalid_argument);
+
+    ScanOptions zero_attempts;
+    zero_attempts.retry.max_attempts = 0;
+    EXPECT_THROW((Campaign{tiny, zero_attempts}), std::invalid_argument);
+
+    ScanOptions bad_plan;
+    bad_plan.fault_plan = faults::FaultPlan{};
+    bad_plan.fault_plan->duplicate_probability = std::nan("");
+    EXPECT_THROW((Campaign{tiny, bad_plan}), std::invalid_argument);
+
+    ScanOptions negative_deadline;
+    negative_deadline.attempt_deadline = util::Duration::zero();
+    EXPECT_THROW((Campaign{tiny, negative_deadline}), std::invalid_argument);
+
+    // Out-of-range (finite) probabilities are clamped, not fatal.
+    ScanOptions clamped;
+    clamped.loss_rate = 7.0;
+    Campaign campaign{tiny, clamped};
+    EXPECT_EQ(campaign.options().loss_rate, 1.0);
+}
+
+}  // namespace
+}  // namespace spinscope::scanner
