@@ -31,6 +31,10 @@ struct Options {
     /// Telemetry sidecar path; "<bench>.telemetry.json" by default,
     /// overridable with --telemetry=path, disabled with --telemetry=off.
     std::string telemetry_path;
+    /// Campaign worker threads (ScanOptions::threads); 0 = one per hardware
+    /// thread. Results are byte-identical for every value (DESIGN.md §9) —
+    /// this is purely a wall-clock knob.
+    unsigned threads = 1;
 };
 
 inline Options parse_options(int argc, char** argv, std::uint64_t default_count = 0) {
@@ -48,10 +52,12 @@ inline Options parse_options(int argc, char** argv, std::uint64_t default_count 
             options.csv_prefix = arg + 6;
         } else if (std::strncmp(arg, "--telemetry=", 12) == 0) {
             options.telemetry_path = arg + 12;
+        } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+            options.threads = static_cast<unsigned>(std::strtoul(arg + 10, nullptr, 10));
         } else if (std::strcmp(arg, "--help") == 0) {
             std::printf(
                 "usage: %s [--scale=N] [--seed=N] [--count=N] [--csv=prefix] "
-                "[--telemetry=path|off]\n",
+                "[--telemetry=path|off] [--threads=N]\n",
                 argv[0]);
             std::exit(0);
         }
@@ -100,8 +106,13 @@ inline void write_csv(const Options& options, const char* name, const std::strin
 
 inline void banner(const char* what, const Options& options) {
     std::printf("=== spinscope bench: %s ===\n", what);
-    std::printf("population scale 1:%.0f, seed %llu\n\n", options.scale,
+    std::printf("population scale 1:%.0f, seed %llu", options.scale,
                 static_cast<unsigned long long>(options.seed));
+    if (options.threads != 1) {
+        std::printf(", campaign threads %u%s", options.threads,
+                    options.threads == 0 ? " (hardware)" : "");
+    }
+    std::printf("\n\n");
 }
 
 }  // namespace spinscope::bench

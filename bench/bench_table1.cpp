@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
     scanner::ScanOptions scan_options;
     scan_options.ipv6 = false;
     scan_options.week = 57;  // CW 20/2023, counted from CW 15/2022
+    scan_options.threads = options.threads;
     scanner::Campaign campaign{population, scan_options};
 
     telemetry::MetricsRegistry registry;

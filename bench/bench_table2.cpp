@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
     web::Population population{{options.scale, options.seed}};
     scanner::ScanOptions scan_options;
     scan_options.week = 57;
+    scan_options.threads = options.threads;
     scanner::Campaign campaign{population, scan_options};
 
     analysis::AdoptionAggregator aggregator{population, false};

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
     scanner::ScanOptions scan_options;
     scan_options.ipv6 = true;
     scan_options.week = 57;
+    scan_options.threads = options.threads;
     scanner::Campaign campaign{population, scan_options};
 
     analysis::AdoptionAggregator aggregator{population, /*ipv6=*/true};

@@ -18,6 +18,13 @@ void RetryPolicy::validate() const {
     }
 }
 
+util::Rng RetryPolicy::backoff_stream(std::uint64_t campaign_seed,
+                                      std::uint64_t domain_id) noexcept {
+    // The 0xb0ff tweak separates the backoff stream from the domain's
+    // attempt streams; the constant is part of the golden-trace contract.
+    return util::Rng{util::derive_stream_seed(campaign_seed, domain_id) ^ 0xb0ffULL};
+}
+
 Duration RetryPolicy::backoff_delay(int retry_index, util::Rng& rng) const {
     validate();
     const int exponent = std::max(0, retry_index - 1);

@@ -41,6 +41,15 @@ struct RetryPolicy {
     /// (policy, rng state).
     [[nodiscard]] Duration backoff_delay(int retry_index, util::Rng& rng) const;
 
+    /// The backoff-jitter RNG for one domain of one campaign: an independent
+    /// sub-stream keyed by (campaign seed, domain id) via
+    /// util::derive_stream_seed. Part of the sharded determinism contract
+    /// (DESIGN.md §9): retry schedules are a pure per-domain function, never
+    /// a function of shard assignment, worker thread or scan order, and a
+    /// policy that never retries never draws from the stream at all.
+    [[nodiscard]] static util::Rng backoff_stream(std::uint64_t campaign_seed,
+                                                  std::uint64_t domain_id) noexcept;
+
     /// Throws std::invalid_argument on nonsensical knobs (NaN or < 1
     /// multiplier, negative durations, max_attempts < 1).
     void validate() const;

@@ -1,10 +1,21 @@
 #include "netsim/simulator.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 namespace spinscope::netsim {
 
+void Simulator::check_owner() const {
+    if (std::this_thread::get_id() != owner_) {
+        throw std::logic_error(
+            "netsim: Simulator used from a thread other than its owner "
+            "(simulators are single-threaded; shard workers must create "
+            "their own)");
+    }
+}
+
 void Simulator::schedule_at(TimePoint t, Callback cb, const char* category) {
+    check_owner();
     if (t < now_) t = now_;
     queue_.push(Event{t, next_seq_++, std::move(cb), category});
     if (queue_.size() > queue_hwm_) queue_hwm_ = queue_.size();
@@ -38,16 +49,19 @@ void Simulator::pop_and_run() {
 }
 
 void Simulator::run() {
+    check_owner();
     while (!queue_.empty()) pop_and_run();
 }
 
 bool Simulator::run_until(TimePoint deadline) {
+    check_owner();
     while (!queue_.empty() && queue_.top().at <= deadline) pop_and_run();
     if (now_ < deadline) now_ = deadline;
     return queue_.empty();
 }
 
 void Simulator::run_steps(std::size_t max_events) {
+    check_owner();
     for (std::size_t i = 0; i < max_events && !queue_.empty(); ++i) pop_and_run();
 }
 

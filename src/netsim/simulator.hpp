@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -28,6 +29,12 @@ using util::TimePoint;
 ///
 /// Events scheduled for the same instant fire in scheduling order (stable),
 /// which keeps runs bit-for-bit reproducible.
+///
+/// Thread affinity: a Simulator is owned by the thread that constructs it.
+/// The sharded campaign creates one per connection attempt on whichever
+/// worker runs that attempt; nothing is synchronized, so scheduling or
+/// running from any other thread is a determinism bug, and the simulator
+/// enforces single-owner affinity by throwing std::logic_error.
 class Simulator {
 public:
     using Callback = std::function<void()>;
@@ -91,8 +98,12 @@ private:
     };
 
     void pop_and_run();
+    /// Throws std::logic_error when called from a thread other than the one
+    /// that constructed this simulator (single-owner affinity).
+    void check_owner() const;
 
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    std::thread::id owner_ = std::this_thread::get_id();
     TimePoint now_ = TimePoint::origin();
     std::uint64_t next_seq_ = 0;
     std::uint64_t processed_ = 0;

@@ -6,9 +6,12 @@
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "netsim/link.hpp"
 #include "netsim/simulator.hpp"
+#include "scanner/shard.hpp"
 #include "telemetry/span.hpp"
 #include "util/distributions.hpp"
 #include "util/format.hpp"
@@ -43,6 +46,7 @@ void ScanOptions::validate() {
     }
     retry.validate();
     if (fault_plan) fault_plan->validate();
+    ShardConfig{threads, chunk_domains}.validate();
 }
 
 bool DomainScan::quic_ok() const noexcept {
@@ -83,26 +87,30 @@ std::string CampaignStats::render() const {
 
 Campaign::AttemptOutcome Campaign::run_attempt(const web::Domain& domain,
                                                const std::string& host, int redirect_hop,
-                                               int retry, bool serve_redirect) const {
+                                               int retry, bool serve_redirect,
+                                               telemetry::MetricsRegistry* metrics) const {
     const web::Population& pop = *population_;
     // Redirect follow-ups are profiled as their own phase: their cost is
     // extra connections, which the first-attempt phase must not absorb.
     std::optional<telemetry::ScopedTimer> attempt_timer;
-    if (metrics_ != nullptr) {
-        attempt_timer.emplace(*metrics_, redirect_hop == 0 ? "scanner.phase.attempt_ms"
-                                                           : "scanner.phase.redirect_ms");
+    if (metrics != nullptr) {
+        attempt_timer.emplace(*metrics, redirect_hop == 0 ? "scanner.phase.attempt_ms"
+                                                          : "scanner.phase.redirect_ms");
     }
     AttemptOutcome out;
     out.trace.host = host;
     out.trace.ip = pop.host_address(domain, options_.ipv6);
 
     Simulator sim;
-    // (hop | retry << 16) keeps retry 0 byte-identical to the pre-retry
-    // seeding while giving every retry an independent stream.
+    // Attempt randomness is a domain-keyed sub-stream (the sharded
+    // determinism contract, DESIGN.md §9): never a function of scan order,
+    // shard assignment or thread count. (hop | retry << 16) keeps retry 0
+    // byte-identical to the pre-retry seeding while giving every retry an
+    // independent stream.
     const std::uint64_t attempt_key = static_cast<std::uint64_t>(redirect_hop) |
                                       (static_cast<std::uint64_t>(retry) << 16);
     const std::uint64_t attempt_seed =
-        options_.seed ^ (0x9e3779b97f4a7c15ULL * (domain.id + 1)) ^
+        util::derive_stream_seed(options_.seed, domain.id) ^
         (static_cast<std::uint64_t>(options_.week) << 32) ^
         (options_.ipv6 ? 0x10000ULL : 0ULL) ^ attempt_key;
     Rng rng{attempt_seed};
@@ -139,8 +147,8 @@ Campaign::AttemptOutcome Campaign::run_attempt(const web::Domain& domain,
     const auto finish_attempt = [&](bool drained, bool got_response) {
         {
             std::optional<telemetry::ScopedTimer> finalize_timer;
-            if (metrics_ != nullptr) {
-                finalize_timer.emplace(*metrics_, "scanner.phase.finalize_ms");
+            if (metrics != nullptr) {
+                finalize_timer.emplace(*metrics, "scanner.phase.finalize_ms");
             }
             client.finalize_trace();
             if (got_response) {
@@ -154,12 +162,12 @@ Campaign::AttemptOutcome Campaign::run_attempt(const web::Domain& domain,
                 out.trace.outcome = qlog::ConnectionOutcome::attempt_timeout;
             }
         }
-        if (metrics_ != nullptr) {
-            sim.publish_metrics(*metrics_);
-            path.forward_link().publish_metrics(*metrics_, "netsim.link.forward");
-            path.return_link().publish_metrics(*metrics_, "netsim.link.return");
-            client.publish_metrics(*metrics_);
-            telemetry::record_sim_time(*metrics_, "scanner.attempt_sim_ms",
+        if (metrics != nullptr) {
+            sim.publish_metrics(*metrics);
+            path.forward_link().publish_metrics(*metrics, "netsim.link.forward");
+            path.return_link().publish_metrics(*metrics, "netsim.link.return");
+            client.publish_metrics(*metrics);
+            telemetry::record_sim_time(*metrics, "scanner.attempt_sim_ms",
                                        sim.now() - TimePoint::origin());
         }
     };
@@ -302,13 +310,18 @@ Campaign::AttemptOutcome Campaign::run_attempt(const web::Domain& domain,
 }
 
 DomainScan Campaign::scan_domain(const web::Domain& domain) const {
+    return scan_domain_into(domain, metrics_);
+}
+
+DomainScan Campaign::scan_domain_into(const web::Domain& domain,
+                                      telemetry::MetricsRegistry* metrics) const {
     DomainScan scan;
     scan.domain_id = domain.id;
     {
         // DNS is modelled as a population lookup, but it is still a campaign
         // phase: profiling it keeps the phase breakdown exhaustive.
         std::optional<telemetry::ScopedTimer> resolve_timer;
-        if (metrics_ != nullptr) resolve_timer.emplace(*metrics_, "scanner.phase.resolve_ms");
+        if (metrics != nullptr) resolve_timer.emplace(*metrics, "scanner.phase.resolve_ms");
         scan.resolved = domain.resolves && (!options_.ipv6 || domain.has_ipv6);
     }
     if (!scan.resolved) return scan;
@@ -317,13 +330,13 @@ DomainScan Campaign::scan_domain(const web::Domain& domain) const {
     bool serve_redirect = domain.redirects;
     // Backoff jitter runs on its own per-domain stream: with retries off it
     // is never drawn from, and with them on it cannot perturb attempt seeds.
-    Rng backoff_rng{options_.seed ^ (0x9e3779b97f4a7c15ULL * (domain.id + 1)) ^ 0xb0ffULL};
+    Rng backoff_rng = faults::RetryPolicy::backoff_stream(options_.seed, domain.id);
     for (int hop = 0; hop <= options_.max_redirects; ++hop) {
         std::optional<AttemptOutcome> outcome;
         Duration backoff = Duration::zero();
         bool first_try_failed = false;
         for (int retry = 0;; ++retry) {
-            outcome = run_attempt(domain, host, hop, retry, serve_redirect);
+            outcome = run_attempt(domain, host, hop, retry, serve_redirect, metrics);
             const bool ok = outcome->trace.outcome == qlog::ConnectionOutcome::ok;
             scan.attempts.push_back(DomainScan::AttemptRecord{
                 hop, retry, outcome->trace.outcome, backoff, outcome->server_fault});
@@ -345,7 +358,7 @@ DomainScan Campaign::scan_domain(const web::Domain& domain) const {
         scan.final_response = outcome->response;
         if (!redirected) break;
         ++scan.redirects_followed;
-        if (metrics_ != nullptr) metrics_->counter("scanner.redirects_followed").add(1);
+        if (metrics != nullptr) metrics->counter("scanner.redirects_followed").add(1);
         host = outcome->response->location;
         serve_redirect = false;  // the canonical target serves the page
     }
@@ -361,65 +374,109 @@ CampaignStats Campaign::run(
             .count();
     };
 
-    for (const auto& domain : population_->domains()) {
-        // Per-domain fault isolation: one pathological target must cost one
-        // scan record, never the sweep. Telemetry/stats may be partially
-        // written for the failed domain; counters stay monotonic either way.
-        DomainScan scan;
-        try {
-            scan = scan_domain(domain);
-        } catch (const std::exception& e) {
-            scan = DomainScan{};
-            scan.domain_id = domain.id;
-            scan.error = e.what();
-        }
+    const auto domains = population_->domains();
+    const ShardConfig shard{options_.threads, options_.chunk_domains};
+    const ShardPlan plan{domains.size(), options_.chunk_domains};
 
-        ++stats.domains_scanned;
-        if (scan.resolved) ++stats.domains_resolved;
-        if (scan.quic_ok()) ++stats.domains_quic_ok;
-        stats.connections += scan.connections.size();
-        stats.redirects_followed += scan.redirects_followed;
-        stats.retries += scan.retries;
-        if (scan.recovered_by_retry) ++stats.domains_recovered_by_retry;
-        if (!scan.error.empty()) ++stats.domains_errored;
-        for (const auto& trace : scan.connections) {
-            ++stats.outcomes[static_cast<std::size_t>(trace.outcome)];
-            if (metrics_ != nullptr) {
-                metrics_->counter(std::string{"scanner.outcome."} +
-                                  qlog::to_cstring(trace.outcome))
-                    .add(1);
-            }
-        }
-        for (const auto& attempt : scan.attempts) {
-            ++stats.server_faults[static_cast<std::size_t>(attempt.server_fault)];
-            if (metrics_ != nullptr &&
-                attempt.server_fault != faults::ServerFaultMode::none) {
-                metrics_->counter(std::string{"scanner.server_fault."} +
-                                  faults::to_cstring(attempt.server_fault))
-                    .add(1);
-            }
-        }
+    // Slot c is written by exactly one worker (inside scan(c)) and read by
+    // the merge thread only after run_sharded reports the chunk done.
+    struct ChunkResult {
+        std::vector<DomainScan> scans;
+        /// Chunk-private telemetry; null when the campaign has no registry.
+        std::unique_ptr<telemetry::MetricsRegistry> metrics;
+    };
+    std::vector<ChunkResult> chunks(plan.chunk_count());
+
+    const auto scan_chunk = [&](std::size_t c) {
+        ChunkResult result;
         if (metrics_ != nullptr) {
-            metrics_->counter("scanner.domains_scanned").add(1);
-            if (scan.resolved) metrics_->counter("scanner.domains_resolved").add(1);
-            if (scan.quic_ok()) metrics_->counter("scanner.domains_quic_ok").add(1);
-            metrics_->counter("scanner.connections").add(scan.connections.size());
-            if (scan.retries > 0) metrics_->counter("scanner.retries").add(scan.retries);
-            if (scan.recovered_by_retry) {
-                metrics_->counter("scanner.domains_recovered_by_retry").add(1);
+            result.metrics = std::make_unique<telemetry::MetricsRegistry>();
+        }
+        result.scans.reserve(plan.chunk_end(c) - plan.chunk_begin(c));
+        for (std::size_t i = plan.chunk_begin(c); i < plan.chunk_end(c); ++i) {
+            const web::Domain& domain = domains[i];
+            // Per-domain fault isolation: one pathological target must cost
+            // one scan record, never the sweep. Telemetry/stats may be
+            // partially written for the failed domain; counters stay
+            // monotonic either way.
+            DomainScan scan;
+            try {
+                scan = scan_domain_into(domain, result.metrics.get());
+            } catch (const std::exception& e) {
+                scan = DomainScan{};
+                scan.domain_id = domain.id;
+                scan.error = e.what();
             }
-            if (!scan.error.empty()) metrics_->counter("scanner.domains_errored").add(1);
+            result.scans.push_back(std::move(scan));
         }
+        chunks[c] = std::move(result);
+    };
 
-        sink(domain, std::move(scan));
-
-        if (progress_ && progress_every_ > 0 &&
-            stats.domains_scanned % progress_every_ == 0) {
-            stats.wall_seconds = wall_elapsed();
-            progress_(stats);
+    const auto merge_chunk = [&](std::size_t c) {
+        ChunkResult result = std::move(chunks[c]);
+        if (metrics_ != nullptr && result.metrics != nullptr) {
+            metrics_->merge_from(*result.metrics);
         }
-    }
+        for (std::size_t j = 0; j < result.scans.size(); ++j) {
+            const web::Domain& domain = domains[plan.chunk_begin(c) + j];
+            DomainScan scan = std::move(result.scans[j]);
 
+            ++stats.domains_scanned;
+            if (scan.resolved) ++stats.domains_resolved;
+            if (scan.quic_ok()) ++stats.domains_quic_ok;
+            stats.connections += scan.connections.size();
+            stats.redirects_followed += scan.redirects_followed;
+            stats.retries += scan.retries;
+            if (scan.recovered_by_retry) ++stats.domains_recovered_by_retry;
+            if (!scan.error.empty()) ++stats.domains_errored;
+            for (const auto& trace : scan.connections) {
+                ++stats.outcomes[static_cast<std::size_t>(trace.outcome)];
+                if (metrics_ != nullptr) {
+                    metrics_->counter(std::string{"scanner.outcome."} +
+                                      qlog::to_cstring(trace.outcome))
+                        .add(1);
+                }
+            }
+            for (const auto& attempt : scan.attempts) {
+                ++stats.server_faults[static_cast<std::size_t>(attempt.server_fault)];
+                if (metrics_ != nullptr &&
+                    attempt.server_fault != faults::ServerFaultMode::none) {
+                    metrics_->counter(std::string{"scanner.server_fault."} +
+                                      faults::to_cstring(attempt.server_fault))
+                        .add(1);
+                }
+            }
+            if (metrics_ != nullptr) {
+                metrics_->counter("scanner.domains_scanned").add(1);
+                if (scan.resolved) metrics_->counter("scanner.domains_resolved").add(1);
+                if (scan.quic_ok()) metrics_->counter("scanner.domains_quic_ok").add(1);
+                metrics_->counter("scanner.connections").add(scan.connections.size());
+                if (scan.retries > 0) {
+                    metrics_->counter("scanner.retries").add(scan.retries);
+                }
+                if (scan.recovered_by_retry) {
+                    metrics_->counter("scanner.domains_recovered_by_retry").add(1);
+                }
+                if (!scan.error.empty()) {
+                    metrics_->counter("scanner.domains_errored").add(1);
+                }
+            }
+
+            sink(domain, std::move(scan));
+
+            if (progress_ && progress_every_ > 0 &&
+                stats.domains_scanned % progress_every_ == 0) {
+                stats.wall_seconds = wall_elapsed();
+                progress_(stats);
+            }
+        }
+    };
+
+    run_sharded(shard, plan, scan_chunk, merge_chunk);
+
+    // Wall clock is aggregated exactly once, here on the merge thread —
+    // never accumulated per domain, which would double-count overlapping
+    // worker time under sharding.
     stats.wall_seconds = wall_elapsed();
     if (metrics_ != nullptr) {
         metrics_->gauge("scanner.domains_per_sec").set(stats.domains_per_sec());

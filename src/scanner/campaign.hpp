@@ -53,6 +53,15 @@ struct ScanOptions {
     /// Per-hop retry schedule. The default (single attempt, no retries) is
     /// byte-identical to the pre-retry scanner.
     faults::RetryPolicy retry{};
+    /// Worker threads for run(); 0 = one per hardware thread. Every
+    /// per-domain observable is derived from domain-keyed RNG sub-streams
+    /// (util::derive_stream_seed), so stats, scan streams and deterministic
+    /// telemetry are byte-identical for every thread count (DESIGN.md §9).
+    unsigned threads = 1;
+    /// Domains per shard work chunk (>= 1). Changing it never changes scan
+    /// results; only histogram `sum` telemetry may drift in the last ulp
+    /// because partial sums regroup (see telemetry::deterministic_csv).
+    std::size_t chunk_domains = 16;
 
     /// Sanitizes the knobs in place: NaN probabilities, a negative redirect
     /// budget, a non-positive deadline and invalid retry/fault-plan settings
@@ -150,8 +159,11 @@ public:
     void set_metrics(telemetry::MetricsRegistry* registry) noexcept { metrics_ = registry; }
 
     /// Installs a progress callback fired every `every_n` scanned domains
-    /// during run() (0 disables). The callback sees a point-in-time
-    /// CampaignStats snapshot, e.g. for a live domains/sec readout.
+    /// during run() (0 disables). The callback always runs on the thread
+    /// that called run() (the merge thread) — never on a shard worker — and
+    /// sees a monotonic point-in-time CampaignStats snapshot: every field,
+    /// including wall_seconds, is non-decreasing across consecutive firings,
+    /// and domains_scanned counts in merge (domain-id) order.
     void set_progress(std::uint64_t every_n,
                       std::function<void(const CampaignStats&)> callback) {
         progress_every_ = every_n;
@@ -161,8 +173,17 @@ public:
     /// Scans a single domain (resolution, connection, redirects).
     [[nodiscard]] DomainScan scan_domain(const web::Domain& domain) const;
 
-    /// Scans every domain, streaming results to `sink` (traces are large;
-    /// aggregate, then drop them). Returns the sweep's aggregate stats.
+    /// Scans every domain, streaming results to `sink` in domain-id order
+    /// (traces are large; aggregate, then drop them). Returns the sweep's
+    /// aggregate stats.
+    ///
+    /// Sharded execution: domains are chunked (ScanOptions::chunk_domains)
+    /// and scanned by ScanOptions::threads workers, each attempt on its own
+    /// single-owner netsim::Simulator with telemetry captured into a
+    /// per-chunk registry; the calling thread merges chunks strictly in
+    /// domain-id order — stats accumulation, telemetry merge_from, sink and
+    /// progress all happen there. wall_seconds is aggregated once at merge
+    /// time, not per domain.
     CampaignStats run(const std::function<void(const web::Domain&, DomainScan&&)>& sink) const;
 
     [[nodiscard]] const ScanOptions& options() const noexcept { return options_; }
@@ -174,9 +195,16 @@ private:
         faults::ServerFaultMode server_fault = faults::ServerFaultMode::none;
     };
 
+    /// scan_domain with telemetry routed into an explicit registry (the
+    /// worker's chunk-private one; nullptr disables), so shard workers never
+    /// share a registry. scan_domain() delegates here with metrics_.
+    [[nodiscard]] DomainScan scan_domain_into(const web::Domain& domain,
+                                              telemetry::MetricsRegistry* metrics) const;
+
     [[nodiscard]] AttemptOutcome run_attempt(const web::Domain& domain,
                                              const std::string& host, int redirect_hop,
-                                             int retry, bool serve_redirect) const;
+                                             int retry, bool serve_redirect,
+                                             telemetry::MetricsRegistry* metrics) const;
 
     const web::Population* population_;
     ScanOptions options_;

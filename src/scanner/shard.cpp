@@ -1,0 +1,94 @@
+#include "scanner/shard.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spinscope::scanner {
+
+unsigned ShardConfig::resolved_threads() const noexcept {
+    if (threads != 0) return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void run_sharded(const ShardConfig& config, const ShardPlan& plan,
+                 const std::function<void(std::size_t chunk)>& scan,
+                 const std::function<void(std::size_t chunk)>& merge) {
+    config.validate();
+    const std::size_t chunks = plan.chunk_count();
+    if (chunks == 0) return;
+
+    // More workers than chunks would only park threads on an empty cursor.
+    const std::size_t workers =
+        std::min<std::size_t>(config.resolved_threads(), chunks);
+
+    std::mutex mu;
+    std::condition_variable chunk_done;
+    std::vector<char> done(chunks, 0);   // guarded by mu
+    std::exception_ptr failure;          // guarded by mu; first failure wins
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> cancelled{false};
+
+    const auto fail_with_current_exception = [&] {
+        cancelled.store(true, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock{mu};
+            if (!failure) failure = std::current_exception();
+        }
+        chunk_done.notify_all();
+    };
+
+    const auto worker_main = [&] {
+        while (!cancelled.load(std::memory_order_relaxed)) {
+            const std::size_t chunk = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (chunk >= chunks) return;
+            try {
+                scan(chunk);
+            } catch (...) {
+                fail_with_current_exception();
+                return;
+            }
+            {
+                std::lock_guard<std::mutex> lock{mu};
+                done[chunk] = 1;
+            }
+            chunk_done.notify_all();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) pool.emplace_back(worker_main);
+    const auto join_all = [&pool] {
+        for (auto& worker : pool) {
+            if (worker.joinable()) worker.join();
+        }
+    };
+
+    // Ordered streaming merge on the calling thread: wait for the next chunk
+    // in sequence, merge it, repeat. Scans of later chunks overlap with the
+    // merge of earlier ones.
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+        {
+            std::unique_lock<std::mutex> lock{mu};
+            chunk_done.wait(lock, [&] { return done[chunk] != 0 || failure != nullptr; });
+            if (failure != nullptr) break;
+        }
+        try {
+            merge(chunk);
+        } catch (...) {
+            fail_with_current_exception();
+            break;
+        }
+    }
+
+    join_all();
+    if (failure != nullptr) std::rethrow_exception(failure);
+}
+
+}  // namespace spinscope::scanner

@@ -1,0 +1,78 @@
+// spinscope/scanner/shard.hpp
+//
+// Deterministic parallel sharding for the campaign driver.
+//
+// The paper sweeps >200 M domains weekly; a sequential scanner is the repro's
+// bottleneck. The engine here partitions an index range [0, item_count) into
+// fixed-size chunks, lets a pool of std::thread workers claim chunks from an
+// atomic cursor, and hands every finished chunk to the CALLING thread in
+// ascending chunk order (streaming: chunk c is merged as soon as it and all
+// chunks before it are done, while later chunks are still being scanned).
+//
+// Determinism contract (DESIGN.md §9): chunk boundaries depend only on
+// (item_count, chunk_items) — never on the number of workers or on
+// scheduling — and the merge order is always ascending. Provided the
+// per-chunk work is a pure function of the chunk (spinscope campaigns
+// guarantee this via domain-keyed RNG sub-streams), the merged output is
+// byte-identical for every thread count.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+
+namespace spinscope::scanner {
+
+/// Worker-pool knobs of one sharded run.
+struct ShardConfig {
+    /// Worker threads; 0 = one per hardware thread (at least one).
+    unsigned threads = 1;
+    /// Items (domains) per work chunk. Smaller chunks balance load better;
+    /// larger chunks amortize queue and merge overhead. Part of the output
+    /// schema for histogram `sum` fields (see telemetry::deterministic_csv),
+    /// so the default is fixed rather than derived from the machine.
+    std::size_t chunk_items = 16;
+
+    /// Throws std::invalid_argument when chunk_items is 0.
+    void validate() const {
+        if (chunk_items == 0) {
+            throw std::invalid_argument("scanner: ShardConfig.chunk_items must be >= 1");
+        }
+    }
+
+    /// `threads` with 0 resolved to the hardware concurrency (>= 1).
+    [[nodiscard]] unsigned resolved_threads() const noexcept;
+};
+
+/// Pure chunk geometry: how [0, item_count) splits into fixed-size chunks.
+struct ShardPlan {
+    std::size_t item_count = 0;
+    std::size_t chunk_items = 1;
+
+    [[nodiscard]] std::size_t chunk_count() const noexcept {
+        return chunk_items == 0 ? 0 : (item_count + chunk_items - 1) / chunk_items;
+    }
+    [[nodiscard]] std::size_t chunk_begin(std::size_t chunk) const noexcept {
+        return chunk * chunk_items;
+    }
+    [[nodiscard]] std::size_t chunk_end(std::size_t chunk) const noexcept {
+        const std::size_t end = chunk_begin(chunk) + chunk_items;
+        return end < item_count ? end : item_count;
+    }
+};
+
+/// Chunked fan-out / ordered-merge executor.
+///
+/// `scan(c)` is invoked exactly once per chunk, concurrently from worker
+/// threads, and must leave the chunk's result somewhere the caller owns
+/// (e.g. a pre-sized vector slot — slot c is touched only by `scan(c)` and,
+/// after it completes, by `merge(c)`, so no locking is needed). `merge(c)`
+/// is invoked on the calling thread, in ascending chunk order. A throwing
+/// scan or merge cancels the run: remaining chunks are abandoned, workers
+/// are joined, and the first exception is rethrown on the calling thread.
+void run_sharded(const ShardConfig& config, const ShardPlan& plan,
+                 const std::function<void(std::size_t chunk)>& scan,
+                 const std::function<void(std::size_t chunk)>& merge);
+
+}  // namespace spinscope::scanner

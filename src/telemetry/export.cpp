@@ -98,7 +98,9 @@ std::string to_json(const MetricsRegistry& registry) {
     return out;
 }
 
-std::string to_csv(const MetricsRegistry& registry) {
+namespace {
+
+std::string csv_impl(const MetricsRegistry& registry, bool deterministic_only) {
     std::string out = "kind,name,field,value\n";
     auto row = [&out](const char* kind, const std::string& name, const std::string& field,
                       const std::string& value) {
@@ -112,18 +114,24 @@ std::string to_csv(const MetricsRegistry& registry) {
         out.push_back('\n');
     };
     for (const auto& [name, counter] : registry.counters()) {
+        if (deterministic_only && is_wall_clock_metric(name)) continue;
         std::string v;
         append_u64(v, counter->value());
         row("counter", name, "value", v);
     }
     for (const auto& [name, gauge] : registry.gauges()) {
+        if (deterministic_only && is_wall_clock_metric(name)) continue;
         row("gauge", name, "value", format_value(gauge->value()));
     }
     for (const auto& [name, hist] : registry.histograms()) {
+        if (deterministic_only && is_wall_clock_metric(name)) continue;
         std::string count;
         append_u64(count, hist->count());
         row("histogram", name, "count", count);
-        row("histogram", name, "sum", format_value(hist->sum()));
+        // A histogram's sum regroups its floating-point additions when the
+        // shard chunking changes; the deterministic view keeps only the
+        // merge-exact fields (count, min, max, buckets).
+        if (!deterministic_only) row("histogram", name, "sum", format_value(hist->sum()));
         row("histogram", name, "min", format_value(hist->min()));
         row("histogram", name, "max", format_value(hist->max()));
         const auto& buckets = hist->buckets();
@@ -135,6 +143,24 @@ std::string to_csv(const MetricsRegistry& registry) {
         }
     }
     return out;
+}
+
+}  // namespace
+
+bool is_wall_clock_metric(const std::string& name) {
+    if (name.find(".phase.") != std::string::npos) return true;
+    static constexpr char kPerSec[] = "_per_sec";
+    constexpr std::size_t kPerSecLen = sizeof(kPerSec) - 1;
+    return name.size() >= kPerSecLen &&
+           name.compare(name.size() - kPerSecLen, kPerSecLen, kPerSec) == 0;
+}
+
+std::string to_csv(const MetricsRegistry& registry) {
+    return csv_impl(registry, /*deterministic_only=*/false);
+}
+
+std::string deterministic_csv(const MetricsRegistry& registry) {
+    return csv_impl(registry, /*deterministic_only=*/true);
 }
 
 std::string render_table(const MetricsRegistry& registry) {

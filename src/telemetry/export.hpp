@@ -31,6 +31,21 @@ namespace spinscope::telemetry {
 /// histograms one row per summary field plus one per non-empty bucket).
 [[nodiscard]] std::string to_csv(const MetricsRegistry& registry);
 
+/// True when `name` records host wall-clock time and is therefore different
+/// on every run by nature: phase spans (".phase." infix, see ScopedTimer)
+/// and wall-clock-derived rates ("_per_sec" suffix). Everything else in the
+/// registry is a pure function of (population, options, seed).
+[[nodiscard]] bool is_wall_clock_metric(const std::string& name);
+
+/// The DETERMINISM-CONTRACT view of a registry (DESIGN.md §9): to_csv minus
+/// (a) wall-clock metrics and (b) histogram `sum` rows, whose floating-point
+/// accumulation order depends on the shard chunk size. Two campaigns with
+/// identical population + ScanOptions produce byte-identical
+/// deterministic_csv output regardless of thread count, chunk size or host
+/// load — this is the representation the golden fixtures and the parallel
+/// determinism suite compare.
+[[nodiscard]] std::string deterministic_csv(const MetricsRegistry& registry);
+
 /// Aligned text table (util::TextTable) for human consumption.
 [[nodiscard]] std::string render_table(const MetricsRegistry& registry);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace spinscope::telemetry {
 
@@ -38,6 +39,24 @@ void Histogram::record(double value) noexcept {
     ++counts_[std::min(index, counts_.size() - 1)];
 }
 
+void Histogram::merge_from(const Histogram& other) {
+    if (spec_.min_value != other.spec_.min_value || spec_.factor != other.spec_.factor ||
+        spec_.bucket_count != other.spec_.bucket_count) {
+        throw std::invalid_argument("telemetry: histogram merge with mismatched geometry");
+    }
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
     auto& slot = counters_[name];
     if (!slot) slot = std::make_unique<Counter>();
@@ -54,6 +73,14 @@ Histogram& MetricsRegistry::histogram(const std::string& name, HistogramSpec spe
     auto& slot = histograms_[name];
     if (!slot) slot = std::make_unique<Histogram>(spec);
     return *slot;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+    for (const auto& [name, src] : other.counters_) counter(name).merge_from(*src);
+    for (const auto& [name, src] : other.gauges_) gauge(name).merge_from(*src);
+    for (const auto& [name, src] : other.histograms_) {
+        histogram(name, src->spec()).merge_from(*src);
+    }
 }
 
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {

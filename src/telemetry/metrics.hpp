@@ -8,10 +8,14 @@
 // operator can see what the scanner actually did — how many domains resolved,
 // how handshakes ended, how often PTO fired, where the wall-clock time went.
 // This module is deliberately simple: plain structs, no locks, no atomics.
-// Instances are single-threaded today (one registry per campaign); the
-// naming scheme ("layer.subsystem.metric") and the additive publish_metrics
-// convention used throughout the stack are what a later sharded-aggregation
-// PR will merge across worker registries.
+// An instance is single-threaded by design; the sharded campaign gives every
+// work chunk its own private registry and merges them (merge_from) on the
+// merge thread in ascending chunk order, which keeps aggregate telemetry
+// deterministic across thread counts without any atomics on the hot path.
+// Merge semantics per instrument: counters add, gauges max-merge (worker
+// threads must only publish high-water-mark style gauges; last-write gauges
+// such as rates belong to the merge thread after aggregation), histograms
+// add counts/sums bucket-wise and require identical geometry.
 
 #pragma once
 
@@ -28,6 +32,8 @@ class Counter {
 public:
     void add(std::uint64_t n = 1) noexcept { value_ += n; }
     [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+    /// Shard merge: counts are additive.
+    void merge_from(const Counter& other) noexcept { value_ += other.value_; }
 
 private:
     std::uint64_t value_ = 0;
@@ -44,6 +50,13 @@ public:
         has_value_ = true;
     }
     [[nodiscard]] double value() const noexcept { return value_; }
+    [[nodiscard]] bool has_value() const noexcept { return has_value_; }
+    /// Shard merge: max-merge (commutative, so the result is independent of
+    /// merge order). Worker-published gauges must therefore be high-water
+    /// marks; last-write gauges are set by the merge thread post-merge.
+    void merge_from(const Gauge& other) noexcept {
+        if (other.has_value_) set_max(other.value_);
+    }
 
 private:
     double value_ = 0.0;
@@ -82,6 +95,13 @@ public:
     [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept { return counts_; }
     /// Inclusive lower bound of bucket i.
     [[nodiscard]] double bucket_lower_bound(std::size_t i) const { return bounds_.at(i); }
+
+    /// Shard merge: bucket counts, count, min and max merge exactly; `sum`
+    /// adds the partial sums, which regroups the floating-point additions —
+    /// deterministic for a fixed chunking, but not bit-promised across
+    /// different chunk sizes (see telemetry::deterministic_csv). Throws
+    /// std::invalid_argument when the geometries differ.
+    void merge_from(const Histogram& other);
 
 private:
     HistogramSpec spec_;
@@ -129,6 +149,14 @@ public:
     [[nodiscard]] std::size_t size() const noexcept {
         return counters_.size() + gauges_.size() + histograms_.size();
     }
+
+    /// Merges every instrument of `other` into this registry, creating
+    /// missing instruments (histograms inherit the source geometry). The
+    /// sharded campaign calls this once per work chunk, in ascending chunk
+    /// order on the merge thread, so merged telemetry is deterministic and
+    /// independent of worker scheduling. Counters add, gauges max-merge,
+    /// histograms merge per Histogram::merge_from.
+    void merge_from(const MetricsRegistry& other);
 
 private:
     std::map<std::string, std::unique_ptr<Counter>> counters_;

@@ -23,6 +23,22 @@ namespace spinscope::util {
     return z ^ (z >> 31);
 }
 
+/// Derives the seed of an independent sub-stream keyed by `key` (a domain
+/// id, host index, shard id, ...) from a base seed, using SplitMix64's
+/// golden-ratio increment to spread consecutive keys across the seed space.
+///
+/// This is THE seed-derivation scheme of the sharded campaign determinism
+/// contract (DESIGN.md §9): a sub-stream seed is a pure function of
+/// (base, key), never of scan order, shard assignment or thread count, so
+/// identically seeded campaigns draw identical randomness per domain no
+/// matter how the domain population is partitioned across workers. The
+/// formula is also byte-compatible with the seeds historical spinscope
+/// versions used inline, which keeps the checked-in golden traces valid.
+[[nodiscard]] constexpr std::uint64_t derive_stream_seed(std::uint64_t base,
+                                                         std::uint64_t key) noexcept {
+    return base ^ (0x9e3779b97f4a7c15ULL * (key + 1));
+}
+
 /// xoshiro256** 1.0 (Blackman & Vigna) — small, fast, high-quality generator.
 ///
 /// Satisfies the C++ UniformRandomBitGenerator concept, but spinscope code

@@ -3,9 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "quic/packet.hpp"
+#include "util/rng.hpp"
 
 namespace spinscope::quic {
 namespace {
@@ -212,6 +214,122 @@ TEST(ConnectionIdT, AssignClampsLength) {
     ConnectionId cid;
     cid.assign(long_bytes.data(), long_bytes.size());
     EXPECT_EQ(cid.size(), ConnectionId::kMaxLength);
+}
+
+// --- Property-based sweeps ---------------------------------------------------
+//
+// Seeded random header round trips. Each case draws every codec input from a
+// deterministic stream, so a failure reproduces exactly and the generator
+// explores the cross product (cid length × pn distance × spin/vec/key-phase
+// × payload size) far beyond the hand-picked cases above.
+
+ConnectionId random_cid(util::Rng& rng, std::size_t max_length) {
+    std::vector<std::uint8_t> bytes(rng.uniform_u64(max_length + 1));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    ConnectionId cid;
+    cid.assign(bytes.data(), bytes.size());
+    return cid;
+}
+
+std::vector<std::uint8_t> random_payload(util::Rng& rng, std::size_t max_size) {
+    // Never empty: a 1-RTT packet must carry at least one frame byte, and a
+    // zero-length long-header payload is a degenerate datagram.
+    std::vector<std::uint8_t> payload(1 + rng.uniform_u64(max_size));
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    return payload;
+}
+
+TEST(PacketProperty, ShortHeaderRoundTripAndWireViewAgree) {
+    util::Rng rng{0x51c27b01};
+    for (int i = 0; i < 5000; ++i) {
+        PacketHeader header;
+        header.type = PacketType::one_rtt;
+        header.dcid = random_cid(rng, ConnectionId::kMaxLength);
+        header.packet_number = rng.uniform_u64(1ULL << 40);
+        header.spin = rng.chance(0.5);
+        header.key_phase = rng.chance(0.5);
+        header.vec = static_cast<std::uint8_t>(rng.uniform_u64(4));
+        // A receiver that acked `largest_acked` drives pn truncation; keep
+        // the gap small enough for unambiguous expansion (RFC 9000 A.2).
+        const std::uint64_t gap = 1 + rng.uniform_u64(1ULL << 14);
+        const PacketNumber largest_acked = header.packet_number > gap
+                                               ? header.packet_number - gap
+                                               : kInvalidPacketNumber;
+
+        std::vector<std::uint8_t> wire;
+        const auto payload = random_payload(rng, 64);
+        encode_packet(wire, header, payload, largest_acked);
+
+        const PacketNumber largest_received =
+            header.packet_number > 0 ? header.packet_number - 1 : kInvalidPacketNumber;
+        const auto decoded = decode_packet(wire, header.dcid.size(), largest_received);
+        ASSERT_TRUE(decoded.has_value()) << "case " << i;
+        ASSERT_EQ(decoded->header.type, PacketType::one_rtt);
+        ASSERT_EQ(decoded->header.packet_number, header.packet_number) << "case " << i;
+        ASSERT_EQ(decoded->header.dcid, header.dcid);
+        ASSERT_EQ(decoded->header.spin, header.spin);
+        ASSERT_EQ(decoded->header.key_phase, header.key_phase);
+        ASSERT_EQ(decoded->header.vec, header.vec);
+        ASSERT_EQ(decoded->total_size, wire.size());
+        ASSERT_TRUE(std::equal(decoded->payload.begin(), decoded->payload.end(),
+                               payload.begin(), payload.end()));
+
+        // The on-path observer view — what the paper's passive measurement
+        // reads — must agree with the endpoint decode on the unprotected bits.
+        const auto view = peek_short_header(wire);
+        ASSERT_TRUE(view.has_value());
+        ASSERT_EQ(view->spin, header.spin);
+        ASSERT_EQ(view->vec, header.vec);
+        ASSERT_EQ(view->dcid_offset, 1u);
+
+        // Spin is carried in bit 0x20 and nowhere else: flipping it on the
+        // wire flips exactly the observer's spin reading.
+        std::vector<std::uint8_t> flipped = wire;
+        flipped[0] ^= 0x20;
+        const auto flipped_view = peek_short_header(flipped);
+        ASSERT_TRUE(flipped_view.has_value());
+        ASSERT_EQ(flipped_view->spin, !header.spin);
+        ASSERT_EQ(flipped_view->vec, header.vec);
+    }
+}
+
+TEST(PacketProperty, LongHeaderRoundTrip) {
+    util::Rng rng{0x51c27b02};
+    const PacketType types[] = {PacketType::initial, PacketType::handshake,
+                                PacketType::zero_rtt};
+    const Version versions[] = {Version::v1, Version::draft27, Version::draft29,
+                                Version::draft32, Version::draft34};
+    for (int i = 0; i < 5000; ++i) {
+        PacketHeader header;
+        header.type = types[rng.uniform_u64(3)];
+        header.version = versions[rng.uniform_u64(5)];
+        header.dcid = random_cid(rng, ConnectionId::kMaxLength);
+        header.scid = random_cid(rng, ConnectionId::kMaxLength);
+        header.packet_number = rng.uniform_u64(1ULL << 30);
+        const std::uint64_t gap = 1 + rng.uniform_u64(1ULL << 14);
+        const PacketNumber largest_acked = header.packet_number > gap
+                                               ? header.packet_number - gap
+                                               : kInvalidPacketNumber;
+
+        std::vector<std::uint8_t> wire;
+        const auto payload = random_payload(rng, 64);
+        encode_packet(wire, header, payload, largest_acked);
+
+        const PacketNumber largest_received =
+            header.packet_number > 0 ? header.packet_number - 1 : kInvalidPacketNumber;
+        const auto decoded = decode_packet(wire, 8, largest_received);
+        ASSERT_TRUE(decoded.has_value()) << "case " << i;
+        ASSERT_EQ(decoded->header.type, header.type);
+        ASSERT_EQ(decoded->header.version, header.version);
+        ASSERT_EQ(decoded->header.dcid, header.dcid);
+        ASSERT_EQ(decoded->header.scid, header.scid);
+        ASSERT_EQ(decoded->header.packet_number, header.packet_number) << "case " << i;
+        ASSERT_EQ(decoded->payload.size(), payload.size());
+        ASSERT_TRUE(std::equal(decoded->payload.begin(), decoded->payload.end(),
+                               payload.begin(), payload.end()));
+        // Long headers never expose a spin bit to the observer.
+        ASSERT_FALSE(peek_short_header(wire).has_value());
+    }
 }
 
 }  // namespace

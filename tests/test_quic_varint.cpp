@@ -91,6 +91,110 @@ TEST(Varint, RandomRoundTripSweep) {
     }
 }
 
+// --- Property-based sweeps ---------------------------------------------------
+//
+// Seeded (fully deterministic) random exploration of the codec. Values are
+// drawn per size class rather than uniformly over [0, 2^62): a uniform draw
+// lands in the 8-byte class with probability ~1 - 2^-32, so the short
+// encodings — where the interesting boundary behaviour lives — would
+// effectively never be exercised.
+
+std::uint64_t random_varint_value(util::Rng& rng) {
+    switch (rng.uniform_u64(4)) {
+        case 0: return rng.uniform_u64(1ULL << 6);
+        case 1: return rng.uniform_u64(1ULL << 14);
+        case 2: return rng.uniform_u64(1ULL << 30);
+        default: return rng.uniform_u64(kVarintMax + 1);
+    }
+}
+
+TEST(VarintProperty, EncodeDecodeIdentityAcrossSizeClasses) {
+    util::Rng rng{0x7a91ce11};
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t value = random_varint_value(rng);
+        std::vector<std::uint8_t> out;
+        encode_varint(out, value);
+        ASSERT_EQ(out.size(), varint_size(value)) << "value=" << value;
+        // Minimal-length invariant: the declared size class is the smallest
+        // that fits, so re-encoding can never shrink.
+        const auto decoded = decode_varint(out);
+        ASSERT_TRUE(decoded.has_value()) << "value=" << value;
+        ASSERT_EQ(decoded->value, value);
+        ASSERT_EQ(decoded->consumed, out.size());
+        // Reader::varint and the minimal-only reader agree on minimal wire.
+        Reader r{out};
+        ASSERT_EQ(r.varint_minimal(), value);
+        ASSERT_TRUE(r.done());
+    }
+}
+
+TEST(VarintProperty, TrailingBytesDoNotLeakIntoTheDecode) {
+    // A varint is self-delimiting: whatever follows it must not change the
+    // decoded value or the consumed count.
+    util::Rng rng{0x7a91ce12};
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t value = random_varint_value(rng);
+        std::vector<std::uint8_t> wire;
+        encode_varint(wire, value);
+        const std::size_t varint_bytes = wire.size();
+        const std::size_t junk = 1 + rng.uniform_u64(8);
+        for (std::size_t j = 0; j < junk; ++j) {
+            wire.push_back(static_cast<std::uint8_t>(rng.uniform_u64(256)));
+        }
+        const auto decoded = decode_varint(wire);
+        ASSERT_TRUE(decoded.has_value());
+        ASSERT_EQ(decoded->value, value);
+        ASSERT_EQ(decoded->consumed, varint_bytes);
+    }
+}
+
+// Builds the `width`-byte (non-minimal when width > varint_size) encoding of
+// `value`; width must be 1, 2, 4 or 8 and the value must fit its 2 low bits
+// short of width*8.
+std::vector<std::uint8_t> encode_with_width(std::uint64_t value, std::size_t width) {
+    std::vector<std::uint8_t> out(width);
+    for (std::size_t i = width; i-- > 0;) {
+        out[i] = static_cast<std::uint8_t>(value & 0xff);
+        value >>= 8;
+    }
+    const std::uint8_t length_bits[9] = {0, 0x00, 0x40, 0, 0x80, 0, 0, 0, 0xc0};
+    out[0] = static_cast<std::uint8_t>(out[0] | length_bits[width]);
+    return out;
+}
+
+TEST(VarintProperty, OverlongEncodingsDecodeButFailMinimalReads) {
+    // RFC 9000 §16: a value may arrive in a longer-than-necessary encoding;
+    // generic decodes accept it, frame-type reads (§12.4) must reject it.
+    util::Rng rng{0x7a91ce13};
+    int overlong_cases = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t value = random_varint_value(rng);
+        const std::size_t minimal = varint_size(value);
+        // Pick any representable width; larger than minimal makes it overlong.
+        std::size_t width = minimal;
+        for (const std::size_t candidate : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+            if (candidate > minimal && rng.chance(0.5)) width = candidate;
+        }
+        const auto wire = encode_with_width(value, width);
+        const auto decoded = decode_varint(wire);
+        ASSERT_TRUE(decoded.has_value());
+        ASSERT_EQ(decoded->value, value);
+        ASSERT_EQ(decoded->consumed, width);
+
+        Reader minimal_reader{wire};
+        if (width == minimal) {
+            ASSERT_EQ(minimal_reader.varint_minimal(), value);
+        } else {
+            ++overlong_cases;
+            ASSERT_FALSE(minimal_reader.varint_minimal().has_value());
+            ASSERT_EQ(minimal_reader.consumed(), 0u) << "failed read must not advance";
+            // The permissive reader still accepts the same bytes.
+            ASSERT_EQ(minimal_reader.varint(), value);
+        }
+    }
+    EXPECT_GT(overlong_cases, 2000) << "sweep must actually exercise overlong wire";
+}
+
 TEST(Writer, BigEndianFixedWidths) {
     Writer w;
     w.u8(0x01);

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
@@ -218,6 +219,142 @@ TEST(Export, WriteJsonFileRoundTripsThroughDisk) {
     content << in.rdbuf();
     EXPECT_EQ(content.str(), to_json(registry) + "\n");
     std::remove(path.c_str());
+}
+
+TEST(Merge, CounterAddsAndGaugeTakesMax) {
+    Counter a;
+    Counter b;
+    a.add(3);
+    b.add(39);
+    a.merge_from(b);
+    EXPECT_EQ(a.value(), 42u);
+
+    Gauge g;
+    Gauge higher;
+    Gauge lower;
+    g.set(5.0);
+    higher.set(9.0);
+    lower.set(1.0);
+    g.merge_from(higher);
+    EXPECT_DOUBLE_EQ(g.value(), 9.0);
+    g.merge_from(lower);
+    EXPECT_DOUBLE_EQ(g.value(), 9.0);  // max-merge: smaller shard never wins
+
+    // An empty source gauge must not drag a real value down to 0.
+    Gauge untouched;
+    g.merge_from(untouched);
+    EXPECT_DOUBLE_EQ(g.value(), 9.0);
+    // ...and merging into an empty gauge adopts the source value.
+    Gauge fresh;
+    fresh.merge_from(g);
+    EXPECT_DOUBLE_EQ(fresh.value(), 9.0);
+}
+
+TEST(Merge, HistogramMergesBucketsCountSumMinMax) {
+    const HistogramSpec spec{0.001, 2.0, 16};
+    Histogram a{spec};
+    Histogram b{spec};
+    a.record(0.5);
+    a.record(4.0);
+    b.record(0.002);
+    b.record(32.0);
+    b.record(4.0);
+
+    Histogram expected{spec};
+    for (const double v : {0.5, 4.0, 0.002, 32.0, 4.0}) expected.record(v);
+
+    a.merge_from(b);
+    EXPECT_EQ(a.count(), 5u);
+    EXPECT_EQ(a.buckets(), expected.buckets());
+    EXPECT_DOUBLE_EQ(a.min(), 0.002);
+    EXPECT_DOUBLE_EQ(a.max(), 32.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 0.5 + 4.0 + (0.002 + 32.0 + 4.0));
+
+    // Merging an empty histogram is a no-op; merging into an empty one copies.
+    Histogram empty{spec};
+    a.merge_from(empty);
+    EXPECT_EQ(a.count(), 5u);
+    Histogram fresh{spec};
+    fresh.merge_from(a);
+    EXPECT_EQ(fresh.count(), 5u);
+    EXPECT_DOUBLE_EQ(fresh.min(), 0.002);
+}
+
+TEST(Merge, HistogramGeometryMismatchThrows) {
+    Histogram a{HistogramSpec{0.001, 2.0, 16}};
+    Histogram coarser{HistogramSpec{0.001, 4.0, 16}};
+    Histogram shorter{HistogramSpec{0.001, 2.0, 8}};
+    EXPECT_THROW(a.merge_from(coarser), std::invalid_argument);
+    EXPECT_THROW(a.merge_from(shorter), std::invalid_argument);
+}
+
+TEST(Merge, RegistryMergeCreatesMissingAndCombinesExisting) {
+    MetricsRegistry base;
+    base.counter("shared.count").add(1);
+    base.gauge("shared.gauge").set(2.0);
+
+    MetricsRegistry shard;
+    shard.counter("shared.count").add(41);
+    shard.gauge("shared.gauge").set(7.0);
+    shard.counter("only.in.shard").add(5);
+    shard.histogram("shard.hist", HistogramSpec{0.001, 2.0, 8}).record(1.5);
+
+    base.merge_from(shard);
+    EXPECT_EQ(base.counter("shared.count").value(), 42u);
+    EXPECT_DOUBLE_EQ(base.gauge("shared.gauge").value(), 7.0);
+    ASSERT_NE(base.find_counter("only.in.shard"), nullptr);
+    EXPECT_EQ(base.find_counter("only.in.shard")->value(), 5u);
+    // Histograms created by the merge inherit the source geometry.
+    const Histogram* merged = base.find_histogram("shard.hist");
+    ASSERT_NE(merged, nullptr);
+    EXPECT_EQ(merged->spec().bucket_count, 8u);
+    EXPECT_EQ(merged->count(), 1u);
+}
+
+TEST(Merge, ChunkOrderMergeEqualsSequentialRecording) {
+    // The campaign invariant in miniature: recording a stream sequentially
+    // and recording it split across per-chunk registries merged in chunk
+    // order must agree on every deterministic field.
+    MetricsRegistry sequential;
+    MetricsRegistry chunk_a;
+    MetricsRegistry chunk_b;
+    const double values[] = {0.004, 1.0, 0.25, 8.0, 0.06, 2.0};
+    for (int i = 0; i < 6; ++i) {
+        sequential.counter("m.count").add();
+        sequential.histogram("m.hist").record(values[i]);
+        (i < 3 ? chunk_a : chunk_b).counter("m.count").add();
+        (i < 3 ? chunk_a : chunk_b).histogram("m.hist").record(values[i]);
+    }
+    MetricsRegistry merged;
+    merged.merge_from(chunk_a);
+    merged.merge_from(chunk_b);
+    EXPECT_EQ(deterministic_csv(merged), deterministic_csv(sequential));
+}
+
+TEST(Export, DeterministicCsvExcludesWallClockAndHistogramSums) {
+    EXPECT_TRUE(is_wall_clock_metric("scanner.phase.scan_domain"));
+    EXPECT_TRUE(is_wall_clock_metric("scanner.domains_per_sec"));
+    EXPECT_FALSE(is_wall_clock_metric("scanner.domains_scanned"));
+    EXPECT_FALSE(is_wall_clock_metric("netsim.sim.events_executed"));
+
+    MetricsRegistry registry;
+    registry.counter("scanner.domains_scanned").add(10);
+    registry.gauge("scanner.domains_per_sec").set(123.0);
+    registry.histogram("scanner.phase.scan_domain").record(1.0);
+    registry.histogram("netsim.sim.horizon_ms").record(2.0);
+
+    const std::string det = deterministic_csv(registry);
+    EXPECT_NE(det.find("scanner.domains_scanned"), std::string::npos);
+    EXPECT_NE(det.find("netsim.sim.horizon_ms"), std::string::npos);
+    EXPECT_EQ(det.find("domains_per_sec"), std::string::npos);
+    EXPECT_EQ(det.find("scanner.phase"), std::string::npos);
+    EXPECT_EQ(det.find(",sum,"), std::string::npos) << "histogram sums are float-regrouped";
+
+    // The full CSV still carries everything the deterministic view drops.
+    const std::string full = to_csv(registry);
+    EXPECT_NE(full.find("domains_per_sec"), std::string::npos);
+    EXPECT_NE(full.find("scanner.phase.scan_domain"), std::string::npos);
+    EXPECT_NE(full.find(",sum,"), std::string::npos);
 }
 
 }  // namespace
