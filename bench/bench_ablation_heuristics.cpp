@@ -77,9 +77,9 @@ qlog::Trace run_connection(double reorder_rate, std::uint64_t seed, double rtt_m
                                 path.return_link().send(std::move(dg));
                             }};
     path.forward_link().set_receiver(
-        [&server](const netsim::Datagram& dg) { server.on_datagram(dg); });
+        [&server](spinscope::bytes::ConstByteSpan dg) { server.on_datagram(dg); });
     path.return_link().set_receiver(
-        [&client](const netsim::Datagram& dg) { client.on_datagram(dg); });
+        [&client](spinscope::bytes::ConstByteSpan dg) { client.on_datagram(dg); });
     server.on_stream_complete = [&](std::uint64_t id, std::vector<std::uint8_t>) {
         if (id == scanner::kRequestStream) {
             server.send_stream(id, scanner::build_body(150'000), true);

@@ -38,9 +38,9 @@ void link_send_batch(benchmark::State& state, int mode) {
         netsim::Link link{sim, config, util::Rng{1}};
         if (mode == 1) link.attach_faults(faults::FaultPlan{}, util::Rng{2});
         if (mode == 2) link.attach_faults(active_plan(), util::Rng{2});
-        link.set_receiver([&delivered](const netsim::Datagram&) { ++delivered; });
+        link.set_receiver([&delivered](spinscope::bytes::ConstByteSpan) { ++delivered; });
         const netsim::Datagram datagram(1200, 0xab);
-        for (std::size_t i = 0; i < kBatch; ++i) link.send(datagram);
+        for (std::size_t i = 0; i < kBatch; ++i) link.send(datagram.clone());
         sim.run();
         benchmark::DoNotOptimize(link.stats().delivered);
     }

@@ -40,10 +40,10 @@ void BM_LinkTransmission(benchmark::State& state) {
     config.jitter_scale = util::Duration::micros(10);
     netsim::Link link{sim, config, util::Rng{1}};
     std::size_t received = 0;
-    link.set_receiver([&received](const netsim::Datagram&) { ++received; });
+    link.set_receiver([&received](spinscope::bytes::ConstByteSpan) { ++received; });
     const netsim::Datagram datagram(1200, 0xab);
     for (auto _ : state) {
-        link.send(datagram);
+        link.send(datagram.clone());
         sim.run();
     }
     benchmark::DoNotOptimize(received);
@@ -106,9 +106,9 @@ void BM_FullConnectionExchange(benchmark::State& state) {
                                     path.return_link().send(std::move(dg));
                                 }};
         path.forward_link().set_receiver(
-            [&server](const netsim::Datagram& dg) { server.on_datagram(dg); });
+            [&server](spinscope::bytes::ConstByteSpan dg) { server.on_datagram(dg); });
         path.return_link().set_receiver(
-            [&client](const netsim::Datagram& dg) { client.on_datagram(dg); });
+            [&client](spinscope::bytes::ConstByteSpan dg) { client.on_datagram(dg); });
         server.on_stream_complete = [&](std::uint64_t, std::vector<std::uint8_t>) {
             server.send_stream(0, std::vector<std::uint8_t>(response_bytes, 1), true);
         };

@@ -101,11 +101,11 @@ int main() {
             });
 
         run->path->forward_link().set_receiver(
-            [server = run->server.get()](const netsim::Datagram& dg) {
+            [server = run->server.get()](spinscope::bytes::ConstByteSpan dg) {
                 server->on_datagram(dg);
             });
         run->path->return_link().set_receiver(
-            [client = run->client.get()](const netsim::Datagram& dg) {
+            [client = run->client.get()](spinscope::bytes::ConstByteSpan dg) {
                 client->on_datagram(dg);
             });
 

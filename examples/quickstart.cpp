@@ -54,9 +54,9 @@ int main() {
         [&path](netsim::Datagram dg) { path.return_link().send(std::move(dg)); }, nullptr};
 
     path.forward_link().set_receiver(
-        [&server](const netsim::Datagram& dg) { server.on_datagram(dg); });
+        [&server](spinscope::bytes::ConstByteSpan dg) { server.on_datagram(dg); });
     path.return_link().set_receiver(
-        [&client](const netsim::Datagram& dg) { client.on_datagram(dg); });
+        [&client](spinscope::bytes::ConstByteSpan dg) { client.on_datagram(dg); });
 
     server.on_stream_complete = [&](std::uint64_t id, std::vector<std::uint8_t>) {
         if (id != scanner::kRequestStream) return;

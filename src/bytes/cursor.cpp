@@ -1,8 +1,8 @@
-#include "quic/varint.hpp"
+#include "bytes/cursor.hpp"
 
 #include <cassert>
 
-namespace spinscope::quic {
+namespace spinscope::bytes {
 
 void encode_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
     assert(value <= kVarintMax);
@@ -30,7 +30,7 @@ void encode_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
     }
 }
 
-std::optional<VarintDecode> decode_varint(std::span<const std::uint8_t> in) noexcept {
+std::optional<VarintDecode> decode_varint(ConstByteSpan in) noexcept {
     if (in.empty()) return std::nullopt;
     const std::size_t width = static_cast<std::size_t>(1) << (in[0] >> 6);
     if (in.size() < width) return std::nullopt;
@@ -39,27 +39,27 @@ std::optional<VarintDecode> decode_varint(std::span<const std::uint8_t> in) noex
     return VarintDecode{value, width};
 }
 
-void Writer::u16(std::uint16_t v) {
+void ByteWriter::u16(std::uint16_t v) {
     auto& b = buffer();
     b.push_back(static_cast<std::uint8_t>(v >> 8));
     b.push_back(static_cast<std::uint8_t>(v & 0xff));
 }
 
-void Writer::u32(std::uint32_t v) {
+void ByteWriter::u32(std::uint32_t v) {
     auto& b = buffer();
     for (int shift = 24; shift >= 0; shift -= 8) {
         b.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
     }
 }
 
-void Writer::u64(std::uint64_t v) {
+void ByteWriter::u64(std::uint64_t v) {
     auto& b = buffer();
     for (int shift = 56; shift >= 0; shift -= 8) {
         b.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
     }
 }
 
-void Writer::be_truncated(std::uint64_t v, std::size_t width) {
+void ByteWriter::be_truncated(std::uint64_t v, std::size_t width) {
     assert(width >= 1 && width <= 8);
     auto& b = buffer();
     for (std::size_t i = width; i-- > 0;) {
@@ -67,31 +67,36 @@ void Writer::be_truncated(std::uint64_t v, std::size_t width) {
     }
 }
 
-void Writer::bytes(std::span<const std::uint8_t> data) {
+void ByteWriter::bytes(ConstByteSpan data) {
     auto& b = buffer();
     b.insert(b.end(), data.begin(), data.end());
 }
 
-std::optional<std::uint8_t> Reader::u8() noexcept {
+void ByteWriter::fill(std::size_t n, std::uint8_t fill) {
+    auto& b = buffer();
+    b.insert(b.end(), n, fill);
+}
+
+std::optional<std::uint8_t> ByteReader::u8() noexcept {
     if (remaining() < 1) return std::nullopt;
     return data_[pos_++];
 }
 
-std::optional<std::uint16_t> Reader::u16() noexcept {
+std::optional<std::uint16_t> ByteReader::u16() noexcept {
     const auto v = be_truncated(2);
     if (!v) return std::nullopt;
     return static_cast<std::uint16_t>(*v);
 }
 
-std::optional<std::uint32_t> Reader::u32() noexcept {
+std::optional<std::uint32_t> ByteReader::u32() noexcept {
     const auto v = be_truncated(4);
     if (!v) return std::nullopt;
     return static_cast<std::uint32_t>(*v);
 }
 
-std::optional<std::uint64_t> Reader::u64() noexcept { return be_truncated(8); }
+std::optional<std::uint64_t> ByteReader::u64() noexcept { return be_truncated(8); }
 
-std::optional<std::uint64_t> Reader::be_truncated(std::size_t width) noexcept {
+std::optional<std::uint64_t> ByteReader::be_truncated(std::size_t width) noexcept {
     if (width < 1 || width > 8 || remaining() < width) return std::nullopt;
     std::uint64_t v = 0;
     for (std::size_t i = 0; i < width; ++i) v = (v << 8) | data_[pos_ + i];
@@ -99,25 +104,25 @@ std::optional<std::uint64_t> Reader::be_truncated(std::size_t width) noexcept {
     return v;
 }
 
-std::optional<std::uint64_t> Reader::varint() noexcept {
+std::optional<std::uint64_t> ByteReader::varint() noexcept {
     const auto decoded = decode_varint(data_.subspan(pos_));
     if (!decoded) return std::nullopt;
     pos_ += decoded->consumed;
     return decoded->value;
 }
 
-std::optional<std::uint64_t> Reader::varint_minimal() noexcept {
+std::optional<std::uint64_t> ByteReader::varint_minimal() noexcept {
     const auto decoded = decode_varint(data_.subspan(pos_));
     if (!decoded || decoded->consumed != varint_size(decoded->value)) return std::nullopt;
     pos_ += decoded->consumed;
     return decoded->value;
 }
 
-std::optional<std::span<const std::uint8_t>> Reader::bytes(std::size_t n) noexcept {
+std::optional<ConstByteSpan> ByteReader::bytes(std::size_t n) noexcept {
     if (remaining() < n) return std::nullopt;
     auto view = data_.subspan(pos_, n);
     pos_ += n;
     return view;
 }
 
-}  // namespace spinscope::quic
+}  // namespace spinscope::bytes

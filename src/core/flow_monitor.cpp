@@ -15,14 +15,13 @@ std::string dcid_hex(std::span<const std::uint8_t> dcid) {
     return out;
 }
 
-void FlowMonitor::on_datagram(util::TimePoint at, const netsim::Datagram& datagram) {
+void FlowMonitor::on_datagram(util::TimePoint at, bytes::ConstByteSpan datagram) {
     const auto view = quic::peek_short_header(datagram);
     if (!view || datagram.size() < view->dcid_offset + dcid_length_) {
         ++non_flow_;
         return;
     }
-    const std::span<const std::uint8_t> dcid{datagram.data() + view->dcid_offset,
-                                             dcid_length_};
+    const bytes::ConstByteSpan dcid = datagram.subspan(view->dcid_offset, dcid_length_);
     const auto key = dcid_hex(dcid);
     auto [it, inserted] = flows_.try_emplace(key, observer_config_);
     auto& flow = it->second;

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bytes/bytes.hpp"
 #include "core/observer.hpp"
 #include "netsim/link.hpp"
 
@@ -38,12 +39,13 @@ public:
     explicit FlowMonitor(ObserverConfig observer_config = {}, std::size_t dcid_length = 8)
         : observer_config_{observer_config}, dcid_length_{dcid_length} {}
 
-    /// Processes one observed datagram.
-    void on_datagram(util::TimePoint at, const netsim::Datagram& datagram);
+    /// Processes one observed datagram (a borrowed view; nothing is copied
+    /// beyond the flow key).
+    void on_datagram(util::TimePoint at, bytes::ConstByteSpan datagram);
 
     /// Adapter usable directly as a netsim::Link tap.
     [[nodiscard]] netsim::Link::Tap tap() {
-        return [this](util::TimePoint at, const netsim::Datagram& dg) { on_datagram(at, dg); };
+        return [this](util::TimePoint at, bytes::ConstByteSpan dg) { on_datagram(at, dg); };
     }
 
     [[nodiscard]] std::size_t flow_count() const noexcept { return flows_.size(); }

@@ -4,7 +4,7 @@
 
 namespace spinscope::core {
 
-void WireSpinTap::on_datagram(util::TimePoint at, const netsim::Datagram& datagram) {
+void WireSpinTap::on_datagram(util::TimePoint at, bytes::ConstByteSpan datagram) {
     const auto view = quic::peek_short_header(datagram);
     if (!view) {
         ++other_packets_;

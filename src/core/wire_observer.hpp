@@ -12,6 +12,7 @@
 
 #include <functional>
 
+#include "bytes/bytes.hpp"
 #include "core/observer.hpp"
 #include "netsim/link.hpp"
 
@@ -24,12 +25,13 @@ public:
         : observer_{disable_pn_filter(config)} {}
 
     /// Processes one observed datagram at observation time `at`. Long-header
-    /// and non-QUIC datagrams are counted but otherwise ignored.
-    void on_datagram(util::TimePoint at, const netsim::Datagram& datagram);
+    /// and non-QUIC datagrams are counted but otherwise ignored. The span is
+    /// a borrowed view of the in-flight datagram — nothing is copied.
+    void on_datagram(util::TimePoint at, bytes::ConstByteSpan datagram);
 
     /// Adapter usable directly as a netsim::Link tap.
     [[nodiscard]] netsim::Link::Tap tap() {
-        return [this](util::TimePoint at, const netsim::Datagram& dg) { on_datagram(at, dg); };
+        return [this](util::TimePoint at, bytes::ConstByteSpan dg) { on_datagram(at, dg); };
     }
 
     [[nodiscard]] const SpinRttResult& result() const noexcept { return observer_.result(); }

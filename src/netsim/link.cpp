@@ -119,7 +119,8 @@ void Link::send(Datagram datagram) {
     if (fault.duplicate) {
         // The copy shares the original's arrival instant; scheduling order
         // keeps it right behind the original (stable same-time ordering).
-        schedule_delivery(datagram, arrival);
+        // clone() draws the copy's storage from the original's pool.
+        schedule_delivery(datagram.clone(), arrival);
     }
     schedule_delivery(std::move(datagram), arrival);
 }
@@ -130,8 +131,9 @@ void Link::schedule_delivery(Datagram datagram, TimePoint arrival) {
         [this, dg = std::move(datagram)] {
             ++stats_.delivered;
             stats_.delivered_bytes += dg.size();
-            for (const auto& tap : taps_) tap(sim_->now(), dg);
-            if (receiver_) receiver_(dg);
+            for (const auto& tap : taps_) tap(sim_->now(), dg.span());
+            if (receiver_) receiver_(dg.span());
+            // `dg` dies with this event; pooled storage recycles here.
         },
         "link.delivery");
 }

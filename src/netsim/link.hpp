@@ -19,14 +19,19 @@
 #include <span>
 #include <vector>
 
+#include "bytes/bytes.hpp"
 #include "faults/faults.hpp"
 #include "netsim/simulator.hpp"
 #include "util/rng.hpp"
 
 namespace spinscope::netsim {
 
-/// A UDP-datagram-sized payload travelling the link.
-using Datagram = std::vector<std::uint8_t>;
+/// A UDP-datagram-sized payload travelling the link: a move-only,
+/// pool-recyclable byte buffer. Endpoints acquire one from their chunk's
+/// bytes::BufferPool (or construct an unpooled one), encode in place, and
+/// move it into send(); the link moves it through the event queue and the
+/// storage returns to the pool when the delivery (or drop) destroys it.
+using Datagram = bytes::Buffer;
 
 /// Static link behaviour. All probabilities in [0, 1].
 struct LinkConfig {
@@ -77,12 +82,15 @@ struct LinkStats {
 class Link {
 public:
     /// Receiver invoked at delivery time (simulator clock already advanced).
-    using Receiver = std::function<void(const Datagram&)>;
-    /// Passive tap invoked at the observation point. Taps see every datagram
-    /// that will be delivered (not lost ones), at its delivery time — this
-    /// matches an observer colocated with the receiving endpoint, which is
-    /// the paper's vantage (qlog of received packets).
-    using Tap = std::function<void(TimePoint, const Datagram&)>;
+    /// Receives a borrowed view of the wire bytes; the backing buffer lives
+    /// until the delivery event returns, then recycles to its pool.
+    using Receiver = std::function<void(bytes::ConstByteSpan)>;
+    /// Passive tap invoked at the observation point with a borrowed view of
+    /// the wire bytes (an on-path observer owns nothing). Taps see every
+    /// datagram that will be delivered (not lost ones), at its delivery time
+    /// — this matches an observer colocated with the receiving endpoint,
+    /// which is the paper's vantage (qlog of received packets).
+    using Tap = std::function<void(TimePoint, bytes::ConstByteSpan)>;
 
     Link(Simulator& sim, LinkConfig config, util::Rng rng);
 
@@ -93,6 +101,9 @@ public:
     void add_tap(Tap tap) { taps_.push_back(std::move(tap)); }
 
     /// Queues one datagram for transmission at the current simulated time.
+    /// Takes the datagram by value and moves it end to end — through fault
+    /// verdicts, the serializer and the delivery event — so a send never
+    /// copies payload bytes (fault duplication clones explicitly).
     void send(Datagram datagram);
 
     /// Attaches an adversarial fault plan. `rng` must be a stream

@@ -1,5 +1,6 @@
 #include "netsim/simulator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -17,7 +18,8 @@ void Simulator::check_owner() const {
 void Simulator::schedule_at(TimePoint t, Callback cb, const char* category) {
     check_owner();
     if (t < now_) t = now_;
-    queue_.push(Event{t, next_seq_++, std::move(cb), category});
+    queue_.push_back(Event{t, next_seq_++, std::move(cb), category});
+    std::push_heap(queue_.begin(), queue_.end(), Later{});
     if (queue_.size() > queue_hwm_) queue_hwm_ = queue_.size();
 }
 
@@ -27,11 +29,9 @@ void Simulator::schedule_after(Duration d, Callback cb, const char* category) {
 }
 
 void Simulator::pop_and_run() {
-    // priority_queue::top() is const; the callback must be moved out before
-    // pop() so we copy the handle cheaply via const_cast-free re-push-less
-    // pattern: take a copy of the top, pop, then invoke.
-    Event ev = queue_.top();
-    queue_.pop();
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    Event ev = std::move(queue_.back());
+    queue_.pop_back();
     now_ = ev.at;
     ++processed_;
     if (ev.category != nullptr) {
@@ -55,7 +55,7 @@ void Simulator::run() {
 
 bool Simulator::run_until(TimePoint deadline) {
     check_owner();
-    while (!queue_.empty() && queue_.top().at <= deadline) pop_and_run();
+    while (!queue_.empty() && queue_.front().at <= deadline) pop_and_run();
     if (now_ < deadline) now_ = deadline;
     return queue_.empty();
 }
@@ -81,7 +81,7 @@ void Timer::set_at(TimePoint t, Callback cb) {
     state_->expiry = t;
     sim_->schedule_at(
         t,
-        [state = state_, generation, cb = std::move(cb)] {
+        [state = state_, generation, cb = std::move(cb)]() mutable {
             if (generation != state->generation || !state->armed) return;
             state->armed = false;
             cb();

@@ -10,14 +10,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "telemetry/metrics.hpp"
+#include "util/function.hpp"
 #include "util/time.hpp"
 
 namespace spinscope::netsim {
@@ -37,7 +36,9 @@ using util::TimePoint;
 /// enforces single-owner affinity by throwing std::logic_error.
 class Simulator {
 public:
-    using Callback = std::function<void()>;
+    /// Move-only: delivery events own their (pooled) datagram buffers, which
+    /// a copyable std::function could not hold.
+    using Callback = util::MoveFunction<void()>;
 
     /// Current simulated time. Monotone: only advances while run() pops events.
     [[nodiscard]] TimePoint now() const noexcept { return now_; }
@@ -102,7 +103,11 @@ private:
     /// that constructed this simulator (single-owner affinity).
     void check_owner() const;
 
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    /// Min-heap over `Later` maintained with std::push_heap/pop_heap instead
+    /// of std::priority_queue: top() of the adapter is const, which forces a
+    /// copy of every event — the heap lets events (and the buffers their
+    /// callbacks own) move out.
+    std::vector<Event> queue_;
     std::thread::id owner_ = std::this_thread::get_id();
     TimePoint now_ = TimePoint::origin();
     std::uint64_t next_seq_ = 0;
@@ -120,7 +125,7 @@ private:
 /// firing is still queued is safe (the firing becomes a no-op).
 class Timer {
 public:
-    using Callback = std::function<void()>;
+    using Callback = util::MoveFunction<void()>;
 
     explicit Timer(Simulator& sim) : sim_{&sim}, state_{std::make_shared<State>()} {}
 

@@ -51,12 +51,13 @@ constexpr std::uint64_t kMaxStreamBytes = 1ull << 24;
 }  // namespace
 
 Connection::Connection(netsim::Simulator& sim, ConnectionConfig config, util::Rng rng,
-                       SendFn send_fn, qlog::Trace* trace)
+                       SendFn send_fn, qlog::Trace* trace, bytes::BufferPool* pool)
     : sim_{&sim},
       config_{config},
       rng_{rng},
       send_fn_{std::move(send_fn)},
       trace_{trace},
+      pool_{pool},
       spin_{config.role, config.spin, rng_},
       rtt_{config.initial_rtt},
       pto_timer_{sim},
@@ -83,10 +84,17 @@ void Connection::connect() {
                 /*pad_to_mtu=*/true);
 }
 
-void Connection::send_stream(std::uint64_t id, std::vector<std::uint8_t> data, bool fin) {
+void Connection::send_stream(std::uint64_t id, bytes::ConstByteSpan data, bool fin) {
     if (closed_ || failed_) return;
-    send_streams_[id].append(std::move(data), fin);
+    send_streams_[id].append(data, fin);
     if (handshake_complete_) pump();
+}
+
+netsim::Datagram Connection::acquire_datagram() const {
+    if (pool_ != nullptr) return pool_->acquire(config_.mtu);
+    netsim::Datagram datagram;
+    datagram.reserve(config_.mtu);
+    return datagram;
 }
 
 void Connection::close(std::uint64_t error_code, const std::string& reason, bool application) {
@@ -123,24 +131,40 @@ void Connection::send_packet(PnSpace pn_space, std::vector<Frame> frames, bool p
         header.vec = bits.vec;
     }
 
-    std::vector<std::uint8_t> payload = encode_frames(frames, config_.params.ack_delay_exponent);
-    if (pad_to_mtu && payload.size() + kHeaderMargin < config_.mtu) {
-        payload.resize(config_.mtu - kHeaderMargin, 0 /* PADDING frames */);
+    const bool eliciting = any_ack_eliciting(frames);
+    netsim::Datagram datagram = acquire_datagram();
+    Writer w{datagram};
+    if (header.type == PacketType::one_rtt) {
+        // 1-RTT payloads extend to the end of the datagram, so frames are
+        // encoded in place right behind the short header — the pooled
+        // datagram is the only buffer the packet ever lives in.
+        encode_short_header(w, header, sp.largest_acked);
+        const std::size_t header_size = datagram.size();
+        encode_frames(w, frames, config_.params.ack_delay_exponent);
+        if (pad_to_mtu && (datagram.size() - header_size) + kHeaderMargin < config_.mtu) {
+            datagram.resize(header_size + config_.mtu - kHeaderMargin, 0 /* PADDING */);
+        }
+    } else {
+        // Long headers carry an explicit Length field ahead of the payload,
+        // so the frame bytes are staged in a pooled scratch buffer first.
+        netsim::Datagram scratch = acquire_datagram();
+        Writer pw{scratch};
+        encode_frames(pw, frames, config_.params.ack_delay_exponent);
+        if (pad_to_mtu && scratch.size() + kHeaderMargin < config_.mtu) {
+            scratch.resize(config_.mtu - kHeaderMargin, 0 /* PADDING frames */);
+        }
+        encode_packet(w, header, scratch.span(), sp.largest_acked);
     }
 
-    netsim::Datagram datagram;
-    encode_packet(datagram, header, payload, sp.largest_acked);
-
-    const bool eliciting = any_ack_eliciting(frames);
     if (eliciting) {
         SentPacket record;
         record.pn = header.packet_number;
         record.sent_at = sim_->now();
         record.bytes = datagram.size();
-        for (const auto& frame : frames) {
+        for (auto& frame : frames) {
             if (std::holds_alternative<CryptoFrame>(frame) ||
                 std::holds_alternative<StreamFrame>(frame)) {
-                record.retransmittable.push_back(frame);
+                record.retransmittable.push_back(std::move(frame));
             }
         }
         bytes_in_flight_ += record.bytes;
@@ -173,7 +197,7 @@ void Connection::send_raw_payload(std::vector<std::uint8_t> payload) {
     header.spin = bits.spin;
     header.vec = bits.vec;
 
-    netsim::Datagram datagram;
+    netsim::Datagram datagram = acquire_datagram();
     encode_packet(datagram, header, payload, sp.largest_acked);
     ++counters_.packets_sent;
     counters_.bytes_sent += datagram.size();
@@ -249,7 +273,7 @@ void Connection::pump() {
     arm_ack_timer();
 }
 
-void Connection::on_datagram(const netsim::Datagram& datagram) {
+void Connection::on_datagram(bytes::ConstByteSpan datagram) {
     if (closed_ || failed_) return;
     arm_idle_timer();
 

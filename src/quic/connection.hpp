@@ -113,8 +113,13 @@ class Connection {
 public:
     using SendFn = std::function<void(netsim::Datagram)>;
 
+    /// `pool` (optional) supplies datagram storage: packets are encoded in
+    /// place into pooled buffers and the storage recycles once the link
+    /// delivery event drops it. The pool must outlive the connection and be
+    /// owned by the same thread (pools are chunk-private, like the sharded
+    /// campaign's MetricsRegistry). nullptr falls back to plain allocation.
     Connection(netsim::Simulator& sim, ConnectionConfig config, util::Rng rng, SendFn send_fn,
-               qlog::Trace* trace = nullptr);
+               qlog::Trace* trace = nullptr, bytes::BufferPool* pool = nullptr);
 
     Connection(const Connection&) = delete;
     Connection& operator=(const Connection&) = delete;
@@ -122,9 +127,10 @@ public:
     /// Client: initiates the handshake (first Initial flight).
     void connect();
 
-    /// Queues `data` on stream `id`; sent once the handshake completes,
-    /// subject to the congestion window. `fin` closes the stream.
-    void send_stream(std::uint64_t id, std::vector<std::uint8_t> data, bool fin);
+    /// Queues `data` on stream `id` (copied into the stream's send queue);
+    /// sent once the handshake completes, subject to the congestion window.
+    /// `fin` closes the stream.
+    void send_stream(std::uint64_t id, bytes::ConstByteSpan data, bool fin);
 
     /// Sends CONNECTION_CLOSE and tears the connection down locally.
     void close(std::uint64_t error_code, const std::string& reason, bool application = true);
@@ -136,8 +142,10 @@ public:
     /// error, never crash or hang.
     void send_raw_payload(std::vector<std::uint8_t> payload);
 
-    /// Feeds one received datagram (wired to netsim::Link's receiver).
-    void on_datagram(const netsim::Datagram& datagram);
+    /// Feeds one received datagram as a borrowed view (wired to
+    /// netsim::Link's receiver); everything retained past the call is copied
+    /// out during decoding.
+    void on_datagram(bytes::ConstByteSpan datagram);
 
     // --- events ------------------------------------------------------------
     /// Fired once when the handshake completes (1-RTT send allowed).
@@ -178,7 +186,7 @@ private:
         PacketNumber pn = 0;
         TimePoint sent_at;
         std::size_t bytes = 0;
-        std::vector<Frame> retransmittable;  // CRYPTO/STREAM copies for loss recovery
+        std::vector<Frame> retransmittable;  // CRYPTO/STREAM frames for loss recovery
     };
 
     struct Space {
@@ -226,11 +234,16 @@ private:
     void detect_losses(PnSpace pn_space, TimePoint now);
     void discard_space(PnSpace pn_space);
 
+    /// Pool-backed when attached, plain otherwise; always empty with
+    /// `config_.mtu` bytes reserved.
+    [[nodiscard]] netsim::Datagram acquire_datagram() const;
+
     netsim::Simulator* sim_;
     ConnectionConfig config_;
     util::Rng rng_;
     SendFn send_fn_;
     qlog::Trace* trace_;
+    bytes::BufferPool* pool_;
 
     SpinState spin_;
     RttEstimator rtt_;

@@ -55,7 +55,7 @@ constexpr std::uint64_t kMaxAckDelayMicros = 1ULL << 42;
     return ack;
 }
 
-void encode_ack(std::vector<std::uint8_t>& out, const AckFrame& ack, std::uint8_t exponent) {
+void encode_ack(Writer& w, const AckFrame& ack, std::uint8_t exponent) {
     assert(!ack.ranges.empty());
     // Ranges must be descending with a gap of >= 2 between them (RFC 9000
     // §19.3.1 cannot express adjacency). Drop violators up front rather than
@@ -70,7 +70,6 @@ void encode_ack(std::vector<std::uint8_t>& out, const AckFrame& ack, std::uint8_
         if (range.largest + 2 <= valid.back()->smallest) valid.push_back(&range);
     }
 
-    Writer w{out};
     w.varint(kTypeAck);
     const auto& first = *valid.front();
     w.varint(first.largest);
@@ -104,18 +103,16 @@ bool any_ack_eliciting(std::span<const Frame> frames) noexcept {
                        [](const Frame& f) { return is_ack_eliciting(f); });
 }
 
-void encode_frame(std::vector<std::uint8_t>& out, const Frame& frame,
-                  std::uint8_t ack_delay_exponent) {
-    Writer w{out};
+void encode_frame(Writer& w, const Frame& frame, std::uint8_t ack_delay_exponent) {
     std::visit(
         [&](const auto& f) {
             using T = std::decay_t<decltype(f)>;
             if constexpr (std::is_same_v<T, PaddingFrame>) {
-                out.insert(out.end(), f.length, static_cast<std::uint8_t>(kTypePadding));
+                w.fill(f.length, static_cast<std::uint8_t>(kTypePadding));
             } else if constexpr (std::is_same_v<T, PingFrame>) {
                 w.varint(kTypePing);
             } else if constexpr (std::is_same_v<T, AckFrame>) {
-                encode_ack(out, f, ack_delay_exponent);
+                encode_ack(w, f, ack_delay_exponent);
             } else if constexpr (std::is_same_v<T, CryptoFrame>) {
                 w.varint(kTypeCrypto);
                 w.varint(f.offset);
@@ -147,10 +144,16 @@ void encode_frame(std::vector<std::uint8_t>& out, const Frame& frame,
         frame);
 }
 
+void encode_frames(Writer& w, std::span<const Frame> frames,
+                   std::uint8_t ack_delay_exponent) {
+    for (const auto& f : frames) encode_frame(w, f, ack_delay_exponent);
+}
+
 std::vector<std::uint8_t> encode_frames(std::span<const Frame> frames,
                                         std::uint8_t ack_delay_exponent) {
     std::vector<std::uint8_t> out;
-    for (const auto& f : frames) encode_frame(out, f, ack_delay_exponent);
+    Writer w{out};
+    encode_frames(w, frames, ack_delay_exponent);
     return out;
 }
 

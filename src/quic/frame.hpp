@@ -95,12 +95,25 @@ using Frame = std::variant<PaddingFrame, PingFrame, AckFrame, CryptoFrame, Strea
 /// True if any frame in `frames` is ack-eliciting.
 [[nodiscard]] bool any_ack_eliciting(std::span<const Frame> frames) noexcept;
 
-/// Encodes one frame. ACK delays are encoded in units of 2^ack_delay_exponent
+/// Encodes one frame through a writer (which may target a pooled
+/// bytes::Buffer — the hot path appends frames in place, no intermediate
+/// vector). ACK delays are encoded in units of 2^ack_delay_exponent
 /// microseconds (RFC 9000 §18.2, default exponent 3).
-void encode_frame(std::vector<std::uint8_t>& out, const Frame& frame,
-                  std::uint8_t ack_delay_exponent);
+void encode_frame(Writer& w, const Frame& frame, std::uint8_t ack_delay_exponent);
 
-/// Encodes a frame sequence into a payload buffer.
+/// Vector-compat overload (tests, benches).
+inline void encode_frame(std::vector<std::uint8_t>& out, const Frame& frame,
+                         std::uint8_t ack_delay_exponent) {
+    Writer w{out};
+    encode_frame(w, frame, ack_delay_exponent);
+}
+
+/// Appends a frame sequence through `w`.
+void encode_frames(Writer& w, std::span<const Frame> frames,
+                   std::uint8_t ack_delay_exponent);
+
+/// Encodes a frame sequence into a fresh payload buffer (compat shape; the
+/// connection hot path uses the writer overload instead).
 [[nodiscard]] std::vector<std::uint8_t> encode_frames(std::span<const Frame> frames,
                                                       std::uint8_t ack_delay_exponent);
 

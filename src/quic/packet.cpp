@@ -79,20 +79,25 @@ PacketNumber expand_packet_number(PacketNumber largest_received, std::uint64_t t
     return candidate;
 }
 
-void encode_packet(std::vector<std::uint8_t>& out, const PacketHeader& header,
+void encode_short_header(Writer& w, const PacketHeader& header, PacketNumber largest_acked) {
+    assert(header.type == PacketType::one_rtt);
+    const std::size_t pn_len = packet_number_length(header.packet_number, largest_acked);
+    std::uint8_t first = kFixedBit;
+    if (header.spin) first |= kSpinBit;
+    if (header.key_phase) first |= kKeyPhaseBit;
+    first |= static_cast<std::uint8_t>((header.vec & 0x3) << kVecShift);
+    first |= static_cast<std::uint8_t>(pn_len - 1);
+    w.u8(first);
+    w.bytes({header.dcid.data(), header.dcid.size()});
+    w.be_truncated(header.packet_number, pn_len);
+}
+
+void encode_packet(Writer& w, const PacketHeader& header,
                    std::span<const std::uint8_t> payload, PacketNumber largest_acked) {
-    Writer w{out};
     const std::size_t pn_len = packet_number_length(header.packet_number, largest_acked);
 
     if (header.type == PacketType::one_rtt) {
-        std::uint8_t first = kFixedBit;
-        if (header.spin) first |= kSpinBit;
-        if (header.key_phase) first |= kKeyPhaseBit;
-        first |= static_cast<std::uint8_t>((header.vec & 0x3) << kVecShift);
-        first |= static_cast<std::uint8_t>(pn_len - 1);
-        w.u8(first);
-        w.bytes({header.dcid.data(), header.dcid.size()});
-        w.be_truncated(header.packet_number, pn_len);
+        encode_short_header(w, header, largest_acked);
         w.bytes(payload);
         return;
     }

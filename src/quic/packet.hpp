@@ -91,11 +91,33 @@ struct DecodedPacket {
                                                 std::uint64_t truncated,
                                                 std::size_t pn_length) noexcept;
 
-/// Encodes header + payload into `out`. `largest_acked` drives packet-number
-/// truncation. Long headers carry an explicit Length field; 1-RTT payloads
-/// extend to the end of the datagram.
-void encode_packet(std::vector<std::uint8_t>& out, const PacketHeader& header,
+/// Encodes header + payload through `w` (which may target a pooled
+/// bytes::Buffer datagram). `largest_acked` drives packet-number truncation.
+/// Long headers carry an explicit Length field; 1-RTT payloads extend to the
+/// end of the datagram.
+void encode_packet(Writer& w, const PacketHeader& header,
                    std::span<const std::uint8_t> payload, PacketNumber largest_acked);
+
+/// Vector-compat overload (tests, benches).
+inline void encode_packet(std::vector<std::uint8_t>& out, const PacketHeader& header,
+                          std::span<const std::uint8_t> payload, PacketNumber largest_acked) {
+    Writer w{out};
+    encode_packet(w, header, payload, largest_acked);
+}
+
+/// Buffer overload: encodes straight into pooled datagram storage.
+inline void encode_packet(bytes::Buffer& out, const PacketHeader& header,
+                          std::span<const std::uint8_t> payload, PacketNumber largest_acked) {
+    Writer w{out};
+    encode_packet(w, header, payload, largest_acked);
+}
+
+/// Writes only the 1-RTT short header (first byte, DCID, truncated packet
+/// number). A 1-RTT payload extends to the end of the datagram, so the
+/// connection hot path writes this header into the pooled datagram and then
+/// appends frames in place — no intermediate payload vector exists.
+/// `header.type` must be PacketType::one_rtt.
+void encode_short_header(Writer& w, const PacketHeader& header, PacketNumber largest_acked);
 
 /// Decodes the packet at the front of `datagram`.
 ///

@@ -51,7 +51,7 @@ std::vector<std::uint8_t> ReassemblyBuffer::take() {
     return std::move(bytes_);
 }
 
-void SendQueue::append(std::vector<std::uint8_t> data, bool fin) {
+void SendQueue::append(std::span<const std::uint8_t> data, bool fin) {
     buffer_.insert(buffer_.end(), data.begin(), data.end());
     if (fin) fin_ = true;
 }

@@ -50,8 +50,9 @@ private:
 /// Send side of one stream: a byte queue consumed in MTU-sized chunks.
 class SendQueue {
 public:
-    /// Appends data; `fin` marks the end of the stream (no more appends).
-    void append(std::vector<std::uint8_t> data, bool fin);
+    /// Appends data (copied into the queue — the span need only live for
+    /// the call); `fin` marks the end of the stream (no more appends).
+    void append(std::span<const std::uint8_t> data, bool fin);
 
     [[nodiscard]] bool has_pending() const noexcept {
         return !retransmit_.empty() || next_offset_ < buffer_.size() || (fin_ && !fin_sent_);

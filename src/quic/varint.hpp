@@ -1,103 +1,24 @@
 // spinscope/quic/varint.hpp
 //
-// RFC 9000 §16 variable-length integer encoding, plus byte-buffer reader /
-// writer helpers used by all wire codecs in this library.
-//
-// The two most significant bits of the first byte select the encoded length
-// (1, 2, 4 or 8 bytes); the remaining bits carry the value big-endian.
-// Maximum representable value is 2^62 - 1.
+// RFC 9000 §16 variable-length integers and the byte cursors all wire
+// codecs use. The implementation lives in bytes/cursor.hpp so cursors can
+// target pooled bytes::Buffer storage; this header re-exports the
+// historical quic:: names (Reader, Writer, encode/decode_varint) that the
+// codecs, tests and benches were written against.
 
 #pragma once
 
-#include <cstddef>
-#include <cstdint>
-#include <optional>
-#include <span>
-#include <vector>
+#include "bytes/cursor.hpp"
 
 namespace spinscope::quic {
 
-/// Largest value a QUIC varint can carry.
-inline constexpr std::uint64_t kVarintMax = (1ULL << 62) - 1;
+using bytes::decode_varint;
+using bytes::encode_varint;
+using bytes::kVarintMax;
+using bytes::varint_size;
+using bytes::VarintDecode;
 
-/// Number of bytes encode_varint() will use for `value` (1, 2, 4 or 8).
-/// Values above kVarintMax are not encodable; callers must check first.
-[[nodiscard]] constexpr std::size_t varint_size(std::uint64_t value) noexcept {
-    if (value < (1ULL << 6)) return 1;
-    if (value < (1ULL << 14)) return 2;
-    if (value < (1ULL << 30)) return 4;
-    return 8;
-}
-
-/// Appends the minimal-length varint encoding of `value` (<= kVarintMax).
-void encode_varint(std::vector<std::uint8_t>& out, std::uint64_t value);
-
-/// Decodes a varint from the front of `in`. Returns the value and the number
-/// of bytes consumed, or nullopt if `in` is too short.
-struct VarintDecode {
-    std::uint64_t value;
-    std::size_t consumed;
-};
-[[nodiscard]] std::optional<VarintDecode> decode_varint(std::span<const std::uint8_t> in) noexcept;
-
-/// Sequential byte writer over a growable buffer.
-class Writer {
-public:
-    Writer() = default;
-    explicit Writer(std::vector<std::uint8_t>& out) : out_{&out} {}
-
-    void u8(std::uint8_t v) { buffer().push_back(v); }
-    /// Big-endian fixed-width writes (network byte order).
-    void u16(std::uint16_t v);
-    void u32(std::uint32_t v);
-    void u64(std::uint64_t v);
-    /// Big-endian truncated write of the low `width` bytes (1..8) of `v`;
-    /// used for packet-number encoding.
-    void be_truncated(std::uint64_t v, std::size_t width);
-    void varint(std::uint64_t v) { encode_varint(buffer(), v); }
-    void bytes(std::span<const std::uint8_t> data);
-
-    [[nodiscard]] std::vector<std::uint8_t>& buffer() noexcept {
-        return out_ != nullptr ? *out_ : owned_;
-    }
-    [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(owned_); }
-
-private:
-    std::vector<std::uint8_t>* out_ = nullptr;
-    std::vector<std::uint8_t> owned_;
-};
-
-/// Sequential bounds-checked byte reader over a fixed span. All accessors
-/// return nullopt past the end instead of throwing; wire input is untrusted.
-class Reader {
-public:
-    explicit Reader(std::span<const std::uint8_t> data) noexcept : data_{data} {}
-
-    [[nodiscard]] std::optional<std::uint8_t> u8() noexcept;
-    [[nodiscard]] std::optional<std::uint16_t> u16() noexcept;
-    [[nodiscard]] std::optional<std::uint32_t> u32() noexcept;
-    [[nodiscard]] std::optional<std::uint64_t> u64() noexcept;
-    /// Big-endian read of `width` bytes (1..8) into the low bits.
-    [[nodiscard]] std::optional<std::uint64_t> be_truncated(std::size_t width) noexcept;
-    [[nodiscard]] std::optional<std::uint64_t> varint() noexcept;
-    /// Like varint(), but rejects non-minimal ("overlong") encodings —
-    /// required for frame types (RFC 9000 §12.4). Does not advance on
-    /// failure.
-    [[nodiscard]] std::optional<std::uint64_t> varint_minimal() noexcept;
-    /// Returns a view of the next `n` bytes and advances, or nullopt.
-    [[nodiscard]] std::optional<std::span<const std::uint8_t>> bytes(std::size_t n) noexcept;
-
-    [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
-    [[nodiscard]] std::size_t consumed() const noexcept { return pos_; }
-    [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
-    /// Remaining bytes as a view without advancing.
-    [[nodiscard]] std::span<const std::uint8_t> peek_rest() const noexcept {
-        return data_.subspan(pos_);
-    }
-
-private:
-    std::span<const std::uint8_t> data_;
-    std::size_t pos_ = 0;
-};
+using Reader = bytes::ByteReader;
+using Writer = bytes::ByteWriter;
 
 }  // namespace spinscope::quic

@@ -88,7 +88,8 @@ std::string CampaignStats::render() const {
 Campaign::AttemptOutcome Campaign::run_attempt(const web::Domain& domain,
                                                const std::string& host, int redirect_hop,
                                                int retry, bool serve_redirect,
-                                               telemetry::MetricsRegistry* metrics) const {
+                                               telemetry::MetricsRegistry* metrics,
+                                               bytes::BufferPool* pool) const {
     const web::Population& pop = *population_;
     // Redirect follow-ups are profiled as their own phase: their cost is
     // extra connections, which the first-attempt phase must not absorb.
@@ -140,7 +141,7 @@ Campaign::AttemptOutcome Campaign::run_attempt(const web::Domain& domain,
     client_cfg.handshake_timeout = Duration::seconds(5);
     Connection client{sim, client_cfg, rng.fork(100),
                       [&path](Datagram dg) { path.forward_link().send(std::move(dg)); },
-                      &out.trace};
+                      &out.trace, pool};
 
     // Shared attempt epilogue: trace finalization (its own profiled phase),
     // the deadline-vs-drained outcome decision, and per-attempt telemetry.
@@ -209,10 +210,12 @@ Campaign::AttemptOutcome Campaign::run_attempt(const web::Domain& domain,
     server_cfg.fault_never_ack = active_fault == faults::ServerFaultMode::never_ack;
     Connection server{sim, server_cfg, rng.fork(200),
                       [&path](Datagram dg) { path.return_link().send(std::move(dg)); },
-                      nullptr};
+                      nullptr, pool};
 
-    path.forward_link().set_receiver([&server](const Datagram& dg) { server.on_datagram(dg); });
-    path.return_link().set_receiver([&client](const Datagram& dg) { client.on_datagram(dg); });
+    path.forward_link().set_receiver(
+        [&server](bytes::ConstByteSpan dg) { server.on_datagram(dg); });
+    path.return_link().set_receiver(
+        [&client](bytes::ConstByteSpan dg) { client.on_datagram(dg); });
 
     // --- server application (HTTP/3-mini) -----------------------------------
     server.on_handshake_complete = [&server] {
@@ -310,11 +313,17 @@ Campaign::AttemptOutcome Campaign::run_attempt(const web::Domain& domain,
 }
 
 DomainScan Campaign::scan_domain(const web::Domain& domain) const {
-    return scan_domain_into(domain, metrics_);
+    // One-off scans get a transient pool: the first attempt seeds it and
+    // later attempts of the same domain reuse the recycled datagram storage.
+    bytes::BufferPool pool;
+    DomainScan scan = scan_domain_into(domain, metrics_, &pool);
+    if (metrics_ != nullptr) pool.publish_metrics(*metrics_);
+    return scan;
 }
 
 DomainScan Campaign::scan_domain_into(const web::Domain& domain,
-                                      telemetry::MetricsRegistry* metrics) const {
+                                      telemetry::MetricsRegistry* metrics,
+                                      bytes::BufferPool* pool) const {
     DomainScan scan;
     scan.domain_id = domain.id;
     {
@@ -336,7 +345,7 @@ DomainScan Campaign::scan_domain_into(const web::Domain& domain,
         Duration backoff = Duration::zero();
         bool first_try_failed = false;
         for (int retry = 0;; ++retry) {
-            outcome = run_attempt(domain, host, hop, retry, serve_redirect, metrics);
+            outcome = run_attempt(domain, host, hop, retry, serve_redirect, metrics, pool);
             const bool ok = outcome->trace.outcome == qlog::ConnectionOutcome::ok;
             scan.attempts.push_back(DomainScan::AttemptRecord{
                 hop, retry, outcome->trace.outcome, backoff, outcome->server_fault});
@@ -392,6 +401,14 @@ CampaignStats Campaign::run(
         if (metrics_ != nullptr) {
             result.metrics = std::make_unique<telemetry::MetricsRegistry>();
         }
+        // Chunk-private datagram pool, same ownership story as the chunk
+        // registry: touched by exactly one worker, so no locking. Datagram
+        // storage recycles across every attempt of the chunk's domains; all
+        // buffers are dead by the time the chunk completes (each attempt's
+        // simulator drains before the next starts), so the pool can die
+        // here. Pool counters depend on chunk geometry, which is why
+        // deterministic_csv excludes the bytes.pool prefix.
+        bytes::BufferPool pool;
         result.scans.reserve(plan.chunk_end(c) - plan.chunk_begin(c));
         for (std::size_t i = plan.chunk_begin(c); i < plan.chunk_end(c); ++i) {
             const web::Domain& domain = domains[i];
@@ -401,7 +418,7 @@ CampaignStats Campaign::run(
             // monotonic either way.
             DomainScan scan;
             try {
-                scan = scan_domain_into(domain, result.metrics.get());
+                scan = scan_domain_into(domain, result.metrics.get(), &pool);
             } catch (const std::exception& e) {
                 scan = DomainScan{};
                 scan.domain_id = domain.id;
@@ -409,6 +426,7 @@ CampaignStats Campaign::run(
             }
             result.scans.push_back(std::move(scan));
         }
+        if (result.metrics != nullptr) pool.publish_metrics(*result.metrics);
         chunks[c] = std::move(result);
     };
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bytes/bytes.hpp"
 #include "faults/faults.hpp"
 #include "faults/retry_policy.hpp"
 #include "qlog/trace.hpp"
@@ -197,14 +198,20 @@ private:
 
     /// scan_domain with telemetry routed into an explicit registry (the
     /// worker's chunk-private one; nullptr disables), so shard workers never
-    /// share a registry. scan_domain() delegates here with metrics_.
+    /// share a registry. `pool` is the chunk-private datagram buffer pool:
+    /// like the registry it is owned by exactly one worker at a time, so no
+    /// locking — and unlike the registry it may be null only for callers
+    /// that accept per-datagram heap traffic. scan_domain() delegates here
+    /// with metrics_ and a transient local pool.
     [[nodiscard]] DomainScan scan_domain_into(const web::Domain& domain,
-                                              telemetry::MetricsRegistry* metrics) const;
+                                              telemetry::MetricsRegistry* metrics,
+                                              bytes::BufferPool* pool) const;
 
     [[nodiscard]] AttemptOutcome run_attempt(const web::Domain& domain,
                                              const std::string& host, int redirect_hop,
                                              int retry, bool serve_redirect,
-                                             telemetry::MetricsRegistry* metrics) const;
+                                             telemetry::MetricsRegistry* metrics,
+                                             bytes::BufferPool* pool) const;
 
     const web::Population* population_;
     ScanOptions options_;

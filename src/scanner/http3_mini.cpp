@@ -1,6 +1,8 @@
 #include "scanner/http3_mini.hpp"
 
-#include <algorithm>
+#include <charconv>
+
+#include "util/format.hpp"
 
 namespace spinscope::scanner {
 
@@ -13,13 +15,8 @@ constexpr std::string_view kLocationPrefix = "location: ";
 constexpr std::string_view kServerPrefix = "server: ";
 constexpr std::string_view kHeaderEnd = "\n\n";
 
-[[nodiscard]] std::string as_string(const std::vector<std::uint8_t>& bytes) {
-    return {bytes.begin(), bytes.end()};
-}
-
-[[nodiscard]] std::vector<std::uint8_t> as_bytes(const std::string& text) {
-    return {text.begin(), text.end()};
-}
+using util::as_bytes;
+using util::as_text;
 
 }  // namespace
 
@@ -31,13 +28,13 @@ std::vector<std::uint8_t> build_request(const std::string& host) {
     return as_bytes(out);
 }
 
-std::optional<std::string> parse_request(const std::vector<std::uint8_t>& request) {
-    const std::string text = as_string(request);
+std::optional<std::string> parse_request(std::span<const std::uint8_t> request) {
+    const std::string_view text = as_text(request);
     if (text.rfind(kRequestPrefix, 0) != 0) return std::nullopt;
     const auto host_begin = kRequestPrefix.size();
     const auto host_end = text.find('/', host_begin);
-    if (host_end == std::string::npos) return std::nullopt;
-    return text.substr(host_begin, host_end - host_begin);
+    if (host_end == std::string_view::npos) return std::nullopt;
+    return std::string{text.substr(host_begin, host_end - host_begin)};
 }
 
 std::vector<std::uint8_t> build_response_headers(int status, const std::string& location,
@@ -67,23 +64,24 @@ std::vector<std::uint8_t> build_body(std::size_t size) {
     return body;
 }
 
-std::optional<ResponseInfo> parse_response(const std::vector<std::uint8_t>& response) {
-    const std::string text = as_string(response);
+std::optional<ResponseInfo> parse_response(std::span<const std::uint8_t> response) {
+    const std::string_view text = as_text(response);
     if (text.rfind(kStatusPrefix, 0) != 0) return std::nullopt;
     ResponseInfo info;
-    info.status = std::atoi(text.c_str() + kStatusPrefix.size());
+    const std::string_view status_text = text.substr(kStatusPrefix.size());
+    std::from_chars(status_text.data(), status_text.data() + status_text.size(), info.status);
 
     const auto headers_end = text.find(kHeaderEnd);
-    if (headers_end == std::string::npos) return std::nullopt;
-    const std::string headers = text.substr(0, headers_end + 1);
+    if (headers_end == std::string_view::npos) return std::nullopt;
+    const std::string_view headers = text.substr(0, headers_end + 1);
     info.body_bytes = text.size() - headers_end - kHeaderEnd.size();
 
     const auto find_header = [&headers](std::string_view prefix) -> std::string {
         const auto pos = headers.find(prefix);
-        if (pos == std::string::npos) return {};
+        if (pos == std::string_view::npos) return {};
         const auto value_begin = pos + prefix.size();
         const auto value_end = headers.find('\n', value_begin);
-        return headers.substr(value_begin, value_end - value_begin);
+        return std::string{headers.substr(value_begin, value_end - value_begin)};
     };
     info.location = find_header(kLocationPrefix);
     info.server_name = find_header(kServerPrefix);

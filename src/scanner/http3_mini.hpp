@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,9 +28,9 @@ inline constexpr std::uint64_t kServerControlStream = 3;
 /// Builds a request for the landing page of `host` ("GET https://host/").
 [[nodiscard]] std::vector<std::uint8_t> build_request(const std::string& host);
 
-/// Parses the host out of a request; nullopt if malformed.
-[[nodiscard]] std::optional<std::string> parse_request(
-    const std::vector<std::uint8_t>& request);
+/// Parses the host out of a request; nullopt if malformed. Takes a view —
+/// nothing is copied beyond the returned host string.
+[[nodiscard]] std::optional<std::string> parse_request(std::span<const std::uint8_t> request);
 
 /// Response header block. `status` 200 or 301; 301 carries a Location.
 [[nodiscard]] std::vector<std::uint8_t> build_response_headers(int status,
@@ -48,8 +49,8 @@ struct ResponseInfo {
 };
 
 /// Parses the header block at the front of a received response stream.
-[[nodiscard]] std::optional<ResponseInfo> parse_response(
-    const std::vector<std::uint8_t>& response);
+/// Takes a view — only the extracted header values are copied out.
+[[nodiscard]] std::optional<ResponseInfo> parse_response(std::span<const std::uint8_t> response);
 
 /// SETTINGS-like control-stream blob (~tens of bytes).
 [[nodiscard]] std::vector<std::uint8_t> build_settings(bool server);

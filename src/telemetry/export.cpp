@@ -114,17 +114,26 @@ std::string csv_impl(const MetricsRegistry& registry, bool deterministic_only) {
         out.push_back('\n');
     };
     for (const auto& [name, counter] : registry.counters()) {
-        if (deterministic_only && is_wall_clock_metric(name)) continue;
+        if (deterministic_only &&
+            (is_wall_clock_metric(name) || is_chunk_geometry_metric(name))) {
+            continue;
+        }
         std::string v;
         append_u64(v, counter->value());
         row("counter", name, "value", v);
     }
     for (const auto& [name, gauge] : registry.gauges()) {
-        if (deterministic_only && is_wall_clock_metric(name)) continue;
+        if (deterministic_only &&
+            (is_wall_clock_metric(name) || is_chunk_geometry_metric(name))) {
+            continue;
+        }
         row("gauge", name, "value", format_value(gauge->value()));
     }
     for (const auto& [name, hist] : registry.histograms()) {
-        if (deterministic_only && is_wall_clock_metric(name)) continue;
+        if (deterministic_only &&
+            (is_wall_clock_metric(name) || is_chunk_geometry_metric(name))) {
+            continue;
+        }
         std::string count;
         append_u64(count, hist->count());
         row("histogram", name, "count", count);
@@ -146,6 +155,10 @@ std::string csv_impl(const MetricsRegistry& registry, bool deterministic_only) {
 }
 
 }  // namespace
+
+bool is_chunk_geometry_metric(const std::string& name) {
+    return name.rfind("bytes.pool", 0) == 0;
+}
 
 bool is_wall_clock_metric(const std::string& name) {
     if (name.find(".phase.") != std::string::npos) return true;

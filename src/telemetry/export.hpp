@@ -37,8 +37,16 @@ namespace spinscope::telemetry {
 /// registry is a pure function of (population, options, seed).
 [[nodiscard]] bool is_wall_clock_metric(const std::string& name);
 
+/// True when `name` depends on shard chunk geometry rather than on scan
+/// results: the "bytes.pool" datagram-pool counters (hit/miss ratios change
+/// with how many domains share one chunk-private pool, DESIGN.md §10) — so
+/// the deterministic view must drop them even though they are repeatable
+/// for a fixed chunk size.
+[[nodiscard]] bool is_chunk_geometry_metric(const std::string& name);
+
 /// The DETERMINISM-CONTRACT view of a registry (DESIGN.md §9): to_csv minus
-/// (a) wall-clock metrics and (b) histogram `sum` rows, whose floating-point
+/// (a) wall-clock metrics, (b) chunk-geometry metrics (buffer-pool
+/// counters), and (c) histogram `sum` rows, whose floating-point
 /// accumulation order depends on the shard chunk size. Two campaigns with
 /// identical population + ScanOptions produce byte-identical
 /// deterministic_csv output regardless of thread count, chunk size or host

@@ -7,10 +7,23 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace spinscope::util {
+
+/// Zero-copy text view of raw bytes (the mini application protocols are
+/// plain ASCII on the wire). The view borrows `bytes`' lifetime.
+[[nodiscard]] inline std::string_view as_text(std::span<const std::uint8_t> bytes) noexcept {
+    return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
+/// Byte copy of `text` (building wire payloads).
+[[nodiscard]] inline std::vector<std::uint8_t> as_bytes(std::string_view text) {
+    return {text.begin(), text.end()};
+}
 
 /// 2732702 -> "2 732 702" (the paper uses thin-space grouping).
 [[nodiscard]] std::string group_digits(std::uint64_t value);

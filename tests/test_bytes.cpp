@@ -1,0 +1,394 @@
+// Buffer/BufferPool semantics and a seeded property sweep over the byte
+// cursors: every schema round-trips exactly, every truncated prefix fails
+// cleanly (run under ASan to enforce no over-read), and ByteReader's varint
+// agrees with the free decode_varint on all valid inputs.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bytes/bytes.hpp"
+#include "bytes/cursor.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace spinscope::bytes {
+namespace {
+
+using util::Rng;
+
+// ---------------------------------------------------------------------------
+// Buffer semantics
+
+TEST(Buffer, DefaultIsEmptyAndUnpooled) {
+    Buffer b;
+    EXPECT_TRUE(b.empty());
+    EXPECT_EQ(b.size(), 0u);
+    EXPECT_EQ(b.pool(), nullptr);
+}
+
+TEST(Buffer, VectorShapeOperations) {
+    Buffer b{4, 0xab};
+    ASSERT_EQ(b.size(), 4u);
+    EXPECT_EQ(b[0], 0xab);
+    b.push_back(0x01);
+    b.append(std::vector<std::uint8_t>{2, 3});
+    ASSERT_EQ(b.size(), 7u);
+    EXPECT_EQ(b[4], 0x01);
+    EXPECT_EQ(b[6], 3);
+    b.resize(2);
+    EXPECT_EQ(b.size(), 2u);
+    b.clear();
+    EXPECT_TRUE(b.empty());
+}
+
+TEST(Buffer, AdoptsVectorWithoutCopy) {
+    std::vector<std::uint8_t> v{1, 2, 3};
+    const auto* before = v.data();
+    Buffer b{std::move(v)};
+    EXPECT_EQ(b.data(), before);
+    EXPECT_EQ(b.size(), 3u);
+}
+
+TEST(Buffer, MoveTransfersStorageAndEmptiesSource) {
+    Buffer a = Buffer::copy_of(std::vector<std::uint8_t>{9, 8, 7});
+    Buffer b{std::move(a)};
+    EXPECT_EQ(b.size(), 3u);
+    EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): post-move state is defined
+    Buffer c;
+    c = std::move(b);
+    EXPECT_EQ(c.size(), 3u);
+    EXPECT_EQ(c[0], 9);
+}
+
+TEST(Buffer, SpanViewsSeeTheBytes) {
+    Buffer b = Buffer::copy_of(std::vector<std::uint8_t>{1, 2, 3});
+    ConstByteSpan view = b;  // implicit conversion, borrowed
+    ASSERT_EQ(view.size(), 3u);
+    EXPECT_EQ(view[2], 3);
+    b.writable_span()[0] = 42;
+    EXPECT_EQ(b.span()[0], 42);
+}
+
+TEST(Buffer, UnpooledCloneIsDeepAndUnpooled) {
+    Buffer a = Buffer::copy_of(std::vector<std::uint8_t>{5, 6});
+    Buffer b = a.clone();
+    EXPECT_NE(a.data(), b.data());
+    EXPECT_EQ(b.pool(), nullptr);
+    ASSERT_EQ(b.size(), 2u);
+    EXPECT_EQ(b[1], 6);
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool semantics
+
+TEST(BufferPool, FirstAcquireMissesThenRecycledStorageHits) {
+    BufferPool pool;
+    {
+        Buffer b = pool.acquire(1200);
+        EXPECT_GE(b.capacity(), 1200u);
+        EXPECT_TRUE(b.empty());  // capacity is recycled, bytes never are
+        EXPECT_EQ(b.pool(), &pool);
+        b.push_back(0xff);
+    }  // destructor recycles
+    EXPECT_EQ(pool.free_count(), 1u);
+    {
+        Buffer b = pool.acquire(100);
+        EXPECT_TRUE(b.empty());
+        EXPECT_GE(b.capacity(), 1200u);  // reused the recycled storage
+    }
+    const auto& s = pool.stats();
+    EXPECT_EQ(s.acquires, 2u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.recycled, 2u);
+    EXPECT_EQ(s.outstanding, 0u);
+}
+
+TEST(BufferPool, OutstandingTracksLiveBuffersWithHighWaterMark) {
+    BufferPool pool;
+    {
+        Buffer a = pool.acquire();
+        Buffer b = pool.acquire();
+        EXPECT_EQ(pool.stats().outstanding, 2u);
+    }
+    EXPECT_EQ(pool.stats().outstanding, 0u);
+    { Buffer c = pool.acquire(); }
+    EXPECT_EQ(pool.stats().outstanding_hwm, 2u);
+}
+
+TEST(BufferPool, FreeListIsCappedAndTrims) {
+    BufferPool pool{2};
+    {
+        Buffer a = pool.acquire();
+        Buffer b = pool.acquire();
+        Buffer c = pool.acquire();
+    }
+    EXPECT_EQ(pool.free_count(), 2u);
+    EXPECT_EQ(pool.stats().trimmed, 1u);
+    EXPECT_EQ(pool.stats().recycled, 2u);
+}
+
+TEST(BufferPool, MovedFromBufferDoesNotDoubleRecycle) {
+    BufferPool pool;
+    {
+        Buffer a = pool.acquire();
+        Buffer b = std::move(a);
+        // `a` no longer owns pool storage; only `b`'s death may recycle.
+    }
+    EXPECT_EQ(pool.stats().recycled, 1u);
+    EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
+TEST(BufferPool, CloneDrawsFromTheSamePool) {
+    BufferPool pool;
+    Buffer a = pool.acquire();
+    a.append(std::vector<std::uint8_t>{1, 2, 3});
+    Buffer b = a.clone();
+    EXPECT_EQ(b.pool(), &pool);
+    EXPECT_EQ(b.size(), 3u);
+    EXPECT_NE(a.data(), b.data());
+}
+
+TEST(BufferPool, DetachLeavesThePoolsOrbit) {
+    BufferPool pool;
+    std::vector<std::uint8_t> v;
+    {
+        Buffer b = pool.acquire();
+        b.push_back(7);
+        v = std::move(b).detach();
+    }
+    EXPECT_EQ(v, (std::vector<std::uint8_t>{7}));
+    EXPECT_EQ(pool.free_count(), 0u);  // nothing came back
+    EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
+TEST(BufferPool, PublishMetricsMergesAcrossChunkRegistries) {
+    // Two chunk-private pools publish into two chunk registries that merge
+    // into one — the sharded campaign's exact telemetry shape.
+    telemetry::MetricsRegistry merged;
+    for (int chunk = 0; chunk < 2; ++chunk) {
+        BufferPool pool;
+        {
+            Buffer a = pool.acquire();
+            Buffer b = pool.acquire();
+        }
+        { Buffer c = pool.acquire(); }
+        telemetry::MetricsRegistry chunk_registry;
+        pool.publish_metrics(chunk_registry);
+        merged.merge_from(chunk_registry);
+    }
+    EXPECT_EQ(merged.counter("bytes.pool.acquires").value(), 6u);
+    EXPECT_EQ(merged.counter("bytes.pool.hits").value(), 2u);
+    EXPECT_EQ(merged.counter("bytes.pool.misses").value(), 4u);
+    EXPECT_DOUBLE_EQ(merged.gauge("bytes.pool.outstanding_hwm").value(), 2.0);
+}
+
+TEST(ByteWriter, WritesInPlaceIntoPooledBuffer) {
+    BufferPool pool;
+    Buffer b = pool.acquire(64);
+    ByteWriter w{b};
+    w.u8(0x40);
+    w.varint(1200);
+    w.bytes(std::vector<std::uint8_t>{1, 2});
+    EXPECT_EQ(w.size(), b.size());
+    EXPECT_EQ(b[0], 0x40);
+}
+
+// ---------------------------------------------------------------------------
+// Cursor property sweep
+
+struct Field {
+    enum Kind { u8, u16, u32, u64, varint, be_truncated, raw_bytes, fill } kind;
+    std::uint64_t value = 0;
+    std::size_t width = 0;  // be_truncated / raw_bytes / fill length
+};
+
+std::vector<Field> random_schema(Rng& rng) {
+    std::vector<Field> fields;
+    const std::size_t n = 1 + rng.uniform_u64(12);
+    fields.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Field f;
+        f.kind = static_cast<Field::Kind>(rng.uniform_u64(8));
+        switch (f.kind) {
+            case Field::u8: f.value = rng.uniform_u64(1ULL << 8); break;
+            case Field::u16: f.value = rng.uniform_u64(1ULL << 16); break;
+            case Field::u32: f.value = rng.uniform_u64(1ULL << 32); break;
+            case Field::u64: f.value = rng.next(); break;
+            case Field::varint:
+                // Bit-length-uniform so all four encoded widths occur often.
+                f.value = rng.next() >> rng.uniform_u64(64);
+                if (f.value > kVarintMax) f.value >>= 2;
+                break;
+            case Field::be_truncated:
+                f.width = 1 + rng.uniform_u64(8);
+                f.value = rng.next() & (f.width == 8 ? ~0ULL : (1ULL << (8 * f.width)) - 1);
+                break;
+            case Field::raw_bytes:
+            case Field::fill:
+                f.width = rng.uniform_u64(16);
+                f.value = rng.uniform_u64(1ULL << 8);
+                break;
+        }
+        fields.push_back(f);
+    }
+    return fields;
+}
+
+std::vector<std::uint8_t> encode_schema(const std::vector<Field>& fields) {
+    std::vector<std::uint8_t> wire;
+    ByteWriter w{wire};
+    for (const Field& f : fields) {
+        switch (f.kind) {
+            case Field::u8: w.u8(static_cast<std::uint8_t>(f.value)); break;
+            case Field::u16: w.u16(static_cast<std::uint16_t>(f.value)); break;
+            case Field::u32: w.u32(static_cast<std::uint32_t>(f.value)); break;
+            case Field::u64: w.u64(f.value); break;
+            case Field::varint: w.varint(f.value); break;
+            case Field::be_truncated: w.be_truncated(f.value, f.width); break;
+            case Field::raw_bytes: {
+                std::vector<std::uint8_t> data(f.width,
+                                               static_cast<std::uint8_t>(f.value));
+                w.bytes(data);
+                break;
+            }
+            case Field::fill: w.fill(f.width, static_cast<std::uint8_t>(f.value)); break;
+        }
+    }
+    return wire;
+}
+
+// Reads one field; nullopt on a clean decode failure (truncation).
+bool read_field(ByteReader& r, const Field& f, bool check_values) {
+    const auto check = [&](std::uint64_t got) {
+        if (check_values) EXPECT_EQ(got, f.value);
+    };
+    switch (f.kind) {
+        case Field::u8: {
+            const auto v = r.u8();
+            if (!v) return false;
+            check(*v);
+            return true;
+        }
+        case Field::u16: {
+            const auto v = r.u16();
+            if (!v) return false;
+            check(*v);
+            return true;
+        }
+        case Field::u32: {
+            const auto v = r.u32();
+            if (!v) return false;
+            check(*v);
+            return true;
+        }
+        case Field::u64: {
+            const auto v = r.u64();
+            if (!v) return false;
+            check(*v);
+            return true;
+        }
+        case Field::varint: {
+            const auto v = r.varint();
+            if (!v) return false;
+            check(*v);
+            return true;
+        }
+        case Field::be_truncated: {
+            const auto v = r.be_truncated(f.width);
+            if (!v) return false;
+            check(*v);
+            return true;
+        }
+        case Field::raw_bytes:
+        case Field::fill: {
+            const auto v = r.bytes(f.width);
+            if (!v) return false;
+            if (check_values) {
+                for (const auto byte : *v) {
+                    EXPECT_EQ(byte, static_cast<std::uint8_t>(f.value));
+                }
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+TEST(CursorSweep, TenThousandSchemasRoundTripExactly) {
+    Rng rng{0xB17E5};
+    for (int seed_case = 0; seed_case < 10'000; ++seed_case) {
+        const auto fields = random_schema(rng);
+        const auto wire = encode_schema(fields);
+        ByteReader r{wire};
+        for (const Field& f : fields) {
+            ASSERT_TRUE(read_field(r, f, /*check_values=*/true))
+                << "case " << seed_case << " failed on complete input";
+        }
+        EXPECT_TRUE(r.done()) << "case " << seed_case << " left trailing bytes";
+    }
+}
+
+TEST(CursorSweep, EveryTruncatedPrefixFailsCleanly) {
+    // Distinct seed from the round-trip sweep, smaller case count: the inner
+    // loop is quadratic in the wire size.
+    Rng rng{0x7A17};
+    for (int seed_case = 0; seed_case < 500; ++seed_case) {
+        const auto fields = random_schema(rng);
+        const auto wire = encode_schema(fields);
+        for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+            ByteReader r{ConstByteSpan{wire.data(), cut}};
+            bool failed = false;
+            for (const Field& f : fields) {
+                if (!read_field(r, f, /*check_values=*/false)) {
+                    failed = true;
+                    break;
+                }
+            }
+            ASSERT_TRUE(failed) << "prefix of " << cut << '/' << wire.size()
+                                << " bytes decoded every field";
+            // A failed read never advances past the end.
+            ASSERT_LE(r.consumed(), cut);
+        }
+    }
+}
+
+TEST(CursorSweep, ReaderVarintAgreesWithFreeDecoderOnValidInputs) {
+    Rng rng{0xDEC0DE};
+    for (int i = 0; i < 10'000; ++i) {
+        std::uint64_t value = rng.next() >> rng.uniform_u64(64);
+        if (value > kVarintMax) value >>= 2;
+        std::vector<std::uint8_t> wire;
+        encode_varint(wire, value);
+        ASSERT_EQ(wire.size(), varint_size(value));
+
+        const auto free_form = decode_varint(wire);
+        ASSERT_TRUE(free_form.has_value());
+        EXPECT_EQ(free_form->value, value);
+        EXPECT_EQ(free_form->consumed, wire.size());
+
+        ByteReader r{wire};
+        const auto cursor_form = r.varint();
+        ASSERT_TRUE(cursor_form.has_value());
+        EXPECT_EQ(*cursor_form, free_form->value);
+        EXPECT_EQ(r.consumed(), free_form->consumed);
+        EXPECT_TRUE(r.done());
+    }
+}
+
+TEST(CursorSweep, VarintMinimalRejectsOverlongWithoutAdvancing) {
+    // 0x4001 is an overlong encoding of 1: varint() accepts, minimal rejects.
+    const std::vector<std::uint8_t> overlong{0x40, 0x01};
+    ByteReader plain{overlong};
+    EXPECT_EQ(plain.varint(), std::optional<std::uint64_t>{1});
+    ByteReader minimal{overlong};
+    EXPECT_FALSE(minimal.varint_minimal().has_value());
+    EXPECT_EQ(minimal.consumed(), 0u);  // no advance on failure
+    EXPECT_EQ(minimal.varint(), std::optional<std::uint64_t>{1});  // still readable
+}
+
+}  // namespace
+}  // namespace spinscope::bytes

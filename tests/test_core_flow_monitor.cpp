@@ -69,8 +69,8 @@ TEST(FlowMonitor, IgnoresLongHeadersAndShortDatagrams) {
     const std::vector<std::uint8_t> payload{0x01};
     quic::encode_packet(long_wire, initial, payload, quic::kInvalidPacketNumber);
     monitor.on_datagram(at_ms(0), long_wire);
-    monitor.on_datagram(at_ms(1), {0x40, 0x01});  // too short for an 8-byte DCID
-    monitor.on_datagram(at_ms(2), {});
+    monitor.on_datagram(at_ms(1), std::vector<std::uint8_t>{0x40, 0x01});  // too short for an 8-byte DCID
+    monitor.on_datagram(at_ms(2), spinscope::bytes::ConstByteSpan{});
     EXPECT_EQ(monitor.flow_count(), 0u);
     EXPECT_EQ(monitor.non_flow_packets(), 3u);
 }
@@ -128,11 +128,11 @@ TEST(FlowMonitor, TracksRealConnectionsThroughSharedTap) {
                 path->return_link().send(std::move(dg));
             });
         run.path->forward_link().set_receiver(
-            [server = run.server.get()](const netsim::Datagram& dg) {
+            [server = run.server.get()](spinscope::bytes::ConstByteSpan dg) {
                 server->on_datagram(dg);
             });
         run.path->return_link().set_receiver(
-            [client = run.client.get()](const netsim::Datagram& dg) {
+            [client = run.client.get()](spinscope::bytes::ConstByteSpan dg) {
                 client->on_datagram(dg);
             });
         run.server->on_stream_complete = [server = run.server.get()](

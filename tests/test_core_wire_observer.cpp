@@ -42,7 +42,7 @@ TEST(WireObserver, CountsPacketCategories) {
     tap.on_datagram(at_ms(0), long_packet());
     tap.on_datagram(at_ms(1), short_packet(false, 0));
     tap.on_datagram(at_ms(2), short_packet(false, 1));
-    tap.on_datagram(at_ms(3), {});  // empty datagram
+    tap.on_datagram(at_ms(3), spinscope::bytes::ConstByteSpan{});  // empty datagram
     EXPECT_EQ(tap.short_header_packets(), 2u);
     EXPECT_EQ(tap.other_packets(), 2u);
 }
@@ -78,7 +78,7 @@ TEST(WireObserver, AttachesToLinkAsTap) {
     netsim::Link link{sim, config, util::Rng{1}};
     WireSpinTap tap;
     link.add_tap(tap.tap());
-    link.set_receiver([](const netsim::Datagram&) {});
+    link.set_receiver([](spinscope::bytes::ConstByteSpan) {});
     link.send(short_packet(false, 0));
     sim.run_until(TimePoint::origin() + Duration::millis(20));
     link.send(short_packet(true, 1));

@@ -148,7 +148,7 @@ std::vector<std::int64_t> arrival_times(bool attach_empty_plan) {
     netsim::Link link{sim, jittery_link(), Rng{0x11aa}};
     if (attach_empty_plan) link.attach_faults(FaultPlan{}, Rng{0x77});
     std::vector<std::int64_t> arrivals;
-    link.set_receiver([&](const Datagram&) {
+    link.set_receiver([&](spinscope::bytes::ConstByteSpan) {
         arrivals.push_back((sim.now() - TimePoint::origin()).count_nanos());
     });
     for (int i = 0; i < 500; ++i) {
@@ -175,7 +175,7 @@ TEST(Faults, LinkCountsFaultDropsAndDuplicates) {
     plan.duplicate_probability = 1.0;
     link.attach_faults(plan, Rng{4});
     std::uint64_t delivered = 0;
-    link.set_receiver([&](const Datagram&) { ++delivered; });
+    link.set_receiver([&](spinscope::bytes::ConstByteSpan) { ++delivered; });
     for (int i = 0; i < 20; ++i) link.send(Datagram(100, 1));
     sim.run();
     EXPECT_EQ(delivered, 40u);  // every datagram delivered twice
@@ -197,7 +197,7 @@ TEST(Faults, LinkBlackholeIsTotalOutage) {
                                TimePoint::origin() + Duration::millis(15)});
     link.attach_faults(plan, Rng{4});
     std::uint64_t delivered = 0;
-    link.set_receiver([&](const Datagram&) { ++delivered; });
+    link.set_receiver([&](spinscope::bytes::ConstByteSpan) { ++delivered; });
     for (int i = 0; i < 20; ++i) {
         sim.schedule_at(TimePoint::origin() + Duration::millis(i),
                         [&link] { link.send(Datagram(100, 1)); }, "test.send");

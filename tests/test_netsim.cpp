@@ -290,7 +290,7 @@ TEST(Link, DeliversWithBaseDelay) {
     config.base_delay = Duration::millis(12);
     Link link{sim, config, util::Rng{1}};
     TimePoint delivered_at = TimePoint::never();
-    link.set_receiver([&](const Datagram& dg) {
+    link.set_receiver([&](bytes::ConstByteSpan dg) {
         delivered_at = sim.now();
         EXPECT_EQ(dg.size(), 100u);
     });
@@ -307,7 +307,7 @@ TEST(Link, LossDropsDatagrams) {
     config.loss_probability = 0.5;
     Link link{sim, config, util::Rng{2}};
     int received = 0;
-    link.set_receiver([&](const Datagram&) { ++received; });
+    link.set_receiver([&](bytes::ConstByteSpan) { ++received; });
     constexpr int kSent = 4000;
     for (int i = 0; i < kSent; ++i) link.send(make_datagram(10));
     sim.run();
@@ -325,7 +325,7 @@ TEST(Link, FifoEnforcedUnderJitter) {
     config.jitter_sigma = 1.0;
     Link link{sim, config, util::Rng{3}};
     std::vector<std::uint8_t> order;
-    link.set_receiver([&](const Datagram& dg) { order.push_back(dg[0]); });
+    link.set_receiver([&](bytes::ConstByteSpan dg) { order.push_back(dg[0]); });
     for (std::uint8_t i = 0; i < 200; ++i) link.send(Datagram(4, i));
     sim.run();
     ASSERT_EQ(order.size(), 200u);
@@ -341,7 +341,7 @@ TEST(Link, ReorderEventsCanOvertake) {
     config.reorder_extra_max = Duration::millis(10);
     Link link{sim, config, util::Rng{4}};
     std::vector<std::uint8_t> order;
-    link.set_receiver([&](const Datagram& dg) { order.push_back(dg[0]); });
+    link.set_receiver([&](bytes::ConstByteSpan dg) { order.push_back(dg[0]); });
     for (std::uint8_t i = 0; i < 100; ++i) {
         link.send(Datagram(4, i));
         // Space sends so an extra delay can actually cause overtaking.
@@ -365,8 +365,8 @@ TEST(Link, TapsSeeDeliveredDatagramsOnly) {
     Link link{sim, config, util::Rng{5}};
     int tapped = 0;
     int received = 0;
-    link.add_tap([&](TimePoint, const Datagram&) { ++tapped; });
-    link.set_receiver([&](const Datagram&) { ++received; });
+    link.add_tap([&](TimePoint, bytes::ConstByteSpan) { ++tapped; });
+    link.set_receiver([&](bytes::ConstByteSpan) { ++received; });
     for (int i = 0; i < 1000; ++i) link.send(make_datagram(8));
     sim.run();
     EXPECT_EQ(tapped, received);
@@ -379,7 +379,7 @@ TEST(Link, CountsDeliveredAndDroppedBytes) {
     config.base_delay = Duration::millis(1);
     config.loss_probability = 0.5;
     Link link{sim, config, util::Rng{42}};
-    link.set_receiver([](const Datagram&) {});
+    link.set_receiver([](bytes::ConstByteSpan) {});
     for (int i = 0; i < 200; ++i) link.send(make_datagram(100));
     sim.run();
     const auto& stats = link.stats();
@@ -402,7 +402,7 @@ TEST(Link, BandwidthSerializesBackToBack) {
     config.bandwidth_bps = 8'000'000;  // 1 byte / us
     Link link{sim, config, util::Rng{6}};
     std::vector<TimePoint> arrivals;
-    link.set_receiver([&](const Datagram&) { arrivals.push_back(sim.now()); });
+    link.set_receiver([&](bytes::ConstByteSpan) { arrivals.push_back(sim.now()); });
     link.send(make_datagram(1000));  // 1 ms serialization
     link.send(make_datagram(1000));
     sim.run();

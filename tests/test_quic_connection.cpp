@@ -35,12 +35,12 @@ public:
           server_{sim_, with_role(server_cfg, Role::server), rng_.fork(2),
                   [this](Datagram dg) { path_.return_link().send(std::move(dg)); },
                   &server_trace_} {
-        path_.forward_link().set_receiver([this](const Datagram& dg) {
+        path_.forward_link().set_receiver([this](spinscope::bytes::ConstByteSpan dg) {
             ++forward_count_;
             if (drop_forward_ && drop_forward_(forward_count_, dg)) return;
             server_.on_datagram(dg);
         });
-        path_.return_link().set_receiver([this](const Datagram& dg) {
+        path_.return_link().set_receiver([this](spinscope::bytes::ConstByteSpan dg) {
             ++return_count_;
             if (drop_return_ && drop_return_(return_count_, dg)) return;
             client_.on_datagram(dg);
@@ -74,8 +74,8 @@ public:
     Connection server_;
     int forward_count_ = 0;
     int return_count_ = 0;
-    std::function<bool(int, const Datagram&)> drop_forward_;
-    std::function<bool(int, const Datagram&)> drop_return_;
+    std::function<bool(int, spinscope::bytes::ConstByteSpan)> drop_forward_;
+    std::function<bool(int, spinscope::bytes::ConstByteSpan)> drop_return_;
 };
 
 TEST(Connection, HandshakeCompletesOnBothSides) {
@@ -105,7 +105,7 @@ TEST(Connection, HandshakeTakesOneAndAHalfRtts) {
 TEST(Connection, FirstInitialIsPaddedToMtu) {
     ConnectionPair pair;
     std::size_t first_size = 0;
-    pair.drop_forward_ = [&](int n, const Datagram& dg) {
+    pair.drop_forward_ = [&](int n, spinscope::bytes::ConstByteSpan dg) {
         if (n == 1) first_size = dg.size();
         return false;
     };
@@ -177,7 +177,7 @@ TEST(Connection, ClientRttEstimateTracksPathRtt) {
 TEST(Connection, LostServerFlightIsRetransmitted) {
     ConnectionPair pair;
     // Drop three consecutive server datagrams mid-response.
-    pair.drop_return_ = [](int n, const Datagram&) { return n >= 12 && n < 15; };
+    pair.drop_return_ = [](int n, spinscope::bytes::ConstByteSpan) { return n >= 12 && n < 15; };
     std::vector<std::uint8_t> response(40'000, 7);
     std::vector<std::uint8_t> got;
     pair.server_.on_stream_complete = [&](std::uint64_t, std::vector<std::uint8_t>) {
@@ -198,7 +198,7 @@ TEST(Connection, LostRequestRecoveredByPto) {
     ConnectionPair pair;
     // Drop the client's first 1-RTT flight (request); PTO must resend it.
     int one_rtt_seen = 0;
-    pair.drop_forward_ = [&](int, const Datagram& dg) {
+    pair.drop_forward_ = [&](int, spinscope::bytes::ConstByteSpan dg) {
         if (!dg.empty() && (dg[0] & 0x80) == 0) {
             ++one_rtt_seen;
             return one_rtt_seen <= 2;
@@ -284,8 +284,8 @@ TEST(Connection, FlowControlUpdatesEmittedDuringDownload) {
 TEST(Connection, IdleTimeoutFiresWhenPeerVanishes) {
     ConnectionPair pair;
     bool vanished = false;
-    pair.drop_return_ = [&](int, const Datagram&) { return vanished; };
-    pair.drop_forward_ = [&](int, const Datagram&) { return vanished; };
+    pair.drop_return_ = [&](int, spinscope::bytes::ConstByteSpan) { return vanished; };
+    pair.drop_forward_ = [&](int, spinscope::bytes::ConstByteSpan) { return vanished; };
     pair.client_.on_handshake_complete = [&] {
         vanished = true;  // the server stops answering after the handshake
         pair.client_.send_stream(0, std::vector<std::uint8_t>(100, 1), true);

@@ -37,9 +37,9 @@ struct Pair {
             sim, scfg, rng.fork(2),
             [this](Datagram dg) { path.return_link().send(std::move(dg)); });
         path.forward_link().set_receiver(
-            [this](const Datagram& dg) { server->on_datagram(dg); });
+            [this](spinscope::bytes::ConstByteSpan dg) { server->on_datagram(dg); });
         path.return_link().set_receiver(
-            [this](const Datagram& dg) { client->on_datagram(dg); });
+            [this](spinscope::bytes::ConstByteSpan dg) { client->on_datagram(dg); });
         server->on_stream_complete = [this](std::uint64_t, std::vector<std::uint8_t>) {
             server->send_stream(0, std::vector<std::uint8_t>(30'000, 1), true);
         };
@@ -90,10 +90,10 @@ TEST(Robustness, EmptyAndTinyDatagrams) {
     Pair pair;
     pair.client->connect();
     pair.sim.schedule_after(Duration::millis(30), [&] {
-        pair.client->on_datagram({});
-        pair.client->on_datagram({0x40});           // short header, missing DCID
-        pair.client->on_datagram({0x00, 0x00});     // fixed bit clear
-        pair.server->on_datagram({0xc0});           // truncated long header
+        pair.client->on_datagram(spinscope::bytes::ConstByteSpan{});
+        pair.client->on_datagram(std::vector<std::uint8_t>{0x40});           // short header, missing DCID
+        pair.client->on_datagram(std::vector<std::uint8_t>{0x00, 0x00});     // fixed bit clear
+        pair.server->on_datagram(std::vector<std::uint8_t>{0xc0});           // truncated long header
     });
     pair.run();
     EXPECT_EQ(pair.response_size, 30'000u);
@@ -102,7 +102,7 @@ TEST(Robustness, EmptyAndTinyDatagrams) {
 TEST(Robustness, DuplicatedDatagramsAreDeduplicated) {
     Pair pair;
     // Duplicate every server->client datagram.
-    pair.path.return_link().set_receiver([&pair](const Datagram& dg) {
+    pair.path.return_link().set_receiver([&pair](spinscope::bytes::ConstByteSpan dg) {
         pair.client->on_datagram(dg);
         pair.client->on_datagram(dg);
     });
@@ -122,7 +122,7 @@ TEST(Robustness, VersionNegotiationPacketIgnored) {
     Pair pair;
     pair.client->connect();
     pair.sim.schedule_after(Duration::millis(5), [&] {
-        pair.client->on_datagram({0xc0, 0x00, 0x00, 0x00, 0x00, 0x08});
+        pair.client->on_datagram(std::vector<std::uint8_t>{0xc0, 0x00, 0x00, 0x00, 0x00, 0x08});
     });
     pair.run();
     EXPECT_EQ(pair.response_size, 30'000u);
@@ -240,9 +240,9 @@ TEST(Robustness, SurvivesExtremeLoss) {
     Connection server{sim, scfg, rng.fork(2),
                       [&path](Datagram dg) { path.return_link().send(std::move(dg)); }};
     path.forward_link().set_receiver(
-        [&server](const Datagram& dg) { server.on_datagram(dg); });
+        [&server](spinscope::bytes::ConstByteSpan dg) { server.on_datagram(dg); });
     path.return_link().set_receiver(
-        [&client](const Datagram& dg) { client.on_datagram(dg); });
+        [&client](spinscope::bytes::ConstByteSpan dg) { client.on_datagram(dg); });
     std::size_t got = 0;
     server.on_stream_complete = [&](std::uint64_t, std::vector<std::uint8_t>) {
         server.send_stream(0, std::vector<std::uint8_t>(15'000, 1), true);

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "scanner/campaign.hpp"
+#include "util/format.hpp"
 #include "scanner/http3_mini.hpp"
 #include "web/population.hpp"
 
@@ -29,7 +30,7 @@ TEST(Http3Mini, RequestCarriesResearchHint) {
 TEST(Http3Mini, RequestRejectsGarbage) {
     EXPECT_FALSE(parse_request({}).has_value());
     const std::string junk = "POST /";
-    EXPECT_FALSE(parse_request({junk.begin(), junk.end()}).has_value());
+    EXPECT_FALSE(parse_request(spinscope::util::as_bytes(junk)).has_value());
 }
 
 TEST(Http3Mini, OkResponseRoundTrip) {
@@ -56,7 +57,7 @@ TEST(Http3Mini, RedirectResponseRoundTrip) {
 TEST(Http3Mini, ResponseRejectsGarbage) {
     EXPECT_FALSE(parse_response({}).has_value());
     const std::string junk = "HTTP/1.1 200 OK";
-    EXPECT_FALSE(parse_response({junk.begin(), junk.end()}).has_value());
+    EXPECT_FALSE(parse_response(spinscope::util::as_bytes(junk)).has_value());
 }
 
 TEST(Http3Mini, BodyIsDeterministicFiller) {

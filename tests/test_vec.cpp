@@ -166,9 +166,9 @@ TEST(VecEndToEnd, ConnectionsCarrySaturatedVec) {
                                 path.return_link().send(std::move(dg));
                             }};
     path.forward_link().set_receiver(
-        [&server](const netsim::Datagram& dg) { server.on_datagram(dg); });
+        [&server](spinscope::bytes::ConstByteSpan dg) { server.on_datagram(dg); });
     path.return_link().set_receiver(
-        [&client](const netsim::Datagram& dg) { client.on_datagram(dg); });
+        [&client](spinscope::bytes::ConstByteSpan dg) { client.on_datagram(dg); });
 
     server.on_stream_complete = [&](std::uint64_t, std::vector<std::uint8_t>) {
         server.send_stream(0, std::vector<std::uint8_t>(80'000, 1), true);
