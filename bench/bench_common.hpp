@@ -8,13 +8,14 @@
 
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "scanner/campaign.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
+#include "util/atomic_file.hpp"
 
 namespace spinscope::bench {
 
@@ -35,6 +36,12 @@ struct Options {
     /// thread. Results are byte-identical for every value (DESIGN.md §9) —
     /// this is purely a wall-clock knob.
     unsigned threads = 1;
+    /// Crash-safe journal directory (ScanOptions::journal_dir, DESIGN.md
+    /// §11); empty disables journaling.
+    std::string journal_dir;
+    /// Resume from the journal left by a killed run (--resume; requires
+    /// --journal). Output is byte-identical to an uninterrupted run.
+    bool resume = false;
 };
 
 inline Options parse_options(int argc, char** argv, std::uint64_t default_count = 0) {
@@ -54,15 +61,36 @@ inline Options parse_options(int argc, char** argv, std::uint64_t default_count 
             options.telemetry_path = arg + 12;
         } else if (std::strncmp(arg, "--threads=", 10) == 0) {
             options.threads = static_cast<unsigned>(std::strtoul(arg + 10, nullptr, 10));
+        } else if (std::strncmp(arg, "--journal=", 10) == 0) {
+            options.journal_dir = arg + 10;
+        } else if (std::strcmp(arg, "--resume") == 0) {
+            options.resume = true;
         } else if (std::strcmp(arg, "--help") == 0) {
             std::printf(
                 "usage: %s [--scale=N] [--seed=N] [--count=N] [--csv=prefix] "
-                "[--telemetry=path|off] [--threads=N]\n",
+                "[--telemetry=path|off] [--threads=N] [--journal=dir] [--resume]\n",
                 argv[0]);
             std::exit(0);
         }
     }
+    if (options.resume && options.journal_dir.empty()) {
+        std::fprintf(stderr, "--resume requires --journal=dir\n");
+        std::exit(2);
+    }
     return options;
+}
+
+/// Runs (or, with --resume, resumes) a campaign honouring the harness's
+/// journal options. Benches that drive a Campaign route it through here so
+/// every table/figure binary gets kill-and-resume for free.
+template <typename Sink>
+scanner::CampaignStats run_campaign(const Options& options,
+                                    const scanner::Campaign& campaign, Sink&& sink) {
+    if (options.resume) {
+        std::printf("resuming from journal %s\n", options.journal_dir.c_str());
+        return campaign.resume(sink);
+    }
+    return campaign.run(sink);
 }
 
 /// Writes the run's metrics registry as a JSON sidecar next to the bench
@@ -95,13 +123,16 @@ private:
     std::chrono::steady_clock::time_point start_;
 };
 
-/// Writes `content` to `<prefix><name>` and reports the path.
+/// Writes `content` to `<prefix><name>` atomically (write-temp + rename, so
+/// a crash mid-export never leaves a torn CSV) and reports the path.
 inline void write_csv(const Options& options, const char* name, const std::string& content) {
     if (options.csv_prefix.empty()) return;
     const std::string path = options.csv_prefix + name;
-    std::ofstream out{path, std::ios::trunc};
-    out << content;
-    std::printf("wrote %s\n", path.c_str());
+    if (util::write_file_atomic(path, content)) {
+        std::printf("wrote %s\n", path.c_str());
+    } else {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    }
 }
 
 inline void banner(const char* what, const Options& options) {

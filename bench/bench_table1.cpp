@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
     scan_options.ipv6 = false;
     scan_options.week = 57;  // CW 20/2023, counted from CW 15/2022
     scan_options.threads = options.threads;
+    scan_options.journal_dir = options.journal_dir;
     scanner::Campaign campaign{population, scan_options};
 
     telemetry::MetricsRegistry registry;
@@ -35,11 +36,11 @@ int main(int argc, char** argv) {
 
     analysis::AdoptionAggregator aggregator{population, /*ipv6=*/false};
     std::uint64_t scanned = 0;
-    const auto stats = campaign.run([&](const web::Domain& domain,
-                                        scanner::DomainScan&& scan) {
-        aggregator.add(domain, scan);
-        ++scanned;
-    });
+    const auto stats = bench::run_campaign(
+        options, campaign, [&](const web::Domain& domain, scanner::DomainScan&& scan) {
+            aggregator.add(domain, scan);
+            ++scanned;
+        });
 
     std::printf("%s\n", aggregator.render_overview_table().c_str());
     std::printf("paper (1:1 scale):\n"

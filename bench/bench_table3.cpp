@@ -22,12 +22,14 @@ int main(int argc, char** argv) {
     scanner::ScanOptions scan_options;
     scan_options.week = 57;
     scan_options.threads = options.threads;
+    scan_options.journal_dir = options.journal_dir;
     scanner::Campaign campaign{population, scan_options};
 
     analysis::AdoptionAggregator aggregator{population, false};
-    campaign.run([&](const web::Domain& domain, scanner::DomainScan&& scan) {
-        aggregator.add(domain, scan);
-    });
+    bench::run_campaign(options, campaign,
+                        [&](const web::Domain& domain, scanner::DomainScan&& scan) {
+                            aggregator.add(domain, scan);
+                        });
 
     std::printf("%s\n", aggregator.render_config_table().c_str());
     std::printf(

@@ -24,12 +24,14 @@ int main(int argc, char** argv) {
     scan_options.ipv6 = true;
     scan_options.week = 57;
     scan_options.threads = options.threads;
+    scan_options.journal_dir = options.journal_dir;
     scanner::Campaign campaign{population, scan_options};
 
     analysis::AdoptionAggregator aggregator{population, /*ipv6=*/true};
-    campaign.run([&](const web::Domain& domain, scanner::DomainScan&& scan) {
-        aggregator.add(domain, scan);
-    });
+    bench::run_campaign(options, campaign,
+                        [&](const web::Domain& domain, scanner::DomainScan&& scan) {
+                            aggregator.add(domain, scan);
+                        });
 
     std::printf("%s\n", aggregator.render_overview_table().c_str());
     std::printf("paper (1:1 scale):\n"

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# spinscope CI driver: configure + build + ctest per lane, one build tree per
+# lane (see CMakePresets.json).
+#
+#   scripts/ci.sh              # default lane (RelWithDebInfo + full ctest)
+#   scripts/ci.sh sanitize     # ASan+UBSan lane
+#   scripts/ci.sh tsan         # ThreadSanitizer lane (parallel determinism)
+#   scripts/ci.sh lint         # clang-tidy lane (compile-only; needs clang-tidy)
+#   scripts/ci.sh all          # default + sanitize + tsan (+ lint if available)
+#
+# Exit status is non-zero as soon as any configure, build or test step of any
+# requested lane fails. Lanes always run from a preset-owned build tree, so a
+# stale manual configure can never leak flags into CI results.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+run_lane() {
+    local lane="$1"
+    echo "=== lane: ${lane} ==="
+    cmake --preset "${lane}" >/dev/null
+    cmake --build --preset "${lane}" -j "${JOBS}"
+    if [ "${lane}" != "lint" ]; then
+        ctest --preset "${lane}" -j "${JOBS}"
+    fi
+    echo "=== lane ${lane}: OK ==="
+}
+
+lint_available() { command -v clang-tidy >/dev/null 2>&1; }
+
+main() {
+    local lanes=("${@:-default}")
+    if [ "${1:-}" = "all" ]; then
+        lanes=(default sanitize tsan)
+        if lint_available; then
+            lanes+=(lint)
+        else
+            echo "note: clang-tidy not on PATH, skipping lint lane" >&2
+        fi
+    fi
+    for lane in "${lanes[@]}"; do
+        case "${lane}" in
+            default|sanitize|tsan) run_lane "${lane}" ;;
+            lint)
+                if lint_available; then
+                    run_lane lint
+                else
+                    echo "error: lint lane requires clang-tidy on PATH" >&2
+                    exit 2
+                fi
+                ;;
+            *)
+                echo "error: unknown lane '${lane}' (default|sanitize|tsan|lint|all)" >&2
+                exit 2
+                ;;
+        esac
+    done
+}
+
+main "$@"

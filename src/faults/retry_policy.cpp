@@ -25,6 +25,13 @@ util::Rng RetryPolicy::backoff_stream(std::uint64_t campaign_seed,
     return util::Rng{util::derive_stream_seed(campaign_seed, domain_id) ^ 0xb0ffULL};
 }
 
+util::Rng RetryPolicy::restart_stream(std::uint64_t campaign_seed,
+                                      std::uint64_t chunk_index) noexcept {
+    // 0x5afe ("safe") separates supervisor restart jitter from both the
+    // backoff streams (0xb0ff) and the domains' attempt streams.
+    return util::Rng{util::derive_stream_seed(campaign_seed, chunk_index) ^ 0x5afeULL};
+}
+
 Duration RetryPolicy::backoff_delay(int retry_index, util::Rng& rng) const {
     validate();
     const int exponent = std::max(0, retry_index - 1);

@@ -50,6 +50,13 @@ struct RetryPolicy {
     [[nodiscard]] static util::Rng backoff_stream(std::uint64_t campaign_seed,
                                                   std::uint64_t domain_id) noexcept;
 
+    /// The restart-jitter RNG for one work chunk of one campaign: the
+    /// supervisor (scanner::run_supervised) draws crashed-worker restart
+    /// backoffs from a sub-stream keyed by (campaign seed, chunk index), so
+    /// restart schedules never perturb any domain's scan stream.
+    [[nodiscard]] static util::Rng restart_stream(std::uint64_t campaign_seed,
+                                                  std::uint64_t chunk_index) noexcept;
+
     /// Throws std::invalid_argument on nonsensical knobs (NaN or < 1
     /// multiplier, negative durations, max_attempts < 1).
     void validate() const;

@@ -5,12 +5,17 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/atomic_file.hpp"
+
 namespace spinscope::qlog {
 
 namespace {
 
 constexpr const char* kShardPrefix = "traces-";
 constexpr const char* kShardSuffix = ".jsonl";
+/// Suffix of the shard currently being appended to; sealed (renamed away)
+/// on roll/close so a plain `.jsonl` name always means "complete".
+constexpr const char* kOpenSuffix = ".open";
 constexpr std::string_view kContextMarker = "{\"scan\":1";
 constexpr std::string_view kTraceEndMarker = "\"metrics\":1";
 
@@ -19,6 +24,13 @@ constexpr std::string_view kTraceEndMarker = "\"metrics\":1";
     char name[48];
     std::snprintf(name, sizeof name, "%s%05zu%s", kShardPrefix, index, kShardSuffix);
     return dir / name;
+}
+
+[[nodiscard]] std::filesystem::path open_shard_path(const std::filesystem::path& dir,
+                                                    std::size_t index) {
+    std::filesystem::path path = shard_path(dir, index);
+    path += kOpenSuffix;
+    return path;
 }
 
 }  // namespace
@@ -54,11 +66,32 @@ TraceStoreWriter::TraceStoreWriter(std::filesystem::path directory, std::size_t 
     roll_shard();
 }
 
-TraceStoreWriter::~TraceStoreWriter() { close(); }
+TraceStoreWriter::~TraceStoreWriter() {
+    // Destructor-path close: sealing can throw on I/O failure, which a
+    // destructor must swallow (an unwinding campaign would otherwise
+    // terminate). Explicit close() still reports the failure.
+    try {
+        close();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+}
+
+void TraceStoreWriter::seal_current_shard() {
+    if (!out_.is_open()) return;
+    out_.flush();
+    out_.close();
+    // shard_index_ already points one past the shard being sealed.
+    const auto open_path = open_shard_path(directory_, shard_index_ - 1);
+    (void)util::fsync_file(open_path);
+    if (!util::rename_durable(open_path, shard_path(directory_, shard_index_ - 1))) {
+        throw std::runtime_error{"TraceStoreWriter: cannot seal shard in " +
+                                 directory_.string()};
+    }
+}
 
 void TraceStoreWriter::roll_shard() {
-    if (out_.is_open()) out_.close();
-    out_.open(shard_path(directory_, shard_index_), std::ios::trunc);
+    seal_current_shard();
+    out_.open(open_shard_path(directory_, shard_index_), std::ios::trunc);
     if (!out_) {
         throw std::runtime_error{"TraceStoreWriter: cannot open shard in " +
                                  directory_.string()};
@@ -72,17 +105,15 @@ void TraceStoreWriter::append(const ScanContext& context, const Trace& trace) {
     const std::string header = context_line(context);
     const std::string body = to_jsonl(trace);
     out_ << header << body;
+    // One flush per record: a crash tears at most the record being written,
+    // which the reader skips as malformed instead of losing the shard.
+    out_.flush();
     current_bytes_ += header.size() + body.size();
     ++traces_;
     if (current_bytes_ >= shard_bytes_) roll_shard();
 }
 
-void TraceStoreWriter::close() {
-    if (out_.is_open()) {
-        out_.flush();
-        out_.close();
-    }
-}
+void TraceStoreWriter::close() { seal_current_shard(); }
 
 TraceStoreReader::TraceStoreReader(std::filesystem::path directory)
     : directory_{std::move(directory)} {
@@ -90,7 +121,9 @@ TraceStoreReader::TraceStoreReader(std::filesystem::path directory)
     for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
         if (!entry.is_regular_file()) continue;
         const auto name = entry.path().filename().string();
-        if (name.rfind(kShardPrefix, 0) == 0 && name.ends_with(kShardSuffix)) {
+        if (name.rfind(kShardPrefix, 0) == 0 &&
+            (name.ends_with(kShardSuffix) ||
+             name.ends_with(std::string{kShardSuffix} + kOpenSuffix))) {
             shards_.push_back(entry.path());
         }
     }

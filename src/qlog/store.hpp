@@ -34,6 +34,13 @@ struct ScanContext {
 };
 
 /// Appends traces to a dataset directory.
+///
+/// Crash safety: the active shard is written as `traces-NNNNN.jsonl.open`
+/// and flushed after every append; on roll or close() it is fsynced and
+/// atomically renamed (util::atomic_file) to its sealed `traces-NNNNN.jsonl`
+/// name. A sealed shard is therefore always complete; a crash leaves at
+/// most one `.open` shard whose tail may be torn, which the reader already
+/// tolerates record by record.
 class TraceStoreWriter {
 public:
     /// Opens (creating if needed) the dataset at `directory`. `shard_bytes`
@@ -48,7 +55,7 @@ public:
     /// Appends one connection trace with its scan context.
     void append(const ScanContext& context, const Trace& trace);
 
-    /// Flushes and closes the current shard.
+    /// Flushes, fsyncs and seals the current shard.
     void close();
 
     [[nodiscard]] std::uint64_t traces_written() const noexcept { return traces_; }
@@ -56,6 +63,7 @@ public:
 
 private:
     void roll_shard();
+    void seal_current_shard();
 
     std::filesystem::path directory_;
     std::size_t shard_bytes_;
@@ -65,7 +73,9 @@ private:
     std::ofstream out_;
 };
 
-/// Streams traces back out of a dataset directory.
+/// Streams traces back out of a dataset directory. Sealed shards are read
+/// in order; a leftover `.open` shard from a crashed writer is read last,
+/// with any torn tail record counted as malformed and skipped.
 class TraceStoreReader {
 public:
     explicit TraceStoreReader(std::filesystem::path directory);

@@ -93,7 +93,7 @@ std::optional<quic::PacketType> packet_type_from(const std::string& token) {
 std::optional<ConnectionOutcome> outcome_from(const std::string& token) {
     for (auto o : {ConnectionOutcome::ok, ConnectionOutcome::handshake_timeout,
                    ConnectionOutcome::aborted, ConnectionOutcome::attempt_timeout,
-                   ConnectionOutcome::protocol_error}) {
+                   ConnectionOutcome::protocol_error, ConnectionOutcome::watchdog_cancelled}) {
         if (token == to_cstring(o)) return o;
     }
     return std::nullopt;
@@ -153,7 +153,13 @@ std::string to_jsonl(const Trace& trace) {
     out += ",\"version\":" + std::to_string(static_cast<std::uint32_t>(trace.version));
     out += ",\"outcome\":\"";
     out += to_cstring(trace.outcome);
-    out += "\"}\n";
+    out += "\"";
+    // Only pathological traces carry a truncation count; omitting the field
+    // when 0 keeps historical traces (and golden fixtures) byte-identical.
+    if (trace.events_truncated != 0) {
+        out += ",\"truncated\":" + std::to_string(trace.events_truncated);
+    }
+    out += "}\n";
     for (const auto& ev : trace.sent) append_event(out, "sent", ev);
     for (const auto& ev : trace.received) append_event(out, "recv", ev);
     out += "{\"metrics\":1,\"min_rtt_ms\":" + std::to_string(trace.metrics.min_rtt_ms);
@@ -189,6 +195,9 @@ std::optional<Trace> parse_jsonl(const std::string& text) {
             trace.ip = *ip;
             trace.version = static_cast<quic::Version>(static_cast<std::uint32_t>(*version));
             trace.outcome = *outcome;
+            const auto truncated = get_number(line, "truncated");
+            trace.events_truncated =
+                truncated ? static_cast<std::uint64_t>(*truncated) : 0;
             saw_header = true;
         } else if (line.find("\"ev\"") != std::string::npos) {
             const auto kind = get_string(line, "ev");

@@ -63,10 +63,13 @@ enum class ConnectionOutcome : std::uint8_t {
     protocol_error,     ///< peer sent undecodable or protocol-violating data
                         ///< (e.g. garbage frame payloads) and the connection
                         ///< was torn down with a transport error
+    watchdog_cancelled, ///< the campaign's per-domain simulated-time budget
+                        ///< (ScanOptions::domain_deadline) expired and the
+                        ///< hung simulation was killed by the watchdog
 };
 
 /// Number of ConnectionOutcome values (for outcome-indexed tables).
-inline constexpr std::size_t kConnectionOutcomeCount = 5;
+inline constexpr std::size_t kConnectionOutcomeCount = 6;
 
 [[nodiscard]] constexpr const char* to_cstring(ConnectionOutcome o) noexcept {
     switch (o) {
@@ -75,9 +78,16 @@ inline constexpr std::size_t kConnectionOutcomeCount = 5;
         case ConnectionOutcome::aborted: return "aborted";
         case ConnectionOutcome::attempt_timeout: return "attempt_timeout";
         case ConnectionOutcome::protocol_error: return "protocol_error";
+        case ConnectionOutcome::watchdog_cancelled: return "watchdog_cancelled";
     }
     return "?";
 }
+
+/// Hard cap on recorded packet events per direction of one trace. A healthy
+/// scan attempt records a few dozen events; a pathological retry storm or a
+/// hung simulation must not be able to grow a trace without bound. Overflow
+/// is counted in Trace::events_truncated instead of being recorded.
+inline constexpr std::size_t kMaxTraceEventsPerDirection = 1u << 16;
 
 /// Trace of a single connection from one vantage (spinscope records the
 /// client side, like the paper's scanner).
@@ -89,9 +99,24 @@ struct Trace {
     std::vector<PacketEvent> sent;
     std::vector<PacketEvent> received;
     RecoveryMetrics metrics;
+    /// Packet events dropped because a direction hit
+    /// kMaxTraceEventsPerDirection (0 for every sane connection).
+    std::uint64_t events_truncated = 0;
 
-    void record_sent(const PacketEvent& ev) { sent.push_back(ev); }
-    void record_received(const PacketEvent& ev) { received.push_back(ev); }
+    void record_sent(const PacketEvent& ev) {
+        if (sent.size() < kMaxTraceEventsPerDirection) {
+            sent.push_back(ev);
+        } else {
+            ++events_truncated;
+        }
+    }
+    void record_received(const PacketEvent& ev) {
+        if (received.size() < kMaxTraceEventsPerDirection) {
+            received.push_back(ev);
+        } else {
+            ++events_truncated;
+        }
+    }
 
     /// Received 1-RTT events only — the packet set the paper's spin analysis
     /// keys on (§3.3: spin state, packet number, timestamp).

@@ -11,7 +11,9 @@
 
 #include "netsim/link.hpp"
 #include "netsim/simulator.hpp"
+#include "scanner/journal.hpp"
 #include "scanner/shard.hpp"
+#include "telemetry/export.hpp"
 #include "telemetry/span.hpp"
 #include "util/distributions.hpp"
 #include "util/format.hpp"
@@ -44,7 +46,18 @@ void ScanOptions::validate() {
     if (attempt_deadline.is_negative() || attempt_deadline.is_zero()) {
         throw std::invalid_argument("scanner: ScanOptions.attempt_deadline must be > 0");
     }
+    if (domain_deadline.is_negative() || domain_deadline.is_zero()) {
+        throw std::invalid_argument("scanner: ScanOptions.domain_deadline must be > 0");
+    }
+    if (max_attempt_records == 0) {
+        throw std::invalid_argument("scanner: ScanOptions.max_attempt_records must be >= 1");
+    }
+    if (journal_segment_bytes == 0) {
+        throw std::invalid_argument(
+            "scanner: ScanOptions.journal_segment_bytes must be >= 1");
+    }
     retry.validate();
+    worker_restart.validate();
     if (fault_plan) fault_plan->validate();
     ShardConfig{threads, chunk_domains}.validate();
 }
@@ -67,6 +80,15 @@ std::string CampaignStats::render() const {
     table.add_row({"retries", util::group_digits(retries)});
     table.add_row({"domains recovered by retry", util::group_digits(domains_recovered_by_retry)});
     table.add_row({"domains errored", util::group_digits(domains_errored)});
+    // Recovery rows only when the supervisor actually intervened — the
+    // healthy sweep's table stays as it always was.
+    if (chunks_quarantined > 0 || domains_quarantined > 0) {
+        table.add_row({"chunks quarantined", util::group_digits(chunks_quarantined)});
+        table.add_row({"domains quarantined", util::group_digits(domains_quarantined)});
+    }
+    if (worker_restarts > 0) {
+        table.add_row({"worker restarts", util::group_digits(worker_restarts)});
+    }
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         table.add_row({std::string{"outcome "} +
                            qlog::to_cstring(static_cast<qlog::ConnectionOutcome>(i)),
@@ -88,8 +110,12 @@ std::string CampaignStats::render() const {
 Campaign::AttemptOutcome Campaign::run_attempt(const web::Domain& domain,
                                                const std::string& host, int redirect_hop,
                                                int retry, bool serve_redirect,
+                                               Duration deadline,
                                                telemetry::MetricsRegistry* metrics,
                                                bytes::BufferPool* pool) const {
+    // The watchdog capped this attempt below the normal per-attempt
+    // deadline: a cut-off is then a kill, not an ordinary timeout.
+    const bool watchdog_capped = deadline < options_.attempt_deadline;
     const web::Population& pop = *population_;
     // Redirect follow-ups are profiled as their own phase: their cost is
     // extra connections, which the first-attempt phase must not absorb.
@@ -159,10 +185,15 @@ Campaign::AttemptOutcome Campaign::run_attempt(const web::Domain& domain,
                 // pending: the attempt neither completed nor failed on its
                 // own. Record that distinctly instead of pretending the
                 // queue drained (the old behaviour left `aborted`, which
-                // conflated deadline hits with protocol-level aborts).
-                out.trace.outcome = qlog::ConnectionOutcome::attempt_timeout;
+                // conflated deadline hits with protocol-level aborts) — and
+                // distinguish the watchdog's kill from the ordinary
+                // per-attempt timeout.
+                out.trace.outcome = watchdog_capped
+                                        ? qlog::ConnectionOutcome::watchdog_cancelled
+                                        : qlog::ConnectionOutcome::attempt_timeout;
             }
         }
+        out.sim_elapsed = sim.now() - TimePoint::origin();
         if (metrics != nullptr) {
             sim.publish_metrics(*metrics);
             path.forward_link().publish_metrics(*metrics, "netsim.link.forward");
@@ -178,7 +209,7 @@ Campaign::AttemptOutcome Campaign::run_attempt(const web::Domain& domain,
         // via PTO and gives up at the handshake timeout (paper §3.3: "check
         // whether the endpoints answer to QUIC packets").
         client.connect();
-        const bool drained = sim.run_until(TimePoint::origin() + options_.attempt_deadline);
+        const bool drained = sim.run_until(TimePoint::origin() + deadline);
         finish_attempt(drained, /*got_response=*/false);
         return out;
     }
@@ -307,7 +338,7 @@ Campaign::AttemptOutcome Campaign::run_attempt(const web::Domain& domain,
     };
 
     client.connect();
-    const bool drained = sim.run_until(TimePoint::origin() + options_.attempt_deadline);
+    const bool drained = sim.run_until(TimePoint::origin() + deadline);
     finish_attempt(drained, got_response);
     return out;
 }
@@ -340,26 +371,53 @@ DomainScan Campaign::scan_domain_into(const web::Domain& domain,
     // Backoff jitter runs on its own per-domain stream: with retries off it
     // is never drawn from, and with them on it cannot perturb attempt seeds.
     Rng backoff_rng = faults::RetryPolicy::backoff_stream(options_.seed, domain.id);
-    for (int hop = 0; hop <= options_.max_redirects; ++hop) {
+    // Watchdog budget: total simulated time this domain may consume across
+    // every hop, retry and backoff. Purely per-domain bookkeeping — never a
+    // function of shard assignment — so the determinism contract holds.
+    Duration budget = options_.domain_deadline;
+    bool budget_exhausted = false;
+    for (int hop = 0; hop <= options_.max_redirects && !budget_exhausted; ++hop) {
         std::optional<AttemptOutcome> outcome;
         Duration backoff = Duration::zero();
         bool first_try_failed = false;
         for (int retry = 0;; ++retry) {
-            outcome = run_attempt(domain, host, hop, retry, serve_redirect, metrics, pool);
+            const Duration deadline = std::min(options_.attempt_deadline, budget);
+            outcome = run_attempt(domain, host, hop, retry, serve_redirect, deadline,
+                                  metrics, pool);
+            budget -= outcome->sim_elapsed;
+            if (budget <= Duration::zero()) budget_exhausted = true;
             const bool ok = outcome->trace.outcome == qlog::ConnectionOutcome::ok;
-            scan.attempts.push_back(DomainScan::AttemptRecord{
-                hop, retry, outcome->trace.outcome, backoff, outcome->server_fault});
-            scan.connections.push_back(std::move(outcome->trace));
+            if (outcome->trace.outcome == qlog::ConnectionOutcome::watchdog_cancelled) {
+                budget_exhausted = true;
+                if (metrics != nullptr) {
+                    metrics->counter("scanner.watchdog_cancelled").add(1);
+                }
+            }
+            // Bounded attempt log: past the cap, the attempt still ran (and
+            // is counted below) but its record and trace are dropped.
+            if (scan.attempts.size() < options_.max_attempt_records) {
+                scan.attempts.push_back(DomainScan::AttemptRecord{
+                    hop, retry, outcome->trace.outcome, backoff, outcome->server_fault});
+                scan.connections.push_back(std::move(outcome->trace));
+            } else {
+                ++scan.attempts_truncated;
+            }
             if (retry > 0) ++scan.retries;
             if (ok) {
                 if (first_try_failed) scan.recovered_by_retry = true;
                 break;
             }
             first_try_failed = true;
-            if (!options_.retry.should_retry(retry, false)) break;
+            if (budget_exhausted || !options_.retry.should_retry(retry, false)) break;
             // Attempts run on per-attempt simulators, so the backoff is
-            // campaign bookkeeping in simulated time, not a sim event.
+            // campaign bookkeeping in simulated time, not a sim event — but
+            // it still burns watchdog budget.
             backoff = options_.retry.backoff_delay(retry + 1, backoff_rng);
+            budget -= backoff;
+            if (budget <= Duration::zero()) {
+                budget_exhausted = true;
+                break;
+            }
         }
         const bool redirected =
             outcome->response.has_value() && outcome->response->status == 301 &&
@@ -376,6 +434,20 @@ DomainScan Campaign::scan_domain_into(const web::Domain& domain,
 
 CampaignStats Campaign::run(
     const std::function<void(const web::Domain&, DomainScan&&)>& sink) const {
+    return run_impl(sink, /*resume_journal=*/false);
+}
+
+CampaignStats Campaign::resume(
+    const std::function<void(const web::Domain&, DomainScan&&)>& sink) const {
+    if (options_.journal_dir.empty()) {
+        throw std::invalid_argument("scanner: resume() requires ScanOptions.journal_dir");
+    }
+    return run_impl(sink, /*resume_journal=*/true);
+}
+
+CampaignStats Campaign::run_impl(
+    const std::function<void(const web::Domain&, DomainScan&&)>& sink,
+    bool resume_journal) const {
     CampaignStats stats;
     const auto wall_start = std::chrono::steady_clock::now();
     const auto wall_elapsed = [&wall_start] {
@@ -387,16 +459,163 @@ CampaignStats Campaign::run(
     const ShardConfig shard{options_.threads, options_.chunk_domains};
     const ShardPlan plan{domains.size(), options_.chunk_domains};
 
+    // Per-scan merge bookkeeping, shared verbatim between the live merge
+    // path and journal replay: replayed chunks re-drive exactly the counters
+    // an uninterrupted merge would have driven, which is what makes resumed
+    // output byte-identical.
+    const auto merge_scan = [&](std::size_t domain_index, DomainScan&& scan) {
+        const web::Domain& domain = domains[domain_index];
+
+        ++stats.domains_scanned;
+        if (scan.resolved) ++stats.domains_resolved;
+        if (scan.quic_ok()) ++stats.domains_quic_ok;
+        stats.connections += scan.connections.size();
+        stats.redirects_followed += scan.redirects_followed;
+        stats.retries += scan.retries;
+        if (scan.recovered_by_retry) ++stats.domains_recovered_by_retry;
+        if (!scan.error.empty()) ++stats.domains_errored;
+        for (const auto& trace : scan.connections) {
+            ++stats.outcomes[static_cast<std::size_t>(trace.outcome)];
+            if (metrics_ != nullptr) {
+                metrics_->counter(std::string{"scanner.outcome."} +
+                                  qlog::to_cstring(trace.outcome))
+                    .add(1);
+            }
+        }
+        for (const auto& attempt : scan.attempts) {
+            ++stats.server_faults[static_cast<std::size_t>(attempt.server_fault)];
+            if (metrics_ != nullptr &&
+                attempt.server_fault != faults::ServerFaultMode::none) {
+                metrics_->counter(std::string{"scanner.server_fault."} +
+                                  faults::to_cstring(attempt.server_fault))
+                    .add(1);
+            }
+        }
+        if (metrics_ != nullptr) {
+            metrics_->counter("scanner.domains_scanned").add(1);
+            if (scan.resolved) metrics_->counter("scanner.domains_resolved").add(1);
+            if (scan.quic_ok()) metrics_->counter("scanner.domains_quic_ok").add(1);
+            metrics_->counter("scanner.connections").add(scan.connections.size());
+            if (scan.retries > 0) {
+                metrics_->counter("scanner.retries").add(scan.retries);
+            }
+            if (scan.recovered_by_retry) {
+                metrics_->counter("scanner.domains_recovered_by_retry").add(1);
+            }
+            if (!scan.error.empty()) {
+                metrics_->counter("scanner.domains_errored").add(1);
+            }
+        }
+
+        sink(domain, std::move(scan));
+
+        if (progress_ && progress_every_ > 0 &&
+            stats.domains_scanned % progress_every_ == 0) {
+            stats.wall_seconds = wall_elapsed();
+            progress_(stats);
+        }
+    };
+
+    // ---- journal replay (resume) and writer setup ---------------------------
+    const bool journaling = !options_.journal_dir.empty();
+    std::unique_ptr<JournalWriter> journal;
+    std::size_t chunks_replayed = 0;
+    if (journaling) {
+        CampaignHeader header;
+        header.seed = options_.seed;
+        header.week = options_.week;
+        header.ipv6 = options_.ipv6;
+        header.chunk_domains = options_.chunk_domains;
+        header.domain_count = domains.size();
+        header.has_telemetry = metrics_ != nullptr;
+        const JournalOptions journal_options{options_.journal_segment_bytes};
+
+        if (resume_journal) {
+            ReplayResult replayed = replay_journal(options_.journal_dir);
+            if (replayed.has_header) {
+                if (!(replayed.header == header)) {
+                    throw std::invalid_argument(
+                        "scanner: resume() journal belongs to a different campaign "
+                        "(options or population changed since it was written)");
+                }
+                for (auto& record : replayed.chunks) {
+                    const std::size_t begin = plan.chunk_begin(record.chunk_index);
+                    const std::size_t end = plan.chunk_end(record.chunk_index);
+                    if (record.scans.size() != end - begin) {
+                        throw std::invalid_argument(
+                            "scanner: resume() journal chunk geometry does not match "
+                            "the population");
+                    }
+                    // Same merge order as the live path: chunk telemetry
+                    // first, then per-scan bookkeeping.
+                    if (metrics_ != nullptr && !record.telemetry_snapshot.empty()) {
+                        auto parsed =
+                            telemetry::parse_snapshot(record.telemetry_snapshot);
+                        if (!parsed) {
+                            throw std::invalid_argument(
+                                "scanner: resume() journal telemetry snapshot is "
+                                "malformed");
+                        }
+                        metrics_->merge_from(*parsed);
+                    }
+                    if (record.quarantined) {
+                        ++stats.chunks_quarantined;
+                        stats.domains_quarantined += record.scans.size();
+                        if (metrics_ != nullptr) {
+                            metrics_->counter("campaign.quarantined_chunks").add(1);
+                            metrics_->counter("campaign.quarantined_domains")
+                                .add(record.scans.size());
+                        }
+                    }
+                    for (std::size_t j = 0; j < record.scans.size(); ++j) {
+                        if (record.scans[j].domain_id != domains[begin + j].id) {
+                            throw std::invalid_argument(
+                                "scanner: resume() journal domain ids do not match "
+                                "the population");
+                        }
+                        merge_scan(begin + j, std::move(record.scans[j]));
+                    }
+                }
+                chunks_replayed = replayed.chunks.size();
+                if (metrics_ != nullptr) {
+                    metrics_->counter("campaign.journal.records_replayed")
+                        .add(chunks_replayed);
+                    if (replayed.torn_bytes_discarded > 0) {
+                        metrics_->counter("campaign.journal.torn_bytes_discarded")
+                            .add(replayed.torn_bytes_discarded);
+                    }
+                }
+            }
+            journal = std::make_unique<JournalWriter>(options_.journal_dir, header,
+                                                      JournalWriter::Mode::attach,
+                                                      journal_options);
+        } else {
+            journal = std::make_unique<JournalWriter>(options_.journal_dir, header,
+                                                      JournalWriter::Mode::fresh,
+                                                      journal_options);
+        }
+    }
+
+    // ---- scan the remaining chunks ------------------------------------------
+    // Chunk indices stay GLOBAL (replayed prefix + local index): the journal,
+    // quarantine notes and chunk-keyed restart streams all name campaign
+    // chunks, not positions within this (possibly partial) run.
+    const std::size_t base_domain =
+        std::min(plan.chunk_begin(chunks_replayed), domains.size());
+    const ShardPlan rest_plan{domains.size() - base_domain, options_.chunk_domains};
+
     // Slot c is written by exactly one worker (inside scan(c)) and read by
-    // the merge thread only after run_sharded reports the chunk done.
+    // the merge thread only after run_supervised reports the chunk done. A
+    // restarted scan rebuilds and overwrites its slot from scratch.
     struct ChunkResult {
         std::vector<DomainScan> scans;
         /// Chunk-private telemetry; null when the campaign has no registry.
         std::unique_ptr<telemetry::MetricsRegistry> metrics;
     };
-    std::vector<ChunkResult> chunks(plan.chunk_count());
+    std::vector<ChunkResult> chunks(rest_plan.chunk_count());
 
     const auto scan_chunk = [&](std::size_t c) {
+        if (options_.chunk_fault_hook) options_.chunk_fault_hook(c + chunks_replayed);
         ChunkResult result;
         if (metrics_ != nullptr) {
             result.metrics = std::make_unique<telemetry::MetricsRegistry>();
@@ -409,9 +628,9 @@ CampaignStats Campaign::run(
         // here. Pool counters depend on chunk geometry, which is why
         // deterministic_csv excludes the bytes.pool prefix.
         bytes::BufferPool pool;
-        result.scans.reserve(plan.chunk_end(c) - plan.chunk_begin(c));
-        for (std::size_t i = plan.chunk_begin(c); i < plan.chunk_end(c); ++i) {
-            const web::Domain& domain = domains[i];
+        result.scans.reserve(rest_plan.chunk_end(c) - rest_plan.chunk_begin(c));
+        for (std::size_t i = rest_plan.chunk_begin(c); i < rest_plan.chunk_end(c); ++i) {
+            const web::Domain& domain = domains[base_domain + i];
             // Per-domain fault isolation: one pathological target must cost
             // one scan record, never the sweep. Telemetry/stats may be
             // partially written for the failed domain; counters stay
@@ -432,65 +651,82 @@ CampaignStats Campaign::run(
 
     const auto merge_chunk = [&](std::size_t c) {
         ChunkResult result = std::move(chunks[c]);
+        // Journal FIRST, then merge: a crash in between costs nothing (the
+        // record is durable; resume re-drives the merge from it), while the
+        // opposite order could emit sink output that a resume then repeats.
+        if (journal != nullptr) {
+            ChunkRecord record;
+            record.chunk_index = c + chunks_replayed;
+            record.scans = std::move(result.scans);
+            if (metrics_ != nullptr && result.metrics != nullptr) {
+                record.telemetry_snapshot = telemetry::snapshot(*result.metrics);
+            }
+            journal->append_chunk(record);
+            result.scans = std::move(record.scans);
+        }
         if (metrics_ != nullptr && result.metrics != nullptr) {
             metrics_->merge_from(*result.metrics);
         }
         for (std::size_t j = 0; j < result.scans.size(); ++j) {
-            const web::Domain& domain = domains[plan.chunk_begin(c) + j];
-            DomainScan scan = std::move(result.scans[j]);
-
-            ++stats.domains_scanned;
-            if (scan.resolved) ++stats.domains_resolved;
-            if (scan.quic_ok()) ++stats.domains_quic_ok;
-            stats.connections += scan.connections.size();
-            stats.redirects_followed += scan.redirects_followed;
-            stats.retries += scan.retries;
-            if (scan.recovered_by_retry) ++stats.domains_recovered_by_retry;
-            if (!scan.error.empty()) ++stats.domains_errored;
-            for (const auto& trace : scan.connections) {
-                ++stats.outcomes[static_cast<std::size_t>(trace.outcome)];
-                if (metrics_ != nullptr) {
-                    metrics_->counter(std::string{"scanner.outcome."} +
-                                      qlog::to_cstring(trace.outcome))
-                        .add(1);
-                }
-            }
-            for (const auto& attempt : scan.attempts) {
-                ++stats.server_faults[static_cast<std::size_t>(attempt.server_fault)];
-                if (metrics_ != nullptr &&
-                    attempt.server_fault != faults::ServerFaultMode::none) {
-                    metrics_->counter(std::string{"scanner.server_fault."} +
-                                      faults::to_cstring(attempt.server_fault))
-                        .add(1);
-                }
-            }
-            if (metrics_ != nullptr) {
-                metrics_->counter("scanner.domains_scanned").add(1);
-                if (scan.resolved) metrics_->counter("scanner.domains_resolved").add(1);
-                if (scan.quic_ok()) metrics_->counter("scanner.domains_quic_ok").add(1);
-                metrics_->counter("scanner.connections").add(scan.connections.size());
-                if (scan.retries > 0) {
-                    metrics_->counter("scanner.retries").add(scan.retries);
-                }
-                if (scan.recovered_by_retry) {
-                    metrics_->counter("scanner.domains_recovered_by_retry").add(1);
-                }
-                if (!scan.error.empty()) {
-                    metrics_->counter("scanner.domains_errored").add(1);
-                }
-            }
-
-            sink(domain, std::move(scan));
-
-            if (progress_ && progress_every_ > 0 &&
-                stats.domains_scanned % progress_every_ == 0) {
-                stats.wall_seconds = wall_elapsed();
-                progress_(stats);
-            }
+            merge_scan(base_domain + rest_plan.chunk_begin(c) + j,
+                       std::move(result.scans[j]));
         }
     };
 
-    run_sharded(shard, plan, scan_chunk, merge_chunk);
+    const auto quarantine_chunk = [&](const ChunkFailure& failure) {
+        // The chunk crashed repeatedly even after restarts: give its domains
+        // placeholder error scans and complete the campaign degraded rather
+        // than losing the sweep.
+        const std::size_t begin = base_domain + rest_plan.chunk_begin(failure.chunk);
+        const std::size_t end = base_domain + rest_plan.chunk_end(failure.chunk);
+        std::vector<DomainScan> placeholders;
+        placeholders.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+            DomainScan scan;
+            scan.domain_id = domains[i].id;
+            scan.error = "chunk quarantined: " + failure.error;
+            placeholders.push_back(std::move(scan));
+        }
+        if (journal != nullptr) {
+            ChunkRecord record;
+            record.chunk_index = failure.chunk + chunks_replayed;
+            record.quarantined = true;
+            record.quarantine_error = failure.error;
+            record.scans = std::move(placeholders);
+            journal->append_chunk(record);
+            placeholders = std::move(record.scans);
+        }
+        ++stats.chunks_quarantined;
+        stats.domains_quarantined += end - begin;
+        if (metrics_ != nullptr) {
+            metrics_->counter("campaign.quarantined_chunks").add(1);
+            metrics_->counter("campaign.quarantined_domains").add(end - begin);
+        }
+        for (std::size_t j = 0; j < placeholders.size(); ++j) {
+            merge_scan(begin + j, std::move(placeholders[j]));
+        }
+    };
+
+    SupervisorConfig supervisor;
+    supervisor.restart = options_.worker_restart;
+    supervisor.seed = options_.seed;
+    const SupervisionReport report =
+        run_supervised(shard, rest_plan, supervisor, scan_chunk, merge_chunk,
+                       quarantine_chunk);
+    stats.worker_restarts = report.restarts;
+    if (metrics_ != nullptr && report.restarts > 0) {
+        metrics_->counter("campaign.worker_restarts").add(report.restarts);
+    }
+
+    if (journal != nullptr) {
+        journal->close();
+        if (metrics_ != nullptr) {
+            metrics_->counter("campaign.journal.records_appended")
+                .add(journal->records_appended());
+            metrics_->counter("campaign.journal.segments_sealed")
+                .add(journal->segments_sealed());
+        }
+    }
 
     // Wall clock is aggregated exactly once, here on the merge thread —
     // never accumulated per domain, which would double-count overlapping

@@ -46,6 +46,17 @@ struct ScanOptions {
     quic::SpinConfig client_spin{quic::SpinPolicy::spin, 0, quic::SpinPolicy::always_zero};
     /// Safety bound per connection attempt (simulated time).
     util::Duration attempt_deadline = util::Duration::seconds(60);
+    /// Watchdog budget per DOMAIN (simulated time across all of its hops,
+    /// retries and backoffs). A domain whose simulations exceed it is cut
+    /// off: the running attempt ends with outcome watchdog_cancelled and no
+    /// further attempts are made. The default is far above any legitimate
+    /// scan (worst hostile-retry schedules stay under ~15 minutes), so it
+    /// only ever fires on genuinely hung simulations.
+    util::Duration domain_deadline = util::Duration::seconds(3600);
+    /// Cap on per-domain attempt records (and their traces). Overflow is
+    /// counted in DomainScan::attempts_truncated instead of growing the scan
+    /// without bound; unreachable under sane retry/redirect settings.
+    std::size_t max_attempt_records = 256;
     /// Adversarial network fault plan, attached to both directions of every
     /// attempt's path. nullopt attaches nothing; an engaged-but-empty plan
     /// attaches an idle injector, which draws no randomness and therefore
@@ -63,6 +74,25 @@ struct ScanOptions {
     /// results; only histogram `sum` telemetry may drift in the last ulp
     /// because partial sums regroup (see telemetry::deterministic_csv).
     std::size_t chunk_domains = 16;
+    /// Crash-safe journal directory (DESIGN.md §11); empty disables
+    /// journaling. run() starts a FRESH journal here (removing a previous
+    /// one); resume() replays it and continues.
+    std::string journal_dir;
+    /// Journal segment rotation threshold, in bytes.
+    std::size_t journal_segment_bytes = 4u << 20;
+    /// Supervisor restart schedule for a chunk whose scan crashed outside
+    /// the per-domain isolation: max_attempts is the TOTAL number of scan
+    /// executions per chunk before it is quarantined (1 = quarantine on the
+    /// first crash). Backoffs are real wall-clock sleeps on the worker, kept
+    /// small by default.
+    faults::RetryPolicy worker_restart{2, util::Duration::millis(10), 2.0,
+                                       util::Duration::millis(100), true};
+    /// TEST/FAULT hook: invoked on the worker thread at the start of every
+    /// chunk scan execution (with the global chunk index), OUTSIDE the
+    /// per-domain isolation — a throw crashes the whole chunk and exercises
+    /// the supervisor (restart, then quarantine). Must be thread-safe; keep
+    /// null in production.
+    std::function<void(std::size_t chunk)> chunk_fault_hook;
 
     /// Sanitizes the knobs in place: NaN probabilities, a negative redirect
     /// budget, a non-positive deadline and invalid retry/fault-plan settings
@@ -97,8 +127,12 @@ struct DomainScan {
     std::uint64_t retries = 0;  ///< attempts beyond the first, any hop
     /// A hop whose first try failed later succeeded on a retry.
     bool recovered_by_retry = false;
+    /// Attempts made but not recorded because ScanOptions::max_attempt_records
+    /// was reached (0 for every sane scan).
+    std::uint64_t attempts_truncated = 0;
     /// Set when scanning this domain threw; the domain was skipped, the
-    /// sweep continued (graceful degradation).
+    /// sweep continued (graceful degradation). Quarantined chunks produce
+    /// placeholder scans with a "chunk quarantined:" prefix here.
     std::string error;
 
     /// True if any connection completed the QUIC handshake.
@@ -117,6 +151,12 @@ struct CampaignStats {
     std::uint64_t retries = 0;  ///< attempts beyond the first at some hop
     std::uint64_t domains_recovered_by_retry = 0;
     std::uint64_t domains_errored = 0;  ///< scan threw; skipped, not fatal
+    /// Chunks the supervisor quarantined after exhausting restarts (their
+    /// domains are counted in domains_quarantined AND domains_errored).
+    std::uint64_t chunks_quarantined = 0;
+    std::uint64_t domains_quarantined = 0;
+    /// Crashed-chunk scan re-executions performed by the supervisor.
+    std::uint64_t worker_restarts = 0;
     /// Connection attempts by qlog::ConnectionOutcome (index via the enum).
     std::array<std::uint64_t, qlog::kConnectionOutcomeCount> outcomes{};
     /// Connection attempts by active faults::ServerFaultMode (index 0 =
@@ -187,6 +227,18 @@ public:
     /// time, not per domain.
     CampaignStats run(const std::function<void(const web::Domain&, DomainScan&&)>& sink) const;
 
+    /// Crash recovery: replays the journal at ScanOptions::journal_dir (the
+    /// one a killed run() left behind), re-driving stats, telemetry, sink
+    /// and progress from the journaled records, then scans only the
+    /// remaining chunks — continuing the journal. The merged output (sink
+    /// stream, stats, deterministic telemetry) is byte-identical to an
+    /// uninterrupted run(). Torn journal tails are detected, discarded and
+    /// repaired; an empty or missing journal degenerates to run(). Throws
+    /// std::invalid_argument when journal_dir is empty or the journal
+    /// belongs to a different campaign (options/population mismatch).
+    CampaignStats resume(
+        const std::function<void(const web::Domain&, DomainScan&&)>& sink) const;
+
     [[nodiscard]] const ScanOptions& options() const noexcept { return options_; }
 
 private:
@@ -194,6 +246,8 @@ private:
         qlog::Trace trace;
         std::optional<ResponseInfo> response;
         faults::ServerFaultMode server_fault = faults::ServerFaultMode::none;
+        /// Simulated time the attempt consumed (watchdog accounting).
+        util::Duration sim_elapsed = util::Duration::zero();
     };
 
     /// scan_domain with telemetry routed into an explicit registry (the
@@ -207,11 +261,19 @@ private:
                                               telemetry::MetricsRegistry* metrics,
                                               bytes::BufferPool* pool) const;
 
+    /// `deadline` is the effective simulated-time bound for this attempt:
+    /// min(attempt_deadline, remaining domain watchdog budget). When the
+    /// budget (not the per-attempt deadline) is what cut the simulation
+    /// short, the outcome is watchdog_cancelled instead of attempt_timeout.
     [[nodiscard]] AttemptOutcome run_attempt(const web::Domain& domain,
                                              const std::string& host, int redirect_hop,
                                              int retry, bool serve_redirect,
+                                             util::Duration deadline,
                                              telemetry::MetricsRegistry* metrics,
                                              bytes::BufferPool* pool) const;
+
+    CampaignStats run_impl(const std::function<void(const web::Domain&, DomainScan&&)>& sink,
+                           bool resume_journal) const;
 
     const web::Population* population_;
     ScanOptions options_;

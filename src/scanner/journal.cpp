@@ -1,0 +1,685 @@
+#include "scanner/journal.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+#include "util/atomic_file.hpp"
+#include "util/checksum.hpp"
+
+namespace spinscope::scanner {
+
+namespace {
+
+constexpr const char* kSegmentPrefix = "segment-";
+constexpr const char* kSegmentSuffix = ".jsonl";
+constexpr const char* kOpenSuffix = ".open";
+constexpr std::string_view kFrameMarker = "#rec ";
+
+[[nodiscard]] std::filesystem::path sealed_path(const std::filesystem::path& dir,
+                                                std::size_t index) {
+    char name[48];
+    std::snprintf(name, sizeof name, "%s%05zu%s", kSegmentPrefix, index, kSegmentSuffix);
+    return dir / name;
+}
+
+[[nodiscard]] std::filesystem::path open_path(const std::filesystem::path& dir,
+                                              std::size_t index) {
+    std::filesystem::path path = sealed_path(dir, index);
+    path += kOpenSuffix;
+    return path;
+}
+
+// ---------------------------------------------------------------------------
+// Token encoding: journal scalar strings (error messages, response headers)
+// are percent-encoded into single whitespace-free tokens so that every
+// payload line splits unambiguously on spaces. The empty string encodes to
+// the empty token, which the positional key=value parser accepts.
+
+[[nodiscard]] std::string encode_token(std::string_view s) {
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        const auto b = static_cast<unsigned char>(c);
+        if (b > 0x20 && b < 0x7f && b != '%') {
+            out.push_back(c);
+        } else {
+            out.push_back('%');
+            out.push_back(kHex[b >> 4]);
+            out.push_back(kHex[b & 0xf]);
+        }
+    }
+    return out;
+}
+
+[[nodiscard]] int hex_digit(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+
+[[nodiscard]] std::optional<std::string> decode_token(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '%') {
+            out.push_back(s[i]);
+            continue;
+        }
+        if (i + 2 >= s.size()) return std::nullopt;
+        const int hi = hex_digit(s[i + 1]);
+        const int lo = hex_digit(s[i + 2]);
+        if (hi < 0 || lo < 0) return std::nullopt;
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 2;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Payload cursor: line- and raw-byte-oriented reads over one record payload.
+
+struct Cursor {
+    std::string_view data;
+    std::size_t pos = 0;
+
+    [[nodiscard]] bool done() const noexcept { return pos >= data.size(); }
+
+    /// Next line without its '\n'; nullopt when no full line remains.
+    [[nodiscard]] std::optional<std::string_view> line() {
+        if (done()) return std::nullopt;
+        const auto nl = data.find('\n', pos);
+        if (nl == std::string_view::npos) return std::nullopt;
+        std::string_view out = data.substr(pos, nl - pos);
+        pos = nl + 1;
+        return out;
+    }
+
+    /// Next `n` raw bytes; nullopt when fewer remain.
+    [[nodiscard]] std::optional<std::string_view> raw(std::size_t n) {
+        if (data.size() - pos < n) return std::nullopt;
+        std::string_view out = data.substr(pos, n);
+        pos += n;
+        return out;
+    }
+};
+
+[[nodiscard]] std::vector<std::string_view> split_tokens(std::string_view line) {
+    std::vector<std::string_view> out;
+    std::size_t start = 0;
+    while (start <= line.size()) {
+        const auto space = line.find(' ', start);
+        if (space == std::string_view::npos) {
+            out.push_back(line.substr(start));
+            break;
+        }
+        out.push_back(line.substr(start, space - start));
+        start = space + 1;
+    }
+    return out;
+}
+
+template <typename T>
+[[nodiscard]] bool parse_number(std::string_view token, T& out) {
+    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), out);
+    return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+/// Strips "key=" and parses the remainder as a number.
+template <typename T>
+[[nodiscard]] bool parse_kv(std::string_view token, std::string_view key, T& out) {
+    if (token.size() < key.size() + 1 || token.substr(0, key.size()) != key ||
+        token[key.size()] != '=') {
+        return false;
+    }
+    return parse_number(token.substr(key.size() + 1), out);
+}
+
+[[nodiscard]] bool parse_kv_bool(std::string_view token, std::string_view key, bool& out) {
+    int v = 0;
+    if (!parse_kv(token, key, v) || (v != 0 && v != 1)) return false;
+    out = v == 1;
+    return true;
+}
+
+[[nodiscard]] std::optional<std::string> parse_kv_token(std::string_view token,
+                                                        std::string_view key) {
+    if (token.size() < key.size() + 1 || token.substr(0, key.size()) != key ||
+        token[key.size()] != '=') {
+        return std::nullopt;
+    }
+    return decode_token(token.substr(key.size() + 1));
+}
+
+void append_kv(std::string& out, std::string_view key, std::uint64_t v) {
+    out += ' ';
+    out += key;
+    out += '=';
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+    out += buf;
+}
+
+void append_kv_signed(std::string& out, std::string_view key, long long v) {
+    out += ' ';
+    out += key;
+    out += '=';
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%lld", v);
+    out += buf;
+}
+
+void append_length_block(std::string& out, std::string_view keyword, std::string_view bytes) {
+    out += keyword;
+    out += ' ';
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%zu", bytes.size());
+    out += buf;
+    out += '\n';
+    out += bytes;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Record payloads
+
+std::string serialize_header(const CampaignHeader& header) {
+    std::string out = "campaign";
+    append_kv(out, "seed", header.seed);
+    append_kv_signed(out, "week", header.week);
+    append_kv(out, "ipv6", header.ipv6 ? 1 : 0);
+    append_kv(out, "chunk_domains", header.chunk_domains);
+    append_kv(out, "domain_count", header.domain_count);
+    append_kv(out, "telemetry", header.has_telemetry ? 1 : 0);
+    out += '\n';
+    return out;
+}
+
+std::optional<CampaignHeader> parse_header(std::string_view payload) {
+    Cursor cur{payload};
+    const auto line = cur.line();
+    if (!line || !cur.done()) return std::nullopt;
+    const auto tok = split_tokens(*line);
+    CampaignHeader header;
+    long long week = 0;
+    std::uint64_t chunk_domains = 0;
+    std::uint64_t domain_count = 0;
+    if (tok.size() != 7 || tok[0] != "campaign" || !parse_kv(tok[1], "seed", header.seed) ||
+        !parse_kv(tok[2], "week", week) || !parse_kv_bool(tok[3], "ipv6", header.ipv6) ||
+        !parse_kv(tok[4], "chunk_domains", chunk_domains) ||
+        !parse_kv(tok[5], "domain_count", domain_count) ||
+        !parse_kv_bool(tok[6], "telemetry", header.has_telemetry)) {
+        return std::nullopt;
+    }
+    header.week = static_cast<int>(week);
+    header.chunk_domains = static_cast<std::size_t>(chunk_domains);
+    header.domain_count = static_cast<std::size_t>(domain_count);
+    return header;
+}
+
+std::string serialize_chunk_record(const ChunkRecord& record) {
+    std::string out = "chunk";
+    append_kv(out, "index", record.chunk_index);
+    append_kv(out, "quarantined", record.quarantined ? 1 : 0);
+    out += " error=";
+    out += encode_token(record.quarantine_error);
+    append_kv(out, "domains", record.scans.size());
+    out += '\n';
+
+    for (const auto& scan : record.scans) {
+        out += "domain";
+        append_kv(out, "id", scan.domain_id);
+        append_kv(out, "resolved", scan.resolved ? 1 : 0);
+        append_kv(out, "redirects", scan.redirects_followed);
+        append_kv(out, "retries", scan.retries);
+        append_kv(out, "recovered", scan.recovered_by_retry ? 1 : 0);
+        append_kv(out, "attempts_truncated", scan.attempts_truncated);
+        out += " error=";
+        out += encode_token(scan.error);
+        append_kv(out, "response", scan.final_response ? 1 : 0);
+        const ResponseInfo response = scan.final_response.value_or(ResponseInfo{});
+        append_kv_signed(out, "status", response.status);
+        append_kv(out, "body", response.body_bytes);
+        out += " location=";
+        out += encode_token(response.location);
+        out += " server=";
+        out += encode_token(response.server_name);
+        append_kv(out, "attempts", scan.attempts.size());
+        append_kv(out, "connections", scan.connections.size());
+        out += '\n';
+
+        for (const auto& attempt : scan.attempts) {
+            out += "attempt";
+            append_kv_signed(out, "hop", attempt.redirect_hop);
+            append_kv_signed(out, "retry", attempt.retry);
+            append_kv(out, "outcome", static_cast<std::uint64_t>(attempt.outcome));
+            append_kv_signed(out, "backoff_ns", attempt.backoff.count_nanos());
+            append_kv(out, "fault", static_cast<std::uint64_t>(attempt.server_fault));
+            out += '\n';
+        }
+        for (const auto& trace : scan.connections) {
+            append_length_block(out, "trace", qlog::to_jsonl(trace));
+        }
+    }
+    append_length_block(out, "telemetry", record.telemetry_snapshot);
+    return out;
+}
+
+namespace {
+
+/// Parses one `<keyword> <nbytes>` line followed by that many raw bytes.
+[[nodiscard]] std::optional<std::string_view> parse_length_block(Cursor& cur,
+                                                                 std::string_view keyword) {
+    const auto line = cur.line();
+    if (!line) return std::nullopt;
+    const auto tok = split_tokens(*line);
+    std::uint64_t n = 0;
+    if (tok.size() != 2 || tok[0] != keyword || !parse_number(tok[1], n)) {
+        return std::nullopt;
+    }
+    return cur.raw(static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+std::optional<ChunkRecord> parse_chunk_record(std::string_view payload) {
+    Cursor cur{payload};
+    const auto chunk_line = cur.line();
+    if (!chunk_line) return std::nullopt;
+    const auto chunk_tok = split_tokens(*chunk_line);
+    ChunkRecord record;
+    std::uint64_t index = 0;
+    std::uint64_t domain_count = 0;
+    if (chunk_tok.size() != 5 || chunk_tok[0] != "chunk" ||
+        !parse_kv(chunk_tok[1], "index", index) ||
+        !parse_kv_bool(chunk_tok[2], "quarantined", record.quarantined)) {
+        return std::nullopt;
+    }
+    const auto quarantine_error = parse_kv_token(chunk_tok[3], "error");
+    if (!quarantine_error || !parse_kv(chunk_tok[4], "domains", domain_count)) {
+        return std::nullopt;
+    }
+    record.chunk_index = static_cast<std::size_t>(index);
+    record.quarantine_error = *quarantine_error;
+
+    record.scans.reserve(static_cast<std::size_t>(domain_count));
+    for (std::uint64_t d = 0; d < domain_count; ++d) {
+        const auto domain_line = cur.line();
+        if (!domain_line) return std::nullopt;
+        const auto tok = split_tokens(*domain_line);
+        if (tok.size() != 15 || tok[0] != "domain") return std::nullopt;
+
+        DomainScan scan;
+        std::uint64_t attempt_count = 0;
+        std::uint64_t connection_count = 0;
+        bool has_response = false;
+        long long status = 0;
+        std::uint64_t body_bytes = 0;
+        if (!parse_kv(tok[1], "id", scan.domain_id) ||
+            !parse_kv_bool(tok[2], "resolved", scan.resolved) ||
+            !parse_kv(tok[3], "redirects", scan.redirects_followed) ||
+            !parse_kv(tok[4], "retries", scan.retries) ||
+            !parse_kv_bool(tok[5], "recovered", scan.recovered_by_retry) ||
+            !parse_kv(tok[6], "attempts_truncated", scan.attempts_truncated)) {
+            return std::nullopt;
+        }
+        const auto error = parse_kv_token(tok[7], "error");
+        if (!error || !parse_kv_bool(tok[8], "response", has_response) ||
+            !parse_kv(tok[9], "status", status) || !parse_kv(tok[10], "body", body_bytes)) {
+            return std::nullopt;
+        }
+        const auto location = parse_kv_token(tok[11], "location");
+        const auto server = parse_kv_token(tok[12], "server");
+        if (!location || !server || !parse_kv(tok[13], "attempts", attempt_count) ||
+            !parse_kv(tok[14], "connections", connection_count)) {
+            return std::nullopt;
+        }
+        scan.error = *error;
+        if (has_response) {
+            ResponseInfo response;
+            response.status = static_cast<int>(status);
+            response.body_bytes = static_cast<std::size_t>(body_bytes);
+            response.location = *location;
+            response.server_name = *server;
+            scan.final_response = response;
+        }
+
+        scan.attempts.reserve(static_cast<std::size_t>(attempt_count));
+        for (std::uint64_t a = 0; a < attempt_count; ++a) {
+            const auto attempt_line = cur.line();
+            if (!attempt_line) return std::nullopt;
+            const auto atok = split_tokens(*attempt_line);
+            if (atok.size() != 6 || atok[0] != "attempt") return std::nullopt;
+            DomainScan::AttemptRecord attempt;
+            long long hop = 0;
+            long long retry = 0;
+            std::uint64_t outcome = 0;
+            long long backoff_ns = 0;
+            std::uint64_t fault = 0;
+            if (!parse_kv(atok[1], "hop", hop) || !parse_kv(atok[2], "retry", retry) ||
+                !parse_kv(atok[3], "outcome", outcome) ||
+                !parse_kv(atok[4], "backoff_ns", backoff_ns) ||
+                !parse_kv(atok[5], "fault", fault)) {
+                return std::nullopt;
+            }
+            if (outcome >= qlog::kConnectionOutcomeCount ||
+                fault >= faults::kServerFaultModeCount) {
+                return std::nullopt;
+            }
+            attempt.redirect_hop = static_cast<int>(hop);
+            attempt.retry = static_cast<int>(retry);
+            attempt.outcome = static_cast<qlog::ConnectionOutcome>(outcome);
+            attempt.backoff = util::Duration::nanos(backoff_ns);
+            attempt.server_fault = static_cast<faults::ServerFaultMode>(fault);
+            scan.attempts.push_back(attempt);
+        }
+
+        scan.connections.reserve(static_cast<std::size_t>(connection_count));
+        for (std::uint64_t c = 0; c < connection_count; ++c) {
+            const auto raw = parse_length_block(cur, "trace");
+            if (!raw) return std::nullopt;
+            auto trace = qlog::parse_jsonl(std::string{*raw});
+            if (!trace) return std::nullopt;
+            scan.connections.push_back(std::move(*trace));
+        }
+
+        record.scans.push_back(std::move(scan));
+    }
+
+    const auto telemetry = parse_length_block(cur, "telemetry");
+    if (!telemetry || !cur.done()) return std::nullopt;
+    record.telemetry_snapshot = std::string{*telemetry};
+    return record;
+}
+
+// ---------------------------------------------------------------------------
+// Record framing
+
+std::string frame_record(const std::string& payload) {
+    char head[48];
+    std::snprintf(head, sizeof head, "#rec %zu %08x\n", payload.size(),
+                  util::crc32(payload));
+    return head + payload;
+}
+
+namespace {
+
+/// One parsed frame: payload view plus the offset just past the frame.
+struct Frame {
+    std::string_view payload;
+    std::size_t end = 0;
+};
+
+[[nodiscard]] std::optional<Frame> next_frame(std::string_view content, std::size_t pos) {
+    if (content.substr(pos, kFrameMarker.size()) != kFrameMarker) return std::nullopt;
+    const auto nl = content.find('\n', pos);
+    if (nl == std::string_view::npos) return std::nullopt;
+    const auto head = split_tokens(content.substr(pos, nl - pos));
+    std::uint64_t len = 0;
+    if (head.size() != 3 || !parse_number(head[1], len)) return std::nullopt;
+    std::uint32_t crc = 0;
+    {
+        const auto tok = head[2];
+        const auto [ptr, ec] =
+            std::from_chars(tok.data(), tok.data() + tok.size(), crc, 16);
+        if (ec != std::errc{} || ptr != tok.data() + tok.size()) return std::nullopt;
+    }
+    const std::size_t body_start = nl + 1;
+    if (content.size() - body_start < len) return std::nullopt;
+    Frame frame;
+    frame.payload = content.substr(body_start, static_cast<std::size_t>(len));
+    frame.end = body_start + static_cast<std::size_t>(len);
+    if (util::crc32(frame.payload) != crc) return std::nullopt;
+    return frame;
+}
+
+struct SegmentFile {
+    std::size_t index = 0;
+    std::filesystem::path path;
+    bool open = false;
+};
+
+[[nodiscard]] std::vector<SegmentFile> list_segments(const std::filesystem::path& dir) {
+    std::vector<SegmentFile> out;
+    if (!std::filesystem::is_directory(dir)) return out;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (!entry.is_regular_file()) continue;
+        const auto name = entry.path().filename().string();
+        if (name.rfind(kSegmentPrefix, 0) != 0) continue;
+        SegmentFile seg;
+        seg.path = entry.path();
+        std::string_view rest = std::string_view{name}.substr(std::strlen(kSegmentPrefix));
+        if (rest.ends_with(kOpenSuffix)) {
+            seg.open = true;
+            rest.remove_suffix(std::strlen(kOpenSuffix));
+        }
+        if (!rest.ends_with(kSegmentSuffix)) continue;
+        rest.remove_suffix(std::strlen(kSegmentSuffix));
+        std::uint64_t index = 0;
+        if (!parse_number(rest, index)) continue;
+        seg.index = static_cast<std::size_t>(index);
+        out.push_back(std::move(seg));
+    }
+    std::sort(out.begin(), out.end(), [](const SegmentFile& a, const SegmentFile& b) {
+        // Sealed before open at the same index (sealed is the later, durable
+        // state; a leftover open twin is a crash artifact to ignore).
+        return a.index != b.index ? a.index < b.index : !a.open && b.open;
+    });
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](const SegmentFile& a, const SegmentFile& b) {
+                              return a.index == b.index;
+                          }),
+              out.end());
+    return out;
+}
+
+[[nodiscard]] std::string read_whole_file(const std::filesystem::path& path) {
+    std::ifstream in{path, std::ios::binary};
+    std::string content;
+    if (!in) return content;
+    content.assign(std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{});
+    return content;
+}
+
+/// Shared record walk for replay_journal and JournalWriter attach: parses
+/// intact records and reports where (if anywhere) the journal tears.
+struct Walk {
+    ReplayResult replay;
+    bool torn = false;
+    std::size_t tear_segment = 0;  ///< index into `segments` when torn
+    std::uint64_t tear_offset = 0;
+    std::vector<SegmentFile> segments;
+};
+
+[[nodiscard]] Walk walk_journal(const std::filesystem::path& dir) {
+    Walk walk;
+    walk.segments = list_segments(dir);
+    bool expect_header = true;
+    for (std::size_t s = 0; s < walk.segments.size(); ++s) {
+        const std::string content = read_whole_file(walk.segments[s].path);
+        std::size_t pos = 0;
+        while (pos < content.size()) {
+            const auto frame = next_frame(content, pos);
+            bool ok = frame.has_value();
+            if (ok) {
+                if (expect_header) {
+                    const auto header = parse_header(frame->payload);
+                    if (header) {
+                        walk.replay.header = *header;
+                        walk.replay.has_header = true;
+                        expect_header = false;
+                    } else {
+                        ok = false;
+                    }
+                } else {
+                    auto record = parse_chunk_record(frame->payload);
+                    // Appends happen in ascending chunk order on the merge
+                    // thread; anything else is corruption.
+                    if (record && record->chunk_index == walk.replay.chunks.size()) {
+                        walk.replay.chunks.push_back(std::move(*record));
+                    } else {
+                        ok = false;
+                    }
+                }
+            }
+            if (!ok) {
+                walk.torn = true;
+                walk.tear_segment = s;
+                walk.tear_offset = pos;
+                walk.replay.torn_bytes_discarded += content.size() - pos;
+                for (std::size_t later = s + 1; later < walk.segments.size(); ++later) {
+                    walk.replay.torn_bytes_discarded +=
+                        std::filesystem::file_size(walk.segments[later].path);
+                }
+                return walk;
+            }
+            pos = frame->end;
+        }
+    }
+    return walk;
+}
+
+}  // namespace
+
+ReplayResult replay_journal(const std::filesystem::path& dir) {
+    return walk_journal(dir).replay;
+}
+
+// ---------------------------------------------------------------------------
+// JournalWriter
+
+JournalWriter::JournalWriter(std::filesystem::path dir, const CampaignHeader& header,
+                             Mode mode, JournalOptions options)
+    : dir_{std::move(dir)}, options_{options} {
+    if (options_.segment_bytes == 0) {
+        throw std::invalid_argument("journal: segment_bytes must be >= 1");
+    }
+    std::filesystem::create_directories(dir_);
+
+    const auto start_fresh = [&] {
+        for (const auto& seg : list_segments(dir_)) std::filesystem::remove(seg.path);
+        // A leftover open twin of a sealed segment is dropped by
+        // list_segments' dedup; sweep it explicitly too.
+        for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+            const auto name = entry.path().filename().string();
+            if (name.rfind(kSegmentPrefix, 0) == 0) std::filesystem::remove(entry.path());
+        }
+        open_segment(0, /*truncate=*/true);
+        append_record(serialize_header(header));
+    };
+
+    if (mode == Mode::fresh) {
+        start_fresh();
+        return;
+    }
+
+    const Walk walk = walk_journal(dir_);
+    if (!walk.replay.has_header) {
+        // Nothing intact (missing, empty, or torn before the first record):
+        // attach degenerates to a fresh journal.
+        start_fresh();
+        return;
+    }
+    if (!(walk.replay.header == header)) {
+        throw std::invalid_argument(
+            "journal: attach header mismatch — this journal belongs to a different "
+            "campaign (seed/week/family/chunking/population differ)");
+    }
+
+    if (walk.torn) {
+        // Atomic tail repair: the intact prefix of the tear segment is
+        // published under the segment's OPEN name via write-temp + rename,
+        // then every later segment (pure torn bytes) is dropped.
+        const SegmentFile& tear = walk.segments[walk.tear_segment];
+        const std::string content = read_whole_file(tear.path);
+        const std::string prefix =
+            content.substr(0, static_cast<std::size_t>(walk.tear_offset));
+        const auto target = open_path(dir_, tear.index);
+        if (!util::write_file_atomic(target, prefix)) {
+            throw std::runtime_error{"journal: cannot repair torn tail in " +
+                                     dir_.string()};
+        }
+        if (!tear.open) std::filesystem::remove(tear.path);
+        for (std::size_t later = walk.tear_segment + 1; later < walk.segments.size();
+             ++later) {
+            std::filesystem::remove(walk.segments[later].path);
+        }
+        open_segment(tear.index, /*truncate=*/false);
+        current_bytes_ = prefix.size();
+        return;
+    }
+
+    const SegmentFile& last = walk.segments.back();
+    if (last.open) {
+        open_segment(last.index, /*truncate=*/false);
+        current_bytes_ = static_cast<std::size_t>(std::filesystem::file_size(last.path));
+    } else {
+        open_segment(last.index + 1, /*truncate=*/true);
+    }
+}
+
+JournalWriter::~JournalWriter() {
+    try {
+        close();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+}
+
+void JournalWriter::open_segment(std::size_t index, bool truncate) {
+    out_.open(open_path(dir_, index),
+              std::ios::binary | (truncate ? std::ios::trunc : std::ios::app));
+    if (!out_) {
+        throw std::runtime_error{"journal: cannot open segment in " + dir_.string()};
+    }
+    segment_index_ = index;
+    current_bytes_ = 0;
+}
+
+void JournalWriter::seal_current_segment() {
+    if (!out_.is_open()) return;
+    out_.flush();
+    const bool write_failed = !out_;
+    out_.close();
+    if (write_failed) {
+        throw std::runtime_error{"journal: write failure while sealing segment in " +
+                                 dir_.string()};
+    }
+    const auto from = open_path(dir_, segment_index_);
+    (void)util::fsync_file(from);
+    if (!util::rename_durable(from, sealed_path(dir_, segment_index_))) {
+        throw std::runtime_error{"journal: cannot seal segment in " + dir_.string()};
+    }
+    ++segments_sealed_;
+}
+
+void JournalWriter::append_record(const std::string& payload) {
+    if (!out_.is_open()) open_segment(segment_index_, /*truncate=*/false);
+    const std::string framed = frame_record(payload);
+    out_ << framed;
+    // One flush per record: a crash tears at most the record being written.
+    out_.flush();
+    if (!out_) {
+        throw std::runtime_error{"journal: append failed in " + dir_.string()};
+    }
+    current_bytes_ += framed.size();
+    ++records_appended_;
+    if (current_bytes_ >= options_.segment_bytes) {
+        seal_current_segment();
+        open_segment(segment_index_ + 1, /*truncate=*/true);
+    }
+}
+
+void JournalWriter::append_chunk(const ChunkRecord& record) {
+    append_record(serialize_chunk_record(record));
+}
+
+void JournalWriter::close() { seal_current_segment(); }
+
+}  // namespace spinscope::scanner

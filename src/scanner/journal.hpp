@@ -1,0 +1,162 @@
+// spinscope/scanner/journal.hpp
+//
+// Crash-safe campaign journal: an append-only record log that lets a killed
+// sweep resume without rescanning finished work (DESIGN.md §11).
+//
+// The paper's sweeps run for days over >200 M domains; the repro's campaigns
+// are long-running too, and a crash that forfeits hours of finished scans is
+// an operational non-starter. The journal records every merged chunk of
+// DomainScans (plus the chunk's telemetry snapshot) as one framed,
+// checksummed record. Records are appended on the MERGE thread in ascending
+// chunk order, so an intact journal always holds a contiguous chunk prefix
+// of the campaign — exactly the resume invariant Campaign::resume needs.
+//
+// Format. A journal is a directory of segments:
+//
+//   segment-00000.jsonl        sealed (complete, fsynced, atomically renamed)
+//   segment-00002.jsonl.open   the active tail segment
+//
+// Each record is framed as
+//
+//   #rec <payload_bytes> <crc32-hex>\n<payload>
+//
+// where the CRC-32 (IEEE, reflected) covers exactly the payload bytes.
+// Records never span segments. Record 0 of segment 0 is the campaign header
+// (seed, week, family, chunk geometry, domain count); every later record is
+// one chunk. A crash can tear at most the record being appended: replay
+// stops at the first frame whose length, checksum or body fails to parse
+// and reports everything from there on as the torn tail, which the writer
+// discards via write-to-temp + atomic rename before appending again.
+
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scanner/campaign.hpp"
+
+namespace spinscope::scanner {
+
+/// Identity of the campaign a journal belongs to. Resume refuses to mix
+/// journals across campaigns: every field here changes the scan stream, so
+/// replaying records produced under different options would silently corrupt
+/// the output.
+struct CampaignHeader {
+    std::uint64_t seed = 0;
+    int week = 0;
+    bool ipv6 = false;
+    std::size_t chunk_domains = 0;
+    std::size_t domain_count = 0;
+    /// Whether the journaling campaign had a metrics registry attached (chunk
+    /// records then carry telemetry snapshots).
+    bool has_telemetry = false;
+
+    friend bool operator==(const CampaignHeader&, const CampaignHeader&) = default;
+};
+
+/// One journaled work chunk: the scans of its domains in domain-id order,
+/// the chunk-private telemetry snapshot (telemetry::snapshot form; empty
+/// when the campaign ran without a registry), and — for chunks the
+/// supervisor quarantined — the failure note (scans are then placeholders
+/// with DomainScan::error set).
+struct ChunkRecord {
+    std::size_t chunk_index = 0;
+    bool quarantined = false;
+    std::string quarantine_error;
+    std::vector<DomainScan> scans;
+    std::string telemetry_snapshot;
+};
+
+/// Journal knobs.
+struct JournalOptions {
+    /// Segment rotation threshold: the active segment is sealed and a new one
+    /// opened once its payload size reaches this many bytes.
+    std::size_t segment_bytes = 4u << 20;
+};
+
+/// Everything replay_journal recovered from a journal directory.
+struct ReplayResult {
+    /// False when the directory holds no intact header record (missing,
+    /// empty, or torn before the first frame) — resume then starts fresh.
+    bool has_header = false;
+    CampaignHeader header;
+    /// Intact chunk records in append order. Because appends happen in
+    /// ascending chunk order, this is a contiguous prefix 0..N-1 of the
+    /// campaign's chunks.
+    std::vector<ChunkRecord> chunks;
+    /// Bytes after the last intact record (torn tail + anything behind it).
+    std::uint64_t torn_bytes_discarded = 0;
+};
+
+/// Reads every intact record of the journal at `dir`. Never modifies the
+/// directory. Replay stops at the first frame that fails length, checksum
+/// or body validation; everything from that byte on (including any later
+/// segments) counts as torn. A missing or empty directory yields an empty
+/// result with has_header == false.
+[[nodiscard]] ReplayResult replay_journal(const std::filesystem::path& dir);
+
+/// Appends campaign records crash-safely. All methods throw
+/// std::runtime_error on I/O failure.
+class JournalWriter {
+public:
+    enum class Mode {
+        /// Start a new journal: create `dir`, remove any previous segments,
+        /// write `header` as record 0. Used by Campaign::run — a fresh run
+        /// rescans everything, so stale records must not survive.
+        fresh,
+        /// Continue an interrupted journal: validate that the stored header
+        /// equals `header` (std::invalid_argument otherwise), repair the
+        /// torn tail atomically (intact prefix → temp file → rename), drop
+        /// any segments past the tear, and append after the last intact
+        /// record. An empty directory degenerates to `fresh`.
+        attach,
+    };
+
+    JournalWriter(std::filesystem::path dir, const CampaignHeader& header, Mode mode,
+                  JournalOptions options = {});
+    ~JournalWriter();
+
+    JournalWriter(const JournalWriter&) = delete;
+    JournalWriter& operator=(const JournalWriter&) = delete;
+
+    /// Appends one chunk record and flushes it (a crash after append can
+    /// tear at most a LATER record). Rolls the segment when full.
+    void append_chunk(const ChunkRecord& record);
+
+    /// Seals the active segment (fsync + atomic rename to its final name).
+    /// Idempotent; also run by the destructor (which swallows errors).
+    void close();
+
+    [[nodiscard]] std::uint64_t records_appended() const noexcept { return records_appended_; }
+    [[nodiscard]] std::uint64_t segments_sealed() const noexcept { return segments_sealed_; }
+
+private:
+    void open_segment(std::size_t index, bool truncate);
+    void seal_current_segment();
+    void append_record(const std::string& payload);
+
+    std::filesystem::path dir_;
+    JournalOptions options_;
+    std::ofstream out_;
+    std::size_t segment_index_ = 0;  ///< index of the ACTIVE segment
+    std::size_t current_bytes_ = 0;  ///< bytes written to the active segment
+    std::uint64_t records_appended_ = 0;
+    std::uint64_t segments_sealed_ = 0;
+};
+
+/// Serialization of one record payload (exposed for tests and tooling; the
+/// writer/replayer use these internally). parse_* return nullopt on any
+/// malformed input and never throw on bad bytes.
+[[nodiscard]] std::string serialize_header(const CampaignHeader& header);
+[[nodiscard]] std::optional<CampaignHeader> parse_header(std::string_view payload);
+[[nodiscard]] std::string serialize_chunk_record(const ChunkRecord& record);
+[[nodiscard]] std::optional<ChunkRecord> parse_chunk_record(std::string_view payload);
+
+/// Frames `payload` as one journal record (`#rec <len> <crc>\n` + payload).
+[[nodiscard]] std::string frame_record(const std::string& payload);
+
+}  // namespace spinscope::scanner

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/rng.hpp"
 
 namespace spinscope::scanner {
 
@@ -89,6 +92,125 @@ void run_sharded(const ShardConfig& config, const ShardPlan& plan,
 
     join_all();
     if (failure != nullptr) std::rethrow_exception(failure);
+}
+
+SupervisionReport run_supervised(const ShardConfig& config, const ShardPlan& plan,
+                                 const SupervisorConfig& supervisor,
+                                 const std::function<void(std::size_t chunk)>& scan,
+                                 const std::function<void(std::size_t chunk)>& merge,
+                                 const std::function<void(const ChunkFailure&)>& quarantine) {
+    config.validate();
+    supervisor.restart.validate();
+    SupervisionReport report;
+    const std::size_t chunks = plan.chunk_count();
+    if (chunks == 0) return report;
+
+    const std::size_t workers =
+        std::min<std::size_t>(config.resolved_threads(), chunks);
+
+    enum : char { kPending = 0, kScanned = 1, kQuarantined = 2 };
+
+    std::mutex mu;
+    std::condition_variable chunk_done;
+    std::vector<char> done(chunks, kPending);     // guarded by mu
+    std::vector<ChunkFailure> failures(chunks);   // slot c published with done[c]
+    std::exception_ptr failure;                   // guarded by mu; merge/quarantine only
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> cancelled{false};
+    std::atomic<std::uint64_t> restarts{0};
+
+    const auto fail_with_current_exception = [&] {
+        cancelled.store(true, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock{mu};
+            if (!failure) failure = std::current_exception();
+        }
+        chunk_done.notify_all();
+    };
+
+    const auto worker_main = [&] {
+        while (!cancelled.load(std::memory_order_relaxed)) {
+            const std::size_t chunk = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (chunk >= chunks) return;
+            auto restart_rng =
+                faults::RetryPolicy::restart_stream(supervisor.seed, chunk);
+            ChunkFailure fail;
+            fail.chunk = chunk;
+            bool scanned = false;
+            while (!cancelled.load(std::memory_order_relaxed)) {
+                ++fail.attempts;
+                try {
+                    scan(chunk);
+                    scanned = true;
+                    break;
+                } catch (const std::exception& e) {
+                    fail.error = e.what();
+                } catch (...) {
+                    fail.error = "unknown exception";
+                }
+                if (fail.attempts >= supervisor.restart.max_attempts) break;
+                // Restart with backoff: a crash is often environmental
+                // (resource exhaustion, injected fault), so back off before
+                // re-executing instead of hammering the same chunk.
+                restarts.fetch_add(1, std::memory_order_relaxed);
+                const auto delay =
+                    supervisor.restart.backoff_delay(fail.attempts, restart_rng);
+                if (supervisor.sleep_on_restart && delay > util::Duration::zero()) {
+                    std::this_thread::sleep_for(
+                        std::chrono::nanoseconds{delay.count_nanos()});
+                }
+            }
+            {
+                std::lock_guard<std::mutex> lock{mu};
+                if (scanned) {
+                    done[chunk] = kScanned;
+                } else {
+                    failures[chunk] = std::move(fail);
+                    done[chunk] = kQuarantined;
+                }
+            }
+            chunk_done.notify_all();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) pool.emplace_back(worker_main);
+    const auto join_all = [&pool] {
+        for (auto& worker : pool) {
+            if (worker.joinable()) worker.join();
+        }
+    };
+
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+        char state = kPending;
+        {
+            std::unique_lock<std::mutex> lock{mu};
+            chunk_done.wait(lock,
+                            [&] { return done[chunk] != kPending || failure != nullptr; });
+            if (failure != nullptr) break;
+            state = done[chunk];
+        }
+        try {
+            if (state == kScanned) {
+                merge(chunk);
+            } else {
+                ++report.quarantined;
+                quarantine(failures[chunk]);
+            }
+        } catch (...) {
+            fail_with_current_exception();
+            break;
+        }
+    }
+
+    join_all();
+    report.restarts = restarts.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock{mu};
+        if (failure != nullptr) std::rethrow_exception(failure);
+    }
+    return report;
 }
 
 }  // namespace spinscope::scanner

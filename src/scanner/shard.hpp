@@ -19,8 +19,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <stdexcept>
+#include <string>
+
+#include "faults/retry_policy.hpp"
 
 namespace spinscope::scanner {
 
@@ -74,5 +78,51 @@ struct ShardPlan {
 void run_sharded(const ShardConfig& config, const ShardPlan& plan,
                  const std::function<void(std::size_t chunk)>& scan,
                  const std::function<void(std::size_t chunk)>& merge);
+
+/// Why one chunk ended up quarantined: the last exception message and how
+/// many scan executions were attempted before the supervisor gave up.
+struct ChunkFailure {
+    std::size_t chunk = 0;
+    int attempts = 0;
+    std::string error;
+};
+
+/// Supervision knobs for run_supervised.
+struct SupervisorConfig {
+    /// Restart schedule for a chunk whose scan threw: `restart.max_attempts`
+    /// is the TOTAL number of scan executions per chunk (1 = never restart);
+    /// backoff between executions follows the policy, drawn from
+    /// faults::RetryPolicy::restart_stream(seed, chunk) so restart jitter
+    /// never touches any domain's scan stream.
+    faults::RetryPolicy restart;
+    /// Keys the restart-jitter sub-streams (normally the campaign seed).
+    std::uint64_t seed = 0;
+    /// When false, restart backoffs are computed (burning the same RNG
+    /// draws) but not slept — tests use this to stay fast.
+    bool sleep_on_restart = true;
+};
+
+/// What the supervisor observed across the whole run.
+struct SupervisionReport {
+    /// Scan re-executions performed after a throw (restarts, not failures).
+    std::uint64_t restarts = 0;
+    /// Chunks that exhausted their restart budget and were quarantined.
+    std::uint64_t quarantined = 0;
+};
+
+/// run_sharded with worker supervision: a chunk whose `scan` throws is
+/// retried in place up to `supervisor.restart.max_attempts` total executions
+/// (with jittered backoff slept on the worker thread); a chunk that exhausts
+/// the budget is QUARANTINED instead of cancelling the run — `quarantine(f)`
+/// is invoked for it on the calling thread, in the same ascending chunk
+/// order as `merge`, and the run completes degraded. `scan` must therefore
+/// be restartable: re-executing it for the same chunk must fully overwrite
+/// the chunk's result slot. A throwing `merge` or `quarantine` is still
+/// fatal exactly as in run_sharded (cancels, joins, rethrows).
+SupervisionReport run_supervised(const ShardConfig& config, const ShardPlan& plan,
+                                 const SupervisorConfig& supervisor,
+                                 const std::function<void(std::size_t chunk)>& scan,
+                                 const std::function<void(std::size_t chunk)>& merge,
+                                 const std::function<void(const ChunkFailure&)>& quarantine);
 
 }  // namespace spinscope::scanner

@@ -1,9 +1,11 @@
 #include "telemetry/export.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 
+#include "util/atomic_file.hpp"
 #include "util/format.hpp"
 
 namespace spinscope::telemetry {
@@ -113,27 +115,23 @@ std::string csv_impl(const MetricsRegistry& registry, bool deterministic_only) {
         out += value;
         out.push_back('\n');
     };
+    const auto excluded = [deterministic_only](const std::string& name) {
+        return deterministic_only &&
+               (is_wall_clock_metric(name) || is_chunk_geometry_metric(name) ||
+                is_recovery_metric(name));
+    };
     for (const auto& [name, counter] : registry.counters()) {
-        if (deterministic_only &&
-            (is_wall_clock_metric(name) || is_chunk_geometry_metric(name))) {
-            continue;
-        }
+        if (excluded(name)) continue;
         std::string v;
         append_u64(v, counter->value());
         row("counter", name, "value", v);
     }
     for (const auto& [name, gauge] : registry.gauges()) {
-        if (deterministic_only &&
-            (is_wall_clock_metric(name) || is_chunk_geometry_metric(name))) {
-            continue;
-        }
+        if (excluded(name)) continue;
         row("gauge", name, "value", format_value(gauge->value()));
     }
     for (const auto& [name, hist] : registry.histograms()) {
-        if (deterministic_only &&
-            (is_wall_clock_metric(name) || is_chunk_geometry_metric(name))) {
-            continue;
-        }
+        if (excluded(name)) continue;
         std::string count;
         append_u64(count, hist->count());
         row("histogram", name, "count", count);
@@ -158,6 +156,10 @@ std::string csv_impl(const MetricsRegistry& registry, bool deterministic_only) {
 
 bool is_chunk_geometry_metric(const std::string& name) {
     return name.rfind("bytes.pool", 0) == 0;
+}
+
+bool is_recovery_metric(const std::string& name) {
+    return name.rfind("campaign.", 0) == 0;
 }
 
 bool is_wall_clock_metric(const std::string& name) {
@@ -194,10 +196,158 @@ std::string render_table(const MetricsRegistry& registry) {
 }
 
 bool write_json_file(const MetricsRegistry& registry, const std::string& path) {
-    std::ofstream out{path, std::ios::trunc};
-    if (!out) return false;
-    out << to_json(registry) << '\n';
-    return static_cast<bool>(out);
+    return util::write_file_atomic(path, to_json(registry) + "\n");
+}
+
+namespace {
+
+/// %.17g: the shortest format guaranteed to round-trip every IEEE-754
+/// double through from_chars exactly — snapshot values must survive a
+/// write/parse cycle bit for bit, not just "close enough".
+void append_exact_double(std::string& out, double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+bool parse_u64(std::string_view token, std::uint64_t& out) {
+    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), out);
+    return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+bool parse_exact_double(std::string_view token, double& out) {
+    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), out);
+    return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+}  // namespace
+
+std::string snapshot(const MetricsRegistry& registry) {
+    std::string out;
+    for (const auto& [name, counter] : registry.counters()) {
+        out += "counter ";
+        out += name;
+        out.push_back(' ');
+        append_u64(out, counter->value());
+        out.push_back('\n');
+    }
+    for (const auto& [name, gauge] : registry.gauges()) {
+        out += "gauge ";
+        out += name;
+        out += gauge->has_value() ? " 1 " : " 0 ";
+        append_exact_double(out, gauge->value());
+        out.push_back('\n');
+    }
+    for (const auto& [name, hist] : registry.histograms()) {
+        out += "hist ";
+        out += name;
+        out.push_back(' ');
+        append_exact_double(out, hist->spec().min_value);
+        out.push_back(' ');
+        append_exact_double(out, hist->spec().factor);
+        out.push_back(' ');
+        append_u64(out, hist->spec().bucket_count);
+        out.push_back(' ');
+        append_u64(out, hist->count());
+        out.push_back(' ');
+        append_exact_double(out, hist->sum());
+        out.push_back(' ');
+        // Internal min_/max_ are only meaningful when count > 0; min()/max()
+        // already normalize the empty case to 0, which restore() re-applies.
+        append_exact_double(out, hist->min());
+        out.push_back(' ');
+        append_exact_double(out, hist->max());
+        for (const auto bucket : hist->buckets()) {
+            out.push_back(' ');
+            append_u64(out, bucket);
+        }
+        out.push_back('\n');
+    }
+    return out;
+}
+
+std::optional<MetricsRegistry> parse_snapshot(const std::string& text) {
+    MetricsRegistry registry;
+    std::istringstream in{text};
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        std::istringstream fields{line};
+        std::string kind;
+        std::string name;
+        if (!(fields >> kind >> name)) return std::nullopt;
+        if (kind == "counter") {
+            std::string value;
+            std::string extra;
+            if (!(fields >> value) || fields >> extra) return std::nullopt;
+            std::uint64_t v = 0;
+            if (!parse_u64(value, v)) return std::nullopt;
+            registry.counter(name).add(v);
+        } else if (kind == "gauge") {
+            std::string has;
+            std::string value;
+            std::string extra;
+            if (!(fields >> has >> value) || fields >> extra) return std::nullopt;
+            double v = 0.0;
+            if ((has != "0" && has != "1") || !parse_exact_double(value, v)) {
+                return std::nullopt;
+            }
+            // A never-set gauge is registered but keeps has_value() false, so
+            // a later merge_from treats it exactly like the original.
+            if (has == "1") {
+                registry.gauge(name).set(v);
+            } else {
+                (void)registry.gauge(name);
+            }
+        } else if (kind == "hist") {
+            std::string min_value;
+            std::string factor;
+            std::string bucket_count;
+            std::string count;
+            std::string sum;
+            std::string min;
+            std::string max;
+            if (!(fields >> min_value >> factor >> bucket_count >> count >> sum >> min >>
+                  max)) {
+                return std::nullopt;
+            }
+            HistogramSpec spec;
+            std::uint64_t buckets = 0;
+            std::uint64_t recorded = 0;
+            double sum_v = 0.0;
+            double min_v = 0.0;
+            double max_v = 0.0;
+            if (!parse_exact_double(min_value, spec.min_value) ||
+                !parse_exact_double(factor, spec.factor) || !parse_u64(bucket_count, buckets) ||
+                !parse_u64(count, recorded) || !parse_exact_double(sum, sum_v) ||
+                !parse_exact_double(min, min_v) || !parse_exact_double(max, max_v)) {
+                return std::nullopt;
+            }
+            if (spec.min_value <= 0.0 || spec.factor <= 1.0 || buckets == 0 ||
+                buckets > 4096) {
+                return std::nullopt;
+            }
+            spec.bucket_count = static_cast<std::size_t>(buckets);
+            std::vector<std::uint64_t> bucket_counts;
+            bucket_counts.reserve(spec.bucket_count);
+            std::string bucket;
+            while (fields >> bucket) {
+                std::uint64_t b = 0;
+                if (!parse_u64(bucket, b)) return std::nullopt;
+                bucket_counts.push_back(b);
+            }
+            if (bucket_counts.size() != spec.bucket_count) return std::nullopt;
+            try {
+                registry.histogram(name, spec).restore(recorded, sum_v, min_v, max_v,
+                                                       bucket_counts);
+            } catch (const std::invalid_argument&) {
+                return std::nullopt;
+            }
+        } else {
+            return std::nullopt;
+        }
+    }
+    return registry;
 }
 
 }  // namespace spinscope::telemetry

@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "telemetry/metrics.hpp"
@@ -44,6 +45,14 @@ namespace spinscope::telemetry {
 /// for a fixed chunk size.
 [[nodiscard]] bool is_chunk_geometry_metric(const std::string& name);
 
+/// True when `name` records crash-recovery bookkeeping rather than scan
+/// results: the "campaign." prefix (journal replay counters, quarantine and
+/// worker-restart counts, DESIGN.md §11). A resumed campaign replays journal
+/// records where an uninterrupted one scans, so these counters necessarily
+/// differ between the two even though the scan output is byte-identical —
+/// the deterministic view must drop them.
+[[nodiscard]] bool is_recovery_metric(const std::string& name);
+
 /// The DETERMINISM-CONTRACT view of a registry (DESIGN.md §9): to_csv minus
 /// (a) wall-clock metrics, (b) chunk-geometry metrics (buffer-pool
 /// counters), and (c) histogram `sum` rows, whose floating-point
@@ -57,8 +66,23 @@ namespace spinscope::telemetry {
 /// Aligned text table (util::TextTable) for human consumption.
 [[nodiscard]] std::string render_table(const MetricsRegistry& registry);
 
-/// Writes to_json() to `path`. Returns false when the file cannot be
-/// opened/written.
+/// Writes to_json() to `path` atomically (util::write_file_atomic): a crash
+/// mid-export leaves the previous sidecar intact, never a torn file.
+/// Returns false when the file cannot be written.
 bool write_json_file(const MetricsRegistry& registry, const std::string& path);
+
+/// FULL-FIDELITY registry serialization for the campaign journal: a
+/// line-based text form that round-trips every instrument exactly —
+/// counters, gauges (including has-value state), histogram geometry, bucket
+/// counts and the floating-point count/sum/min/max (printed with %.17g, so
+/// the parsed doubles are bit-identical). Metric names must not contain
+/// whitespace (spinscope names are dotted identifiers). Unlike to_json this
+/// form exists to be parsed back: parse_snapshot(snapshot(r)) merged in
+/// place of r is indistinguishable from merging r itself.
+[[nodiscard]] std::string snapshot(const MetricsRegistry& registry);
+
+/// Parses a snapshot() string. Returns nullopt on any malformed line,
+/// unknown record kind or histogram-geometry inconsistency.
+[[nodiscard]] std::optional<MetricsRegistry> parse_snapshot(const std::string& text);
 
 }  // namespace spinscope::telemetry

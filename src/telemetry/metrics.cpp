@@ -57,6 +57,23 @@ void Histogram::merge_from(const Histogram& other) {
     for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
 }
 
+void Histogram::restore(std::uint64_t count, double sum, double min, double max,
+                        const std::vector<std::uint64_t>& bucket_counts) {
+    if (bucket_counts.size() != counts_.size()) {
+        throw std::invalid_argument("telemetry: histogram restore with mismatched geometry");
+    }
+    std::uint64_t bucket_total = 0;
+    for (const auto c : bucket_counts) bucket_total += c;
+    if (bucket_total != count) {
+        throw std::invalid_argument("telemetry: histogram restore bucket total != count");
+    }
+    count_ = count;
+    sum_ = sum;
+    min_ = min;
+    max_ = max;
+    counts_ = bucket_counts;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
     auto& slot = counters_[name];
     if (!slot) slot = std::make_unique<Counter>();

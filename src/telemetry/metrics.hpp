@@ -103,6 +103,13 @@ public:
     /// std::invalid_argument when the geometries differ.
     void merge_from(const Histogram& other);
 
+    /// Journal replay: overwrites the recorded state with a previously
+    /// exported snapshot (count/sum/min/max plus per-bucket counts). Throws
+    /// std::invalid_argument when `bucket_counts` does not match this
+    /// histogram's geometry or the bucket total disagrees with `count`.
+    void restore(std::uint64_t count, double sum, double min, double max,
+                 const std::vector<std::uint64_t>& bucket_counts);
+
 private:
     HistogramSpec spec_;
     std::vector<double> bounds_;  ///< bounds_[i] = min_value * factor^i

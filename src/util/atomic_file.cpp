@@ -1,0 +1,98 @@
+#include "util/atomic_file.hpp"
+
+#include <cstdio>
+#include <string>
+#include <system_error>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace spinscope::util {
+
+namespace {
+
+/// fsync a file descriptor; on platforms without fsync this degrades to a
+/// no-op success (the rename is still atomic, only power-cut durability is
+/// weakened).
+bool sync_fd(int fd) noexcept {
+#ifndef _WIN32
+    return ::fsync(fd) == 0;
+#else
+    (void)fd;
+    return true;
+#endif
+}
+
+bool sync_path(const std::filesystem::path& path, bool directory) noexcept {
+#ifndef _WIN32
+    const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+    const int fd = ::open(path.c_str(), flags);
+    if (fd < 0) return false;
+    const bool ok = sync_fd(fd);
+    ::close(fd);
+    return ok;
+#else
+    (void)path;
+    (void)directory;
+    return true;
+#endif
+}
+
+/// Temp-file name next to `path`; the PID suffix keeps concurrent writers of
+/// different processes from clobbering each other's temp files.
+std::filesystem::path temp_sibling(const std::filesystem::path& path) {
+#ifndef _WIN32
+    const long pid = static_cast<long>(::getpid());
+#else
+    const long pid = 0;
+#endif
+    std::filesystem::path temp = path;
+    temp += ".tmp." + std::to_string(pid);
+    return temp;
+}
+
+}  // namespace
+
+bool write_file_atomic(const std::filesystem::path& path, std::string_view content) {
+    const std::filesystem::path temp = temp_sibling(path);
+    std::error_code ec;
+
+    // stdio instead of ofstream: we need the file descriptor for fsync.
+    std::FILE* f = std::fopen(temp.c_str(), "wb");
+    if (f == nullptr) return false;
+    bool ok = content.empty() ||
+              std::fwrite(content.data(), 1, content.size(), f) == content.size();
+    ok = (std::fflush(f) == 0) && ok;
+#ifndef _WIN32
+    ok = ok && sync_fd(::fileno(f));
+#endif
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok) {
+        std::filesystem::remove(temp, ec);
+        return false;
+    }
+    if (!rename_durable(temp, path)) {
+        std::filesystem::remove(temp, ec);
+        return false;
+    }
+    return true;
+}
+
+bool rename_durable(const std::filesystem::path& from, const std::filesystem::path& to) {
+    std::error_code ec;
+    std::filesystem::rename(from, to, ec);
+    if (ec) return false;
+    // Persist the directory entry. Failure here is not fatal to correctness
+    // (the rename happened); report it anyway so callers can surface it.
+    const std::filesystem::path dir =
+        to.has_parent_path() ? to.parent_path() : std::filesystem::path{"."};
+    return sync_path(dir, /*directory=*/true);
+}
+
+bool fsync_file(const std::filesystem::path& path) {
+    return sync_path(path, /*directory=*/false);
+}
+
+}  // namespace spinscope::util

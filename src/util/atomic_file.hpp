@@ -1,0 +1,40 @@
+// spinscope/util/atomic_file.hpp
+//
+// Crash-safe file publication: write-to-temp + fsync + rename.
+//
+// The campaign pipeline persists state a crash must never tear — telemetry
+// sidecars, qlog dataset shards, journal segments. POSIX rename() within one
+// filesystem is atomic, so a reader (or a resumed campaign) only ever
+// observes the old file or the complete new file, never a partial write.
+// fsync-before-rename closes the remaining window where the rename survives
+// a power cut but the data it points at does not.
+
+#pragma once
+
+#include <filesystem>
+#include <string_view>
+
+namespace spinscope::util {
+
+/// Writes `content` to `path` atomically: the bytes land in a temp file next
+/// to `path` (same directory, so the rename never crosses filesystems), are
+/// flushed and fsynced, and the temp file is renamed over `path`. Returns
+/// false on any failure; the temp file is removed best-effort and `path` is
+/// left untouched (either its previous content or absent).
+[[nodiscard]] bool write_file_atomic(const std::filesystem::path& path,
+                                     std::string_view content);
+
+/// Durably renames `from` onto `to`: fsyncs `from`'s data is the caller's
+/// job (write_file_atomic does it; an append-mode writer must fsync before
+/// sealing); this performs the atomic rename and then fsyncs the containing
+/// directory so the new directory entry itself survives a crash. Returns
+/// false on failure, leaving `from` in place.
+[[nodiscard]] bool rename_durable(const std::filesystem::path& from,
+                                  const std::filesystem::path& to);
+
+/// Best-effort fsync of an already-written file by path (opens, fsyncs,
+/// closes). Used by append-mode writers before sealing a segment. Returns
+/// false when the file cannot be opened or synced.
+bool fsync_file(const std::filesystem::path& path);
+
+}  // namespace spinscope::util

@@ -97,6 +97,45 @@ TEST(Qlog, ParseRejectsBadEvent) {
     EXPECT_FALSE(parse_jsonl(text).has_value());
 }
 
+TEST(Qlog, EventBuffersAreBoundedAndTruncationRoundTrips) {
+    Trace trace;
+    trace.host = "flood.example";
+    trace.ip = "192.0.2.9";
+    PacketEvent ev;
+    ev.type = quic::PacketType::one_rtt;
+    for (std::size_t i = 0; i < kMaxTraceEventsPerDirection + 10; ++i) {
+        ev.packet_number = i;
+        trace.record_sent(ev);
+    }
+    for (std::size_t i = 0; i < 5; ++i) {
+        ev.packet_number = i;
+        trace.record_received(ev);
+    }
+    EXPECT_EQ(trace.sent.size(), kMaxTraceEventsPerDirection);
+    EXPECT_EQ(trace.received.size(), 5u);
+    EXPECT_EQ(trace.events_truncated, 10u);
+    // The last recorded event is the one that arrived at the cap boundary —
+    // truncation drops the overflow, it does not evict earlier events.
+    EXPECT_EQ(trace.sent.back().packet_number, kMaxTraceEventsPerDirection - 1);
+
+    const auto parsed = parse_jsonl(to_jsonl(trace));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->events_truncated, 10u);
+    EXPECT_EQ(parsed->sent.size(), kMaxTraceEventsPerDirection);
+}
+
+TEST(Qlog, UntruncatedTraceSerializationIsUnchanged) {
+    Trace trace;
+    trace.host = "plain.example";
+    trace.ip = "192.0.2.10";
+    // events_truncated == 0 must not appear in the serialization at all:
+    // golden fixtures from before the cap existed stay byte-identical.
+    EXPECT_EQ(to_jsonl(trace).find("truncated"), std::string::npos);
+    const auto parsed = parse_jsonl(to_jsonl(trace));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->events_truncated, 0u);
+}
+
 TEST(Qlog, EmptyTraceRoundTrips) {
     Trace trace;
     trace.host = "empty.example";

@@ -1,0 +1,629 @@
+// Crash-safe campaign suite (DESIGN.md §11): journal round-trips, torn-tail
+// detection and repair, kill-and-resume byte-identity, worker supervision
+// (restart + quarantine) and the hung-scan watchdog.
+//
+// The recovery contract under test: a campaign killed at ANY byte of its
+// journal and resumed produces byte-identical sink streams, stats and
+// deterministic telemetry to an uninterrupted run, at every thread count —
+// and a campaign whose chunks crash or hang completes degraded instead of
+// dying.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "golden.hpp"
+#include "scanner/campaign.hpp"
+#include "scanner/journal.hpp"
+#include "scanner/shard.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "web/population.hpp"
+
+namespace spinscope::scanner {
+namespace {
+
+using spinscope::testing::render_scan_stream;
+
+// ~110 domains at seed 1 — 7 chunks at the default chunk_domains=16, small
+// enough that the boundary × thread-count resume sweep stays fast.
+web::Population tiny_population() { return web::Population{{2'000'000.0, 1}}; }
+
+class JournalTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("spinscope_journal_test_" +
+                std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+                ::testing::UnitTest::GetInstance()->current_test_info()->name());
+        std::filesystem::remove_all(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::filesystem::path dir_;
+};
+
+CampaignHeader sample_header() {
+    CampaignHeader header;
+    header.seed = 0x5ca7;
+    header.week = 3;
+    header.ipv6 = true;
+    header.chunk_domains = 16;
+    header.domain_count = 110;
+    header.has_telemetry = true;
+    return header;
+}
+
+ChunkRecord sample_chunk(std::size_t index) {
+    ChunkRecord record;
+    record.chunk_index = index;
+    DomainScan scan;
+    scan.domain_id = static_cast<std::uint32_t>(100 + index);
+    scan.resolved = true;
+    scan.redirects_followed = 1;
+    scan.retries = 2;
+    scan.recovered_by_retry = true;
+    scan.attempts_truncated = 3;
+    scan.error = "weird bytes: % space\nnewline";
+    ResponseInfo response;
+    response.status = 301;
+    response.body_bytes = 12345;
+    response.location = "www.target.example";
+    response.server_name = "nginx 1.2";
+    scan.final_response = response;
+    scan.attempts.push_back(DomainScan::AttemptRecord{
+        1, 2, qlog::ConnectionOutcome::watchdog_cancelled, util::Duration::millis(7),
+        faults::ServerFaultMode::none});
+    qlog::Trace trace;
+    trace.host = "www.a.example";
+    trace.ip = "10.1.2.3";
+    trace.outcome = qlog::ConnectionOutcome::ok;
+    trace.record_sent({util::TimePoint::from_nanos(1000), quic::PacketType::initial, 0,
+                       false, 1200, true, 0});
+    trace.record_received({util::TimePoint::from_nanos(2500), quic::PacketType::one_rtt, 1,
+                           true, 600, true, 2});
+    trace.metrics.rtt_samples_ms = {1.25, 3.5};
+    trace.metrics.min_rtt_ms = 1.25;
+    trace.metrics.packets_sent = 7;
+    scan.connections.push_back(trace);
+    record.scans.push_back(std::move(scan));
+    record.telemetry_snapshot = "counter scanner.connections 5\n";
+    return record;
+}
+
+// --- Payload round-trips -----------------------------------------------------
+
+TEST_F(JournalTest, HeaderPayloadRoundTrips) {
+    const CampaignHeader header = sample_header();
+    const auto parsed = parse_header(serialize_header(header));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(*parsed == header);
+
+    EXPECT_FALSE(parse_header("").has_value());
+    EXPECT_FALSE(parse_header("campaign seed=1\n").has_value());
+    EXPECT_FALSE(parse_header("chunk index=0\n").has_value());
+}
+
+TEST_F(JournalTest, ChunkPayloadRoundTripsIncludingHostileStrings) {
+    const ChunkRecord record = sample_chunk(4);
+    const std::string payload = serialize_chunk_record(record);
+    const auto parsed = parse_chunk_record(payload);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->chunk_index, 4u);
+    EXPECT_FALSE(parsed->quarantined);
+    ASSERT_EQ(parsed->scans.size(), 1u);
+    const DomainScan& scan = parsed->scans[0];
+    EXPECT_EQ(scan.domain_id, 104u);
+    EXPECT_TRUE(scan.resolved);
+    EXPECT_EQ(scan.redirects_followed, 1u);
+    EXPECT_EQ(scan.retries, 2u);
+    EXPECT_TRUE(scan.recovered_by_retry);
+    EXPECT_EQ(scan.attempts_truncated, 3u);
+    EXPECT_EQ(scan.error, "weird bytes: % space\nnewline");
+    ASSERT_TRUE(scan.final_response.has_value());
+    EXPECT_EQ(scan.final_response->status, 301);
+    EXPECT_EQ(scan.final_response->body_bytes, 12345u);
+    EXPECT_EQ(scan.final_response->location, "www.target.example");
+    EXPECT_EQ(scan.final_response->server_name, "nginx 1.2");
+    ASSERT_EQ(scan.attempts.size(), 1u);
+    EXPECT_EQ(scan.attempts[0].outcome, qlog::ConnectionOutcome::watchdog_cancelled);
+    EXPECT_EQ(scan.attempts[0].backoff, util::Duration::millis(7));
+    ASSERT_EQ(scan.connections.size(), 1u);
+    // The trace must re-serialize to the exact bytes the journal stored —
+    // this is what makes resumed golden streams byte-identical.
+    EXPECT_EQ(qlog::to_jsonl(scan.connections[0]),
+              qlog::to_jsonl(record.scans[0].connections[0]));
+    EXPECT_EQ(parsed->telemetry_snapshot, record.telemetry_snapshot);
+
+    // A payload that survives CRC but is garbled must parse to nullopt, not
+    // crash or mis-parse.
+    EXPECT_FALSE(parse_chunk_record("").has_value());
+    EXPECT_FALSE(parse_chunk_record("chunk index=0\n").has_value());
+    std::string clipped = payload.substr(0, payload.size() / 2);
+    EXPECT_FALSE(parse_chunk_record(clipped).has_value());
+}
+
+// --- Writer / replay ---------------------------------------------------------
+
+TEST_F(JournalTest, WriterReplayRoundTripWithSegmentRotation) {
+    const CampaignHeader header = sample_header();
+    {
+        // Tiny segments force rotation: every record seals a segment.
+        JournalWriter writer{dir_, header, JournalWriter::Mode::fresh,
+                             JournalOptions{256}};
+        for (std::size_t c = 0; c < 5; ++c) writer.append_chunk(sample_chunk(c));
+        EXPECT_GE(writer.segments_sealed(), 4u);
+        writer.close();
+    }
+    std::size_t sealed = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+        const auto name = entry.path().filename().string();
+        EXPECT_TRUE(name.ends_with(".jsonl")) << name << " left unsealed after close()";
+        if (name.ends_with(".jsonl")) ++sealed;
+    }
+    EXPECT_GE(sealed, 5u);
+
+    const ReplayResult replay = replay_journal(dir_);
+    ASSERT_TRUE(replay.has_header);
+    EXPECT_TRUE(replay.header == header);
+    EXPECT_EQ(replay.torn_bytes_discarded, 0u);
+    ASSERT_EQ(replay.chunks.size(), 5u);
+    for (std::size_t c = 0; c < 5; ++c) {
+        EXPECT_EQ(replay.chunks[c].chunk_index, c);
+        EXPECT_EQ(replay.chunks[c].telemetry_snapshot, "counter scanner.connections 5\n");
+    }
+}
+
+TEST_F(JournalTest, ReplayOfMissingOrEmptyDirectoryIsEmpty) {
+    const ReplayResult missing = replay_journal(dir_ / "nope");
+    EXPECT_FALSE(missing.has_header);
+    EXPECT_TRUE(missing.chunks.empty());
+    EXPECT_EQ(missing.torn_bytes_discarded, 0u);
+}
+
+TEST_F(JournalTest, TornTailIsDetectedDiscardedAndRepaired) {
+    const CampaignHeader header = sample_header();
+    {
+        JournalWriter writer{dir_, header, JournalWriter::Mode::fresh};
+        for (std::size_t c = 0; c < 3; ++c) writer.append_chunk(sample_chunk(c));
+    }
+    // Reconstruct the crash state: the destructor sealed the segment, but a
+    // killed process leaves it under the .open name — rename it back and
+    // append half a framed record at the tail.
+    auto open_segment = dir_ / "segment-00000.jsonl.open";
+    std::filesystem::rename(dir_ / "segment-00000.jsonl", open_segment);
+    ASSERT_TRUE(std::filesystem::exists(open_segment));
+    const auto intact_size = std::filesystem::file_size(open_segment);
+    {
+        std::ofstream out{open_segment, std::ios::binary | std::ios::app};
+        const std::string torn = frame_record(serialize_chunk_record(sample_chunk(3)));
+        out << torn.substr(0, torn.size() / 2);
+    }
+
+    const ReplayResult replay = replay_journal(dir_);
+    ASSERT_TRUE(replay.has_header);
+    EXPECT_EQ(replay.chunks.size(), 3u);
+    EXPECT_GT(replay.torn_bytes_discarded, 0u);
+
+    // Attach repairs the tail (write-temp + rename) and appends cleanly.
+    {
+        JournalWriter writer{dir_, header, JournalWriter::Mode::attach};
+        EXPECT_EQ(std::filesystem::file_size(open_segment), intact_size);
+        writer.append_chunk(sample_chunk(3));
+        writer.close();
+    }
+    const ReplayResult repaired = replay_journal(dir_);
+    EXPECT_EQ(repaired.torn_bytes_discarded, 0u);
+    ASSERT_EQ(repaired.chunks.size(), 4u);
+    EXPECT_EQ(repaired.chunks[3].chunk_index, 3u);
+}
+
+TEST_F(JournalTest, ChecksumCorruptionCutsReplayAtTheCorruptRecord) {
+    const CampaignHeader header = sample_header();
+    {
+        JournalWriter writer{dir_, header, JournalWriter::Mode::fresh};
+        for (std::size_t c = 0; c < 4; ++c) writer.append_chunk(sample_chunk(c));
+        writer.close();
+    }
+    const auto segment = dir_ / "segment-00000.jsonl";
+    ASSERT_TRUE(std::filesystem::exists(segment));
+    // Flip one payload byte in the middle of the file: the CRC of that
+    // record fails, and replay must stop THERE, keeping the prefix.
+    const auto size = std::filesystem::file_size(segment);
+    {
+        std::fstream file{segment, std::ios::binary | std::ios::in | std::ios::out};
+        file.seekp(static_cast<std::streamoff>(size / 2));
+        file.put('\xff');
+    }
+    const ReplayResult replay = replay_journal(dir_);
+    ASSERT_TRUE(replay.has_header);
+    EXPECT_LT(replay.chunks.size(), 4u);
+    EXPECT_GT(replay.torn_bytes_discarded, 0u);
+    for (std::size_t c = 0; c < replay.chunks.size(); ++c) {
+        EXPECT_EQ(replay.chunks[c].chunk_index, c);
+    }
+}
+
+TEST_F(JournalTest, AttachRejectsAForeignCampaignHeader) {
+    {
+        JournalWriter writer{dir_, sample_header(), JournalWriter::Mode::fresh};
+        writer.append_chunk(sample_chunk(0));
+        writer.close();
+    }
+    CampaignHeader other = sample_header();
+    other.seed ^= 1;
+    EXPECT_THROW(JournalWriter(dir_, other, JournalWriter::Mode::attach),
+                 std::invalid_argument);
+}
+
+// --- Kill-and-resume byte-identity -------------------------------------------
+
+struct SweepResult {
+    std::string stream;                ///< concatenated render_scan_stream, sink order
+    std::vector<std::uint32_t> order;  ///< domain ids in sink order
+    CampaignStats stats;
+    std::string telemetry;  ///< telemetry::deterministic_csv
+};
+
+void expect_same_stats(const CampaignStats& a, const CampaignStats& b) {
+    EXPECT_EQ(a.domains_scanned, b.domains_scanned);
+    EXPECT_EQ(a.domains_resolved, b.domains_resolved);
+    EXPECT_EQ(a.domains_quic_ok, b.domains_quic_ok);
+    EXPECT_EQ(a.connections, b.connections);
+    EXPECT_EQ(a.redirects_followed, b.redirects_followed);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.domains_recovered_by_retry, b.domains_recovered_by_retry);
+    EXPECT_EQ(a.domains_errored, b.domains_errored);
+    EXPECT_EQ(a.outcomes, b.outcomes);
+    EXPECT_EQ(a.server_faults, b.server_faults);
+}
+
+SweepResult run_to_completion(const web::Population& population, const ScanOptions& options,
+                              bool resume) {
+    Campaign campaign{population, options};
+    telemetry::MetricsRegistry registry;
+    campaign.set_metrics(&registry);
+    SweepResult result;
+    const auto sink = [&](const web::Domain& domain, DomainScan&& scan) {
+        result.order.push_back(domain.id);
+        result.stream += render_scan_stream(scan);
+    };
+    result.stats = resume ? campaign.resume(sink) : campaign.run(sink);
+    result.telemetry = telemetry::deterministic_csv(registry);
+    return result;
+}
+
+/// Runs a journaled campaign and kills it (exception out of the sink) once
+/// `kill_after` domains have been merged; kill_after = 0 kills on the very
+/// first merge. Returns true when the kill fired (a large kill_after may let
+/// the run complete).
+bool run_and_kill(const web::Population& population, const ScanOptions& options,
+                  std::uint64_t kill_after) {
+    struct Kill {};
+    Campaign campaign{population, options};
+    telemetry::MetricsRegistry registry;
+    campaign.set_metrics(&registry);
+    std::uint64_t merged = 0;
+    try {
+        campaign.run([&](const web::Domain&, DomainScan&&) {
+            if (merged >= kill_after) throw Kill{};
+            ++merged;
+        });
+    } catch (const Kill&) {
+        return true;
+    }
+    return false;
+}
+
+TEST_F(JournalTest, ResumeAfterKillAtEveryChunkBoundaryIsByteIdentical) {
+    const web::Population population = tiny_population();
+    ScanOptions options;
+    options.retry.max_attempts = 2;  // exercise backoff streams across resume
+    const SweepResult baseline = run_to_completion(population, options, /*resume=*/false);
+    const std::size_t domain_count = baseline.order.size();
+    ASSERT_GT(domain_count, 80u);
+    const std::size_t chunk_count =
+        (domain_count + options.chunk_domains - 1) / options.chunk_domains;
+    ASSERT_GE(chunk_count, 5u);
+
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        for (std::size_t boundary = 0; boundary <= chunk_count; ++boundary) {
+            const auto journal_dir =
+                dir_ / ("boundary_" + std::to_string(threads) + "_" +
+                        std::to_string(boundary));
+            ScanOptions killed = options;
+            killed.threads = threads;
+            killed.journal_dir = journal_dir.string();
+            const std::uint64_t kill_after = boundary * options.chunk_domains;
+            const bool killed_early =
+                run_and_kill(population, killed, kill_after);
+            if (boundary < chunk_count) {
+                ASSERT_TRUE(killed_early);
+            }
+
+            const SweepResult resumed =
+                run_to_completion(population, killed, /*resume=*/true);
+            EXPECT_EQ(resumed.order, baseline.order)
+                << "threads=" << threads << " boundary=" << boundary;
+            EXPECT_EQ(resumed.stream, baseline.stream)
+                << "threads=" << threads << " boundary=" << boundary;
+            EXPECT_EQ(resumed.telemetry, baseline.telemetry)
+                << "threads=" << threads << " boundary=" << boundary;
+            expect_same_stats(resumed.stats, baseline.stats);
+        }
+    }
+}
+
+TEST_F(JournalTest, ResumeFromJournalTruncatedMidRecordIsByteIdentical) {
+    const web::Population population = tiny_population();
+    ScanOptions options;
+    const SweepResult baseline = run_to_completion(population, options, /*resume=*/false);
+
+    // A complete single-segment journal to truncate at hostile offsets.
+    const auto complete_dir = dir_ / "complete";
+    ScanOptions journaled = options;
+    journaled.journal_dir = complete_dir.string();
+    (void)run_to_completion(population, journaled, /*resume=*/false);
+    const auto sealed = complete_dir / "segment-00000.jsonl";
+    ASSERT_TRUE(std::filesystem::exists(sealed));
+    std::string bytes;
+    {
+        std::ifstream in{sealed, std::ios::binary};
+        bytes.assign(std::istreambuf_iterator<char>{in},
+                     std::istreambuf_iterator<char>{});
+    }
+
+    // Truncation corpus: mid-header, mid-record, one byte short, and a few
+    // proportional cuts. Every prefix must resume to byte-identical output —
+    // a cut before the first intact record simply rescans everything.
+    const std::size_t offsets[] = {0,
+                                   3,
+                                   bytes.size() / 7,
+                                   bytes.size() / 3,
+                                   bytes.size() / 2,
+                                   (bytes.size() * 7) / 8,
+                                   bytes.size() - 1};
+    for (const std::size_t offset : offsets) {
+        const auto trunc_dir = dir_ / ("trunc_" + std::to_string(offset));
+        std::filesystem::create_directories(trunc_dir);
+        {
+            // The truncated copy is written under the OPEN name — a sealed
+            // segment is by definition complete, a crash tears the open one.
+            std::ofstream out{trunc_dir / "segment-00000.jsonl.open",
+                              std::ios::binary | std::ios::trunc};
+            out.write(bytes.data(), static_cast<std::streamsize>(offset));
+        }
+        ScanOptions resume_options = options;
+        resume_options.journal_dir = trunc_dir.string();
+        const SweepResult resumed =
+            run_to_completion(population, resume_options, /*resume=*/true);
+        EXPECT_EQ(resumed.stream, baseline.stream) << "offset=" << offset;
+        EXPECT_EQ(resumed.telemetry, baseline.telemetry) << "offset=" << offset;
+        expect_same_stats(resumed.stats, baseline.stats);
+    }
+}
+
+TEST_F(JournalTest, ResumeOfCompleteJournalRescansNothing) {
+    const web::Population population = tiny_population();
+    ScanOptions options;
+    options.journal_dir = (dir_ / "full").string();
+    const SweepResult baseline = run_to_completion(population, options, /*resume=*/false);
+
+    std::atomic<std::size_t> chunks_scanned{0};
+    ScanOptions resume_options = options;
+    resume_options.chunk_fault_hook = [&](std::size_t) { ++chunks_scanned; };
+    const SweepResult resumed =
+        run_to_completion(population, resume_options, /*resume=*/true);
+    EXPECT_EQ(chunks_scanned.load(), 0u) << "a complete journal must replay, not rescan";
+    EXPECT_EQ(resumed.stream, baseline.stream);
+    EXPECT_EQ(resumed.telemetry, baseline.telemetry);
+    expect_same_stats(resumed.stats, baseline.stats);
+}
+
+TEST_F(JournalTest, ResumeRejectsMismatchedCampaignOptions) {
+    const web::Population population = tiny_population();
+    ScanOptions options;
+    options.journal_dir = (dir_ / "mismatch").string();
+    (void)run_to_completion(population, options, /*resume=*/false);
+
+    ScanOptions other = options;
+    other.week = 5;  // a different sweep: its scans are NOT interchangeable
+    Campaign campaign{population, other};
+    EXPECT_THROW((void)campaign.resume([](const web::Domain&, DomainScan&&) {}),
+                 std::invalid_argument);
+
+    ScanOptions no_journal;
+    Campaign without{population, no_journal};
+    EXPECT_THROW((void)without.resume([](const web::Domain&, DomainScan&&) {}),
+                 std::invalid_argument);
+}
+
+// --- Worker supervision ------------------------------------------------------
+
+TEST_F(JournalTest, TransientChunkCrashIsRestartedWithIdenticalOutput) {
+    const web::Population population = tiny_population();
+    ScanOptions options;
+    const SweepResult baseline = run_to_completion(population, options, /*resume=*/false);
+
+    ScanOptions faulty = options;
+    faulty.worker_restart.initial_backoff = util::Duration::millis(1);
+    faulty.worker_restart.max_backoff = util::Duration::millis(2);
+    std::mutex mu;
+    std::set<std::size_t> crashed_once;
+    faulty.chunk_fault_hook = [&](std::size_t chunk) {
+        std::lock_guard<std::mutex> lock{mu};
+        if (chunk == 2 && crashed_once.insert(chunk).second) {
+            throw std::runtime_error("injected transient chunk crash");
+        }
+    };
+    const SweepResult recovered = run_to_completion(population, faulty, /*resume=*/false);
+    EXPECT_EQ(recovered.stats.worker_restarts, 1u);
+    EXPECT_EQ(recovered.stats.chunks_quarantined, 0u);
+    EXPECT_EQ(recovered.stream, baseline.stream);
+    EXPECT_EQ(recovered.telemetry, baseline.telemetry);
+    expect_same_stats(recovered.stats, baseline.stats);
+}
+
+TEST_F(JournalTest, PersistentChunkCrashIsQuarantinedAndTheCampaignCompletes) {
+    const web::Population population = tiny_population();
+    ScanOptions options;
+    options.threads = 4;
+    options.worker_restart.initial_backoff = util::Duration::millis(1);
+    options.worker_restart.max_backoff = util::Duration::millis(2);
+    options.journal_dir = (dir_ / "quarantine").string();
+    options.chunk_fault_hook = [](std::size_t chunk) {
+        if (chunk == 3) throw std::runtime_error("poisoned chunk");
+    };
+    Campaign campaign{population, options};
+    telemetry::MetricsRegistry registry;
+    campaign.set_metrics(&registry);
+    std::uint64_t sink_count = 0;
+    std::uint64_t quarantined_scans = 0;
+    const CampaignStats stats =
+        campaign.run([&](const web::Domain&, DomainScan&& scan) {
+            ++sink_count;
+            if (scan.error.rfind("chunk quarantined:", 0) == 0) ++quarantined_scans;
+        });
+
+    EXPECT_EQ(stats.chunks_quarantined, 1u);
+    EXPECT_EQ(stats.domains_quarantined, options.chunk_domains);
+    EXPECT_EQ(stats.worker_restarts, 1u);  // one restart before giving up
+    EXPECT_GE(stats.domains_errored, options.chunk_domains);
+    EXPECT_EQ(stats.domains_scanned, sink_count);  // degraded but COMPLETE
+    EXPECT_EQ(quarantined_scans, options.chunk_domains);
+    const auto* quarantine_counter = registry.find_counter("campaign.quarantined_chunks");
+    ASSERT_NE(quarantine_counter, nullptr);
+    EXPECT_EQ(quarantine_counter->value(), 1u);
+
+    // The quarantine is journaled: a resume replays the degraded state
+    // instead of rescanning (and re-crashing on) the poisoned chunk.
+    ScanOptions resume_options = options;
+    resume_options.chunk_fault_hook = nullptr;
+    Campaign resumed{population, resume_options};
+    telemetry::MetricsRegistry resume_registry;
+    resumed.set_metrics(&resume_registry);
+    std::uint64_t resumed_quarantined = 0;
+    const CampaignStats resumed_stats =
+        resumed.resume([&](const web::Domain&, DomainScan&& scan) {
+            if (scan.error.rfind("chunk quarantined:", 0) == 0) ++resumed_quarantined;
+        });
+    EXPECT_EQ(resumed_stats.chunks_quarantined, 1u);
+    EXPECT_EQ(resumed_quarantined, options.chunk_domains);
+}
+
+TEST(RunSupervisedTest, QuarantinesInAscendingOrderAndKeepsMerging) {
+    const ShardConfig config{4, 1};
+    const ShardPlan plan{10, 1};
+    SupervisorConfig supervisor;
+    supervisor.restart.max_attempts = 2;
+    supervisor.restart.initial_backoff = util::Duration::zero();
+    supervisor.sleep_on_restart = false;
+    std::vector<std::string> events;  // merge-thread only
+    const SupervisionReport report = run_supervised(
+        config, plan, supervisor,
+        [&](std::size_t chunk) {
+            if (chunk == 3 || chunk == 7) throw std::runtime_error("boom");
+        },
+        [&](std::size_t chunk) { events.push_back("merge " + std::to_string(chunk)); },
+        [&](const ChunkFailure& failure) {
+            EXPECT_EQ(failure.attempts, 2);
+            EXPECT_EQ(failure.error, "boom");
+            events.push_back("quarantine " + std::to_string(failure.chunk));
+        });
+    EXPECT_EQ(report.quarantined, 2u);
+    EXPECT_EQ(report.restarts, 2u);
+    ASSERT_EQ(events.size(), 10u);
+    for (std::size_t c = 0; c < 10; ++c) {
+        const std::string expected =
+            (c == 3 || c == 7) ? "quarantine " + std::to_string(c)
+                               : "merge " + std::to_string(c);
+        EXPECT_EQ(events[c], expected);
+    }
+}
+
+TEST(RunSupervisedTest, MergeExceptionStillCancelsAndRethrows) {
+    const ShardConfig config{2, 1};
+    const ShardPlan plan{8, 1};
+    SupervisorConfig supervisor;
+    supervisor.sleep_on_restart = false;
+    EXPECT_THROW(
+        run_supervised(
+            config, plan, supervisor, [](std::size_t) {},
+            [](std::size_t chunk) {
+                if (chunk == 1) throw std::logic_error("merge failed");
+            },
+            [](const ChunkFailure&) {}),
+        std::logic_error);
+}
+
+// --- Watchdog and bounded buffers --------------------------------------------
+
+TEST(WatchdogTest, HungScanIsCancelledWithWatchdogOutcome) {
+    const web::Population population = tiny_population();
+    ScanOptions options;
+    options.retry.max_attempts = 3;
+    // Budget below one handshake timeout: every non-QUIC target's simulation
+    // is still busy when the watchdog fires.
+    options.domain_deadline = util::Duration::seconds(2);
+    Campaign campaign{population, options};
+    const CampaignStats stats = campaign.run([](const web::Domain&, DomainScan&&) {});
+    EXPECT_GT(stats.outcome(qlog::ConnectionOutcome::watchdog_cancelled), 0u);
+    // The watchdog kill is terminal for the domain: no retries follow it, so
+    // no domain records more than one watchdog_cancelled attempt... which
+    // also means the retry knob must not multiply cancelled attempts.
+    EXPECT_LE(stats.outcome(qlog::ConnectionOutcome::watchdog_cancelled),
+              stats.domains_resolved);
+}
+
+TEST(WatchdogTest, WatchdogKillStopsRetriesAndRedirects) {
+    const web::Population population = tiny_population();
+    ScanOptions options;
+    options.retry.max_attempts = 5;
+    options.domain_deadline = util::Duration::seconds(2);
+    Campaign campaign{population, options};
+    bool saw_cancelled = false;
+    (void)campaign.run([&](const web::Domain&, DomainScan&& scan) {
+        for (std::size_t i = 0; i < scan.attempts.size(); ++i) {
+            if (scan.attempts[i].outcome == qlog::ConnectionOutcome::watchdog_cancelled) {
+                saw_cancelled = true;
+                EXPECT_EQ(i + 1, scan.attempts.size())
+                    << "attempts continued after a watchdog kill";
+            }
+        }
+    });
+    EXPECT_TRUE(saw_cancelled);
+}
+
+TEST(WatchdogTest, DefaultDeadlineNeverFiresOnAHealthySweep) {
+    const web::Population population = tiny_population();
+    Campaign campaign{population, {}};
+    const CampaignStats stats = campaign.run([](const web::Domain&, DomainScan&&) {});
+    EXPECT_EQ(stats.outcome(qlog::ConnectionOutcome::watchdog_cancelled), 0u);
+}
+
+TEST(AttemptCapTest, AttemptRecordsAreBoundedAndCounted) {
+    const web::Population population = tiny_population();
+    ScanOptions options;
+    options.retry.max_attempts = 5;
+    options.max_attempt_records = 2;
+    Campaign campaign{population, options};
+    bool saw_truncation = false;
+    (void)campaign.run([&](const web::Domain&, DomainScan&& scan) {
+        EXPECT_LE(scan.attempts.size(), 2u);
+        EXPECT_LE(scan.connections.size(), 2u);
+        if (scan.attempts_truncated > 0) saw_truncation = true;
+    });
+    // ~90% of the tiny universe fails its handshake and retries 5 times —
+    // truncation must have kicked in somewhere.
+    EXPECT_TRUE(saw_truncation);
+}
+
+}  // namespace
+}  // namespace spinscope::scanner

@@ -357,5 +357,57 @@ TEST(Export, DeterministicCsvExcludesWallClockAndHistogramSums) {
     EXPECT_NE(full.find(",sum,"), std::string::npos);
 }
 
+TEST(Export, SnapshotRoundTripsEveryInstrumentExactly) {
+    MetricsRegistry registry;
+    registry.counter("scanner.connections").add(42);
+    registry.gauge("scanner.domains_per_sec").set(123.456789012345678);
+    (void)registry.gauge("netsim.queue.high_water");  // registered but never set
+    auto& hist = registry.histogram("netsim.link.delay_ms", {0.001, 2.0, 16});
+    hist.record(0.0005);  // below bucket 0 → clamped into bucket 0
+    hist.record(1.0 / 3.0);
+    hist.record(1e9);  // above the last bound → final bucket
+
+    const auto parsed = parse_snapshot(snapshot(registry));
+    ASSERT_TRUE(parsed.has_value());
+    const auto* counter = parsed->find_counter("scanner.connections");
+    ASSERT_NE(counter, nullptr);
+    EXPECT_EQ(counter->value(), 42u);
+    const auto* gauge = parsed->find_gauge("scanner.domains_per_sec");
+    ASSERT_NE(gauge, nullptr);
+    EXPECT_TRUE(gauge->has_value());
+    EXPECT_EQ(gauge->value(), 123.456789012345678);  // %.17g: bit-identical
+    const auto* unset = parsed->find_gauge("netsim.queue.high_water");
+    ASSERT_NE(unset, nullptr);
+    EXPECT_FALSE(unset->has_value()) << "never-set state must survive the round trip";
+    const auto* parsed_hist = parsed->find_histogram("netsim.link.delay_ms");
+    ASSERT_NE(parsed_hist, nullptr);
+    EXPECT_EQ(parsed_hist->count(), 3u);
+    EXPECT_EQ(parsed_hist->sum(), hist.sum());
+    EXPECT_EQ(parsed_hist->min(), 0.0005);
+    EXPECT_EQ(parsed_hist->max(), 1e9);
+    EXPECT_EQ(parsed_hist->buckets(), hist.buckets());
+    EXPECT_EQ(parsed_hist->spec().bucket_count, 16u);
+
+    // Round-tripped state must MERGE identically to the original — this is
+    // what journal replay relies on (DESIGN.md §11).
+    MetricsRegistry merged_original;
+    merged_original.merge_from(registry);
+    MetricsRegistry merged_parsed;
+    merged_parsed.merge_from(*parsed);
+    EXPECT_EQ(to_csv(merged_original), to_csv(merged_parsed));
+}
+
+TEST(Export, ParseSnapshotRejectsMalformedInput) {
+    EXPECT_TRUE(parse_snapshot("").has_value()) << "an empty snapshot is an empty registry";
+    EXPECT_FALSE(parse_snapshot("bogus kind x 1\n").has_value());
+    EXPECT_FALSE(parse_snapshot("counter a.b not_a_number\n").has_value());
+    EXPECT_FALSE(parse_snapshot("counter a.b 1 trailing\n").has_value());
+    EXPECT_FALSE(parse_snapshot("gauge a.b 2 1.5\n").has_value());  // bad has-value flag
+    // Histogram whose bucket counts disagree with its count.
+    EXPECT_FALSE(parse_snapshot("hist h 0.001 2 4 5 1.0 0.1 0.9 1 1 1 1\n").has_value());
+    // Nonsensical geometry.
+    EXPECT_FALSE(parse_snapshot("hist h -1 2 4 0 0 0 0 0 0 0 0\n").has_value());
+}
+
 }  // namespace
 }  // namespace spinscope::telemetry

@@ -1,7 +1,14 @@
-// Unit tests for util::Duration/TimePoint arithmetic and format helpers.
+// Unit tests for util::Duration/TimePoint arithmetic, format helpers, the
+// CRC-32 checksum and crash-safe file publication.
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "util/atomic_file.hpp"
+#include "util/checksum.hpp"
 #include "util/format.hpp"
 #include "util/time.hpp"
 
@@ -107,6 +114,79 @@ TEST(Format, DurationToString) {
     EXPECT_EQ(to_string(Duration::micros(12)), "12.00 us");
     EXPECT_EQ(to_string(Duration::from_ms(12.3)), "12.300 ms");
     EXPECT_EQ(to_string(Duration::seconds(3)), "3.000 s");
+}
+
+TEST(Checksum, Crc32MatchesKnownVectors) {
+    // The IEEE 802.3 check value every CRC-32 implementation must reproduce.
+    EXPECT_EQ(crc32(std::string_view{"123456789"}), 0xCBF43926u);
+    EXPECT_EQ(crc32(std::string_view{""}), 0x00000000u);
+    EXPECT_EQ(crc32(std::string_view{"a"}), 0xE8B7BE43u);
+    // constexpr: usable to fold frame checksums of literals at compile time.
+    static_assert(crc32(std::string_view{"123456789"}) == 0xCBF43926u);
+}
+
+TEST(Checksum, IncrementalUpdateEqualsOneShot) {
+    const std::string data = "the quick brown fox jumps over the lazy dog";
+    std::uint32_t state = crc32_init();
+    for (const char c : data) state = crc32_update(state, &c, 1);
+    EXPECT_EQ(crc32_final(state), crc32(std::string_view{data}));
+    // Single-bit damage changes the checksum.
+    std::string flipped = data;
+    flipped[10] ^= 0x01;
+    EXPECT_NE(crc32(std::string_view{flipped}), crc32(std::string_view{data}));
+}
+
+class AtomicFileTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("spinscope_atomic_file_test_" +
+                std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+                ::testing::UnitTest::GetInstance()->current_test_info()->name());
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    [[nodiscard]] std::string slurp(const std::filesystem::path& path) const {
+        std::ifstream in{path, std::ios::binary};
+        return {std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(AtomicFileTest, WriteCreatesAndReplacesWithoutTempDebris) {
+    const auto path = dir_ / "out.txt";
+    ASSERT_TRUE(write_file_atomic(path, "first\n"));
+    EXPECT_EQ(slurp(path), "first\n");
+    ASSERT_TRUE(write_file_atomic(path, "second, longer content\n"));
+    EXPECT_EQ(slurp(path), "second, longer content\n");
+    std::size_t entries = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+        (void)entry;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1u) << "temp file leaked next to the target";
+}
+
+TEST_F(AtomicFileTest, WriteFailureLeavesTargetUntouched) {
+    const auto path = dir_ / "no_such_subdir" / "out.txt";
+    EXPECT_FALSE(write_file_atomic(path, "data"));
+    EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST_F(AtomicFileTest, RenameDurableMovesAndFsyncFileReports) {
+    const auto from = dir_ / "a.tmp";
+    const auto to = dir_ / "a.final";
+    ASSERT_TRUE(write_file_atomic(from, "payload"));
+    EXPECT_TRUE(fsync_file(from));
+    ASSERT_TRUE(rename_durable(from, to));
+    EXPECT_FALSE(std::filesystem::exists(from));
+    EXPECT_EQ(slurp(to), "payload");
+    EXPECT_FALSE(fsync_file(dir_ / "missing"));
+    EXPECT_FALSE(rename_durable(dir_ / "missing", to));
+    EXPECT_EQ(slurp(to), "payload") << "failed rename must leave the target alone";
 }
 
 }  // namespace
