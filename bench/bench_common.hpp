@@ -12,9 +12,12 @@
 #include <cstring>
 #include <string>
 
+#include "bench/progress.hpp"
+#include "bench/trajectory.hpp"
 #include "scanner/campaign.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/atomic_file.hpp"
 
 namespace spinscope::bench {
@@ -42,6 +45,17 @@ struct Options {
     /// Resume from the journal left by a killed run (--resume; requires
     /// --journal). Output is byte-identical to an uninterrupted run.
     bool resume = false;
+    /// Flight-recorder output (--trace=FILE, off by default): run_campaign
+    /// records the campaign timeline and writes FILE (deterministic sim
+    /// spans; Perfetto/chrome://tracing loadable) plus a `.wall.json`
+    /// scheduling sidecar next to it.
+    std::string trace_path;
+    /// Live progress line every N merged domains (--progress or
+    /// --progress=N); 0 = off.
+    std::uint64_t progress_every = 0;
+    /// Perf-trajectory snapshot path (--trajectory=FILE); empty = off. See
+    /// bench/trajectory.hpp.
+    std::string trajectory_path;
 };
 
 inline Options parse_options(int argc, char** argv, std::uint64_t default_count = 0) {
@@ -65,10 +79,19 @@ inline Options parse_options(int argc, char** argv, std::uint64_t default_count 
             options.journal_dir = arg + 10;
         } else if (std::strcmp(arg, "--resume") == 0) {
             options.resume = true;
+        } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+            options.trace_path = arg + 8;
+        } else if (std::strcmp(arg, "--progress") == 0) {
+            options.progress_every = 500;
+        } else if (std::strncmp(arg, "--progress=", 11) == 0) {
+            options.progress_every = std::strtoull(arg + 11, nullptr, 10);
+        } else if (std::strncmp(arg, "--trajectory=", 13) == 0) {
+            options.trajectory_path = arg + 13;
         } else if (std::strcmp(arg, "--help") == 0) {
             std::printf(
                 "usage: %s [--scale=N] [--seed=N] [--count=N] [--csv=prefix] "
-                "[--telemetry=path|off] [--threads=N] [--journal=dir] [--resume]\n",
+                "[--telemetry=path|off] [--threads=N] [--journal=dir] [--resume] "
+                "[--trace=file] [--progress[=N]] [--trajectory=file]\n",
                 argv[0]);
             std::exit(0);
         }
@@ -81,16 +104,51 @@ inline Options parse_options(int argc, char** argv, std::uint64_t default_count 
 }
 
 /// Runs (or, with --resume, resumes) a campaign honouring the harness's
-/// journal options. Benches that drive a Campaign route it through here so
-/// every table/figure binary gets kill-and-resume for free.
+/// journal, flight-recorder and progress options. Benches that drive a
+/// Campaign route it through here so every table/figure binary gets
+/// kill-and-resume, --trace and --progress for free.
 template <typename Sink>
-scanner::CampaignStats run_campaign(const Options& options,
-                                    const scanner::Campaign& campaign, Sink&& sink) {
+scanner::CampaignStats run_campaign(const Options& options, scanner::Campaign& campaign,
+                                    Sink&& sink) {
+    telemetry::TraceRecorder trace;
+    if (!options.trace_path.empty()) campaign.set_trace(&trace);
+    ProgressReporter reporter{campaign.domain_count()};
+    if (options.progress_every > 0) {
+        campaign.set_progress(options.progress_every,
+                              [&reporter](const scanner::CampaignStats& stats) {
+                                  reporter.report(stats);
+                              });
+    }
+
+    scanner::CampaignStats stats;
     if (options.resume) {
         std::printf("resuming from journal %s\n", options.journal_dir.c_str());
-        return campaign.resume(sink);
+        stats = campaign.resume(sink);
+    } else {
+        stats = campaign.run(sink);
     }
-    return campaign.run(sink);
+
+    if (options.progress_every > 0) {
+        reporter.finish(stats);
+        campaign.set_progress(0, {});
+    }
+    if (!options.trace_path.empty()) {
+        campaign.set_trace(nullptr);
+        if (trace.write(options.trace_path)) {
+            std::printf("wrote %s (+ %s)\n", options.trace_path.c_str(),
+                        telemetry::TraceRecorder::wall_sidecar_path(options.trace_path)
+                            .c_str());
+        } else {
+            std::fprintf(stderr, "failed to write %s\n", options.trace_path.c_str());
+        }
+    }
+    return stats;
+}
+
+/// Writes the harness's --trajectory snapshot, if requested.
+inline void write_trajectory(const Options& options, const Trajectory& trajectory) {
+    if (options.trajectory_path.empty()) return;
+    write_trajectory_file(options.trajectory_path, trajectory);
 }
 
 /// Writes the run's metrics registry as a JSON sidecar next to the bench

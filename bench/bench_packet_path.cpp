@@ -2,18 +2,27 @@
 //
 // Zero-copy packet-path microbenchmarks: encode -> link -> deliver -> decode
 // throughput and, more importantly, heap allocations per unit of work. The
-// binary interposes global operator new/delete so every benchmark reports
-// allocs_per_* counters straight into the standard google-benchmark JSON
-// (--benchmark_out). Comparing the pooled and unpooled variants shows what
-// the bytes::BufferPool datagram path saves; the per-domain numbers are the
-// ones quoted against the pre-refactor baseline.
+// binary links telemetry/alloc_interpose.hpp (the shared operator new/delete
+// probe this file's private interposition was promoted into), so every
+// benchmark reports allocs_per_* counters straight into the standard
+// google-benchmark JSON (--benchmark_out). Comparing the pooled and unpooled
+// variants shows what the bytes::BufferPool datagram path saves; the
+// per-domain numbers are the ones quoted against the pre-refactor baseline.
+//
+// Beyond the google-benchmark mode, `--trajectory=FILE` runs a fixed-size
+// scan-domain measurement and writes the BENCH_packet_path.json perf
+// snapshot (see bench/trajectory.hpp) instead of the benchmark suite.
 
 #include <benchmark/benchmark.h>
 
-#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
-#include <new>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench/trajectory.hpp"
 #include "bytes/bytes.hpp"
 #include "netsim/link.hpp"
 #include "netsim/simulator.hpp"
@@ -21,43 +30,13 @@
 #include "quic/frame.hpp"
 #include "quic/packet.hpp"
 #include "scanner/campaign.hpp"
+#include "telemetry/alloc_interpose.hpp"
 #include "web/population.hpp"
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Allocation interposition
-
-std::atomic<std::uint64_t> g_alloc_count{0};
-std::atomic<std::uint64_t> g_alloc_bytes{0};
-
-struct AllocSnapshot {
-    std::uint64_t count = g_alloc_count.load(std::memory_order_relaxed);
-    std::uint64_t bytes = g_alloc_bytes.load(std::memory_order_relaxed);
-
-    [[nodiscard]] std::uint64_t count_since() const {
-        return g_alloc_count.load(std::memory_order_relaxed) - count;
-    }
-    [[nodiscard]] std::uint64_t bytes_since() const {
-        return g_alloc_bytes.load(std::memory_order_relaxed) - bytes;
-    }
-};
-
-}  // namespace
-
-void* operator new(std::size_t size) {
-    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
-    if (void* p = std::malloc(size)) return p;
-    throw std::bad_alloc{};
-}
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-
-namespace {
-
 using namespace spinscope;
+using telemetry::AllocSnapshot;
 
 // ---------------------------------------------------------------------------
 // Tight codec loop: one 1-RTT packet encoded into a (pooled) datagram,
@@ -192,6 +171,72 @@ void BM_ScanDomain(benchmark::State& state) {
 }
 BENCHMARK(BM_ScanDomain);
 
+// ---------------------------------------------------------------------------
+// Perf-trajectory mode: a fixed-count scan-domain loop (same workload as
+// BM_ScanDomain, fixed iterations instead of benchmark's adaptive search)
+// measured into the committed BENCH_packet_path.json snapshot.
+
+int run_trajectory(const std::string& path, std::uint64_t count) {
+    web::Population population{{20000.0, 20230520}};
+    scanner::ScanOptions options;
+    options.week = 57;
+    scanner::Campaign campaign{population, options};
+    std::vector<const web::Domain*> targets;
+    for (const auto& d : population.domains()) {
+        if (d.quic) targets.push_back(&d);
+    }
+    if (targets.empty()) {
+        std::fprintf(stderr, "trajectory: population has no QUIC targets\n");
+        return 1;
+    }
+
+    const AllocSnapshot before;
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t next = 0;
+    std::size_t connections = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const auto scan = campaign.scan_domain(*targets[next]);
+        connections += scan.connections.size();
+        next = (next + 1) % targets.size();
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+    const auto trajectory =
+        bench::measure_trajectory("packet_path", count, wall, before);
+    std::printf("trajectory: %llu domains, %zu connections in %.2f s\n",
+                static_cast<unsigned long long>(count), connections, wall);
+    return bench::write_trajectory_file(path, trajectory) ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): peel off --trajectory[=FILE] and
+// --trajectory_count=N before google-benchmark sees the argv (it rejects
+// unknown flags), then either run the trajectory measurement or fall through
+// to the normal benchmark suite.
+int main(int argc, char** argv) {
+    std::string trajectory_path;
+    std::uint64_t trajectory_count = 192;
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--trajectory=", 13) == 0) {
+            trajectory_path = argv[i] + 13;
+        } else if (std::strncmp(argv[i], "--trajectory_count=", 19) == 0) {
+            trajectory_count = std::strtoull(argv[i] + 19, nullptr, 10);
+        } else {
+            argv[kept++] = argv[i];
+        }
+    }
+    argc = kept;
+
+    if (!trajectory_path.empty()) {
+        return run_trajectory(trajectory_path, trajectory_count);
+    }
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

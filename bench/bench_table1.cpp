@@ -13,6 +13,9 @@
 #include "analysis/adoption.hpp"
 #include "bench/bench_common.hpp"
 #include "scanner/campaign.hpp"
+// Heap accounting for the BENCH_scale.json trajectory (this file is the
+// binary's single TU, the one place the interposer may live).
+#include "telemetry/alloc_interpose.hpp"
 #include "web/population.hpp"
 
 using namespace spinscope;
@@ -36,6 +39,8 @@ int main(int argc, char** argv) {
 
     analysis::AdoptionAggregator aggregator{population, /*ipv6=*/false};
     std::uint64_t scanned = 0;
+    const telemetry::AllocSnapshot campaign_allocs;
+    const bench::Stopwatch campaign_watch;
     const auto stats = bench::run_campaign(
         options, campaign, [&](const web::Domain& domain, scanner::DomainScan&& scan) {
             aggregator.add(domain, scan);
@@ -54,5 +59,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(scanned), watch.seconds(),
                 stats.domains_per_sec(), stats.quic_ok_rate() * 100.0);
     bench::write_telemetry(options, "table1", registry);
+    bench::write_trajectory(options,
+                            bench::measure_trajectory("scale", scanned,
+                                                      campaign_watch.seconds(),
+                                                      campaign_allocs));
     return 0;
 }

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Guard the committed perf trajectory (BENCH_*.json) against regressions.
+
+Each BENCH_*.json at the repo root is a spinscope-bench-trajectory-v1
+snapshot (see bench/trajectory.hpp) with four guarded metrics:
+
+  domains_per_sec         higher is better
+  peak_rss_bytes          lower is better
+  allocs_per_domain       lower is better (exact-ish: deterministic workload)
+  alloc_bytes_per_domain  lower is better (exact-ish: deterministic workload)
+
+Usage:
+  bench_check.py BASELINE CANDIDATE [BASELINE CANDIDATE ...]
+      Compare each candidate measurement against its committed baseline;
+      exit non-zero if any metric regresses past its tolerance.
+  bench_check.py --self-test
+      Verify the checker itself: an injected synthetic regression must be
+      detected, an identical candidate must pass.
+
+Wall-clock throughput and RSS get wide tolerances (CI machines are noisy);
+the allocation counters are per-domain averages of a deterministic workload,
+so they get tight ones.
+"""
+
+import json
+import sys
+
+SCHEMA = "spinscope-bench-trajectory-v1"
+
+# metric -> (higher_is_better, relative tolerance)
+POLICY = {
+    "domains_per_sec": (True, 0.40),
+    "peak_rss_bytes": (False, 0.40),
+    "allocs_per_domain": (False, 0.10),
+    "alloc_bytes_per_domain": (False, 0.10),
+}
+# Allocation metrics are meaningless without the interposer on both sides.
+ALLOC_METRICS = {"allocs_per_domain", "alloc_bytes_per_domain"}
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: not a {SCHEMA} document")
+    if "metrics" not in doc or not isinstance(doc["metrics"], dict):
+        raise ValueError(f"{path}: missing metrics object")
+    return doc
+
+
+def compare(baseline, candidate, base_name="baseline", cand_name="candidate"):
+    """Returns a list of failure strings (empty = pass)."""
+    failures = []
+    bench = baseline.get("bench", "?")
+    alloc_ok = baseline.get("alloc_probe", 0) and candidate.get("alloc_probe", 0)
+    for metric, (higher_better, tolerance) in POLICY.items():
+        if metric in ALLOC_METRICS and not alloc_ok:
+            continue
+        base = baseline["metrics"].get(metric)
+        cand = candidate["metrics"].get(metric)
+        if base is None or cand is None:
+            failures.append(f"{bench}/{metric}: missing from snapshot")
+            continue
+        if base <= 0:
+            continue  # nothing committed to guard against
+        ratio = cand / base
+        if higher_better:
+            ok = ratio >= 1.0 - tolerance
+            direction = "slower"
+        else:
+            ok = ratio <= 1.0 + tolerance
+            direction = "larger"
+        status = "ok" if ok else "REGRESSION"
+        print(
+            f"  {bench}/{metric}: {base_name} {base:.6g} -> {cand_name} "
+            f"{cand:.6g} ({ratio:.1%} of baseline, tolerance {tolerance:.0%}) "
+            f"[{status}]"
+        )
+        if not ok:
+            failures.append(
+                f"{bench}/{metric}: {ratio:.2f}x of baseline is {direction} than "
+                f"the {tolerance:.0%} tolerance"
+            )
+    return failures
+
+
+def self_test():
+    baseline = {
+        "schema": SCHEMA,
+        "bench": "selftest",
+        "alloc_probe": 1,
+        "metrics": {
+            "domains_per_sec": 1000.0,
+            "peak_rss_bytes": 100 * 1024 * 1024,
+            "allocs_per_domain": 200.0,
+            "alloc_bytes_per_domain": 50000.0,
+        },
+    }
+    identical = json.loads(json.dumps(baseline))
+    print("self-test: identical candidate must pass")
+    if compare(baseline, identical):
+        print("self-test FAILED: identical candidate was flagged")
+        return 1
+
+    print("self-test: injected regressions must each be detected")
+    injected = {
+        "domains_per_sec": 1000.0 * 0.5,          # 2x slowdown
+        "peak_rss_bytes": 100 * 1024 * 1024 * 2,  # 2x footprint
+        "allocs_per_domain": 200.0 * 1.5,         # +50% allocations
+        "alloc_bytes_per_domain": 50000.0 * 1.5,  # +50% bytes
+    }
+    for metric, bad in injected.items():
+        regressed = json.loads(json.dumps(baseline))
+        regressed["metrics"][metric] = bad
+        if not compare(baseline, regressed):
+            print(f"self-test FAILED: regression in {metric} was not detected")
+            return 1
+
+    print("self-test: alloc metrics must be skipped without the interposer")
+    unprobed = json.loads(json.dumps(baseline))
+    unprobed["alloc_probe"] = 0
+    unprobed["metrics"]["allocs_per_domain"] = 10 * baseline["metrics"]["allocs_per_domain"]
+    if compare(baseline, unprobed):
+        print("self-test FAILED: alloc metric flagged despite missing probe")
+        return 1
+
+    print("self-test OK")
+    return 0
+
+
+def main(argv):
+    args = argv[1:]
+    if args == ["--self-test"]:
+        return self_test()
+    if not args or len(args) % 2 != 0 or any(a.startswith("--") for a in args):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    failures = []
+    for i in range(0, len(args), 2):
+        base_path, cand_path = args[i], args[i + 1]
+        print(f"bench_check: {cand_path} vs committed {base_path}")
+        try:
+            failures += compare(load(base_path), load(cand_path))
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            failures.append(str(e))
+            print(f"  error: {e}")
+
+    if failures:
+        print(f"\nbench_check: {len(failures)} regression(s):")
+        for f in failures:
+            print(f"  - {f}")
+        print("(intentional? regenerate baselines with: REGEN=1 scripts/ci.sh bench)")
+        return 1
+    print("\nbench_check: perf trajectory holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -6,6 +6,9 @@
 #   scripts/ci.sh sanitize     # ASan+UBSan lane
 #   scripts/ci.sh tsan         # ThreadSanitizer lane (parallel determinism)
 #   scripts/ci.sh lint         # clang-tidy lane (compile-only; needs clang-tidy)
+#   scripts/ci.sh bench        # perf-trajectory lane: measure BENCH_*.json and
+#                              # fail on regression vs the committed baselines
+#                              # (REGEN=1 scripts/ci.sh bench re-baselines)
 #   scripts/ci.sh all          # default + sanitize + tsan (+ lint if available)
 #
 # Exit status is non-zero as soon as any configure, build or test step of any
@@ -31,6 +34,36 @@ run_lane() {
 
 lint_available() { command -v clang-tidy >/dev/null 2>&1; }
 
+# Perf-trajectory lane: rebuild the release tree, re-measure the committed
+# BENCH_*.json snapshots (packet-path microbench + a small Table 1 sweep) and
+# gate on scripts/bench_check.py. REGEN=1 refreshes the repo-root baselines
+# instead of comparing (commit the updated files with the change that earned
+# them).
+run_bench_lane() {
+    echo "=== lane: bench ==="
+    cmake --preset default >/dev/null
+    cmake --build --preset default -j "${JOBS}" \
+        --target bench_packet_path bench_table1
+    python3 scripts/bench_check.py --self-test
+
+    local out="build/bench"
+    ./build/bench/bench_packet_path \
+        --trajectory="${out}/BENCH_packet_path.json" --trajectory_count=192
+    ./build/bench/bench_table1 --scale=20000 --telemetry=off \
+        --trajectory="${out}/BENCH_scale.json" >/dev/null
+
+    if [ "${REGEN:-0}" = "1" ]; then
+        cp "${out}/BENCH_packet_path.json" BENCH_packet_path.json
+        cp "${out}/BENCH_scale.json" BENCH_scale.json
+        echo "re-baselined BENCH_packet_path.json and BENCH_scale.json"
+    else
+        python3 scripts/bench_check.py \
+            BENCH_packet_path.json "${out}/BENCH_packet_path.json" \
+            BENCH_scale.json "${out}/BENCH_scale.json"
+    fi
+    echo "=== lane bench: OK ==="
+}
+
 main() {
     local lanes=("${@:-default}")
     if [ "${1:-}" = "all" ]; then
@@ -44,6 +77,7 @@ main() {
     for lane in "${lanes[@]}"; do
         case "${lane}" in
             default|sanitize|tsan) run_lane "${lane}" ;;
+            bench) run_bench_lane ;;
             lint)
                 if lint_available; then
                     run_lane lint
@@ -53,7 +87,7 @@ main() {
                 fi
                 ;;
             *)
-                echo "error: unknown lane '${lane}' (default|sanitize|tsan|lint|all)" >&2
+                echo "error: unknown lane '${lane}' (default|sanitize|tsan|lint|bench|all)" >&2
                 exit 2
                 ;;
         esac

@@ -14,7 +14,9 @@
 #include "scanner/journal.hpp"
 #include "scanner/shard.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/resource.hpp"
 #include "telemetry/span.hpp"
+#include "telemetry/trace.hpp"
 #include "util/distributions.hpp"
 #include "util/format.hpp"
 
@@ -384,6 +386,7 @@ DomainScan Campaign::scan_domain_into(const web::Domain& domain,
             const Duration deadline = std::min(options_.attempt_deadline, budget);
             outcome = run_attempt(domain, host, hop, retry, serve_redirect, deadline,
                                   metrics, pool);
+            scan.sim_time += outcome->sim_elapsed;
             budget -= outcome->sim_elapsed;
             if (budget <= Duration::zero()) budget_exhausted = true;
             const bool ok = outcome->trace.outcome == qlog::ConnectionOutcome::ok;
@@ -413,6 +416,7 @@ DomainScan Campaign::scan_domain_into(const web::Domain& domain,
             // campaign bookkeeping in simulated time, not a sim event — but
             // it still burns watchdog budget.
             backoff = options_.retry.backoff_delay(retry + 1, backoff_rng);
+            scan.sim_time += backoff;
             budget -= backoff;
             if (budget <= Duration::zero()) {
                 budget_exhausted = true;
@@ -458,6 +462,100 @@ CampaignStats Campaign::run_impl(
     const auto domains = population_->domains();
     const ShardConfig shard{options_.threads, options_.chunk_domains};
     const ShardPlan plan{domains.size(), options_.chunk_domains};
+
+    // Whole-sweep host-resource observation: wall time, allocation traffic
+    // (when the binary links the interposer) and peak RSS, published as
+    // obs.resource.campaign.* gauges — host facts, excluded from the
+    // deterministic telemetry view.
+    std::optional<telemetry::ResourceProbe> resource_probe;
+    if (metrics_ != nullptr) resource_probe.emplace("campaign");
+
+    // ---- flight recorder ----------------------------------------------------
+    // Simulated-time events are recorded ONLY here on the merge thread, in
+    // ascending chunk order, positioned at cumulative simulated-nanosecond
+    // offsets — a pure function of the scan results, so the sim trace is
+    // byte-identical for every thread count and across kill/resume. Worker
+    // scheduling, merge and journal latencies go to the wall clock (the
+    // recorder's sidecar file).
+    telemetry::TraceRecorder* const trace = trace_;
+    using telemetry::TraceArg;
+    using telemetry::TraceClock;
+    const int sim_lane =
+        trace != nullptr ? trace->lane(TraceClock::sim, "merge (chunk timeline)") : 0;
+    const int wall_merge_lane =
+        trace != nullptr ? trace->lane(TraceClock::wall, "merge") : 0;
+    std::int64_t sim_cursor_ns = 0;
+    std::uint64_t traced_domains = 0;
+    std::uint64_t traced_quic_ok = 0;
+
+    // Declared before merge_scan so the progress snapshot can report journal
+    // durability; assigned in the journal setup block below.
+    std::unique_ptr<JournalWriter> journal;
+
+    // One chunk's sim-timeline events: a span covering the chunk's total
+    // simulated time, instants for retries/watchdog kills/quarantine at the
+    // owning domain's offset, and cumulative counter tracks. Shared verbatim
+    // between the live merge path, the quarantine path and journal replay —
+    // the `replayed` arg is ALWAYS present (0 or 1) so a resume trace equals
+    // the uninterrupted one after flipping that single flag.
+    const auto trace_chunk = [&](std::size_t chunk_index,
+                                 const std::vector<DomainScan>& scans, bool replayed,
+                                 bool quarantined) {
+        if (trace == nullptr) return;
+        const std::int64_t start_ns = sim_cursor_ns;
+        std::int64_t dur_ns = 0;
+        std::uint64_t quic_ok = 0;
+        std::uint64_t errors = 0;
+        std::uint64_t retries = 0;
+        for (const auto& scan : scans) {
+            if (scan.quic_ok()) ++quic_ok;
+            if (!scan.error.empty()) ++errors;
+            retries += scan.retries;
+            dur_ns += scan.sim_time.count_nanos();
+        }
+        // The span first, instants after: per-lane timestamps then never
+        // decrease (the span starts at or before every instant it contains).
+        trace->complete(
+            TraceClock::sim, sim_lane, "chunk", start_ns, dur_ns,
+            {TraceArg::num("chunk", static_cast<std::uint64_t>(chunk_index)),
+             TraceArg::num("domains", static_cast<std::uint64_t>(scans.size())),
+             TraceArg::num("quic_ok", quic_ok), TraceArg::num("errors", errors),
+             TraceArg::num("retries", retries),
+             TraceArg::num("replayed", static_cast<std::uint64_t>(replayed ? 1 : 0)),
+             TraceArg::num("quarantined",
+                           static_cast<std::uint64_t>(quarantined ? 1 : 0))});
+        if (quarantined) {
+            trace->instant(TraceClock::sim, sim_lane, "quarantine", start_ns,
+                           {TraceArg::num("chunk", static_cast<std::uint64_t>(chunk_index))});
+        }
+        std::int64_t offset_ns = 0;
+        for (const auto& scan : scans) {
+            if (scan.retries > 0) {
+                trace->instant(
+                    TraceClock::sim, sim_lane, "retry", start_ns + offset_ns,
+                    {TraceArg::num("domain", static_cast<std::uint64_t>(scan.domain_id)),
+                     TraceArg::num("retries", scan.retries)});
+            }
+            const bool watchdog_killed = std::any_of(
+                scan.attempts.begin(), scan.attempts.end(),
+                [](const DomainScan::AttemptRecord& a) {
+                    return a.outcome == qlog::ConnectionOutcome::watchdog_cancelled;
+                });
+            if (watchdog_killed) {
+                trace->instant(
+                    TraceClock::sim, sim_lane, "watchdog", start_ns + offset_ns,
+                    {TraceArg::num("domain", static_cast<std::uint64_t>(scan.domain_id))});
+            }
+            offset_ns += scan.sim_time.count_nanos();
+        }
+        sim_cursor_ns = start_ns + dur_ns;
+        traced_domains += scans.size();
+        traced_quic_ok += quic_ok;
+        trace->counter(TraceClock::sim, "domains", sim_cursor_ns,
+                       static_cast<double>(traced_domains));
+        trace->counter(TraceClock::sim, "domains quic_ok", sim_cursor_ns,
+                       static_cast<double>(traced_quic_ok));
+    };
 
     // Per-scan merge bookkeeping, shared verbatim between the live merge
     // path and journal replay: replayed chunks re-drive exactly the counters
@@ -512,13 +610,16 @@ CampaignStats Campaign::run_impl(
         if (progress_ && progress_every_ > 0 &&
             stats.domains_scanned % progress_every_ == 0) {
             stats.wall_seconds = wall_elapsed();
+            if (journal != nullptr) {
+                stats.journal_records_appended = journal->records_appended();
+                stats.journal_open_bytes = journal->open_bytes();
+            }
             progress_(stats);
         }
     };
 
     // ---- journal replay (resume) and writer setup ---------------------------
     const bool journaling = !options_.journal_dir.empty();
-    std::unique_ptr<JournalWriter> journal;
     std::size_t chunks_replayed = 0;
     if (journaling) {
         CampaignHeader header;
@@ -567,6 +668,8 @@ CampaignStats Campaign::run_impl(
                                 .add(record.scans.size());
                         }
                     }
+                    trace_chunk(record.chunk_index, record.scans, /*replayed=*/true,
+                                record.quarantined);
                     for (std::size_t j = 0; j < record.scans.size(); ++j) {
                         if (record.scans[j].domain_id != domains[begin + j].id) {
                             throw std::invalid_argument(
@@ -613,8 +716,13 @@ CampaignStats Campaign::run_impl(
         std::unique_ptr<telemetry::MetricsRegistry> metrics;
     };
     std::vector<ChunkResult> chunks(rest_plan.chunk_count());
+    // Wall-clock instant each chunk's scan finished (same single-writer slot
+    // discipline as `chunks`): the merge span reports its distance to this as
+    // the chunk's time spent queued for merge.
+    std::vector<std::int64_t> scan_done_ns(rest_plan.chunk_count(), 0);
 
     const auto scan_chunk = [&](std::size_t c) {
+        const std::int64_t scan_start_ns = trace != nullptr ? trace->wall_now_ns() : 0;
         if (options_.chunk_fault_hook) options_.chunk_fault_hook(c + chunks_replayed);
         ChunkResult result;
         if (metrics_ != nullptr) {
@@ -647,9 +755,22 @@ CampaignStats Campaign::run_impl(
         }
         if (result.metrics != nullptr) pool.publish_metrics(*result.metrics);
         chunks[c] = std::move(result);
+        if (trace != nullptr) {
+            const std::int64_t end_ns = trace->wall_now_ns();
+            scan_done_ns[c] = end_ns;
+            trace->complete(
+                TraceClock::wall, trace->wall_lane_for_current_thread("worker"),
+                "scan chunk", scan_start_ns, end_ns - scan_start_ns,
+                {TraceArg::num("chunk",
+                               static_cast<std::uint64_t>(c + chunks_replayed)),
+                 TraceArg::num("domains",
+                               static_cast<std::uint64_t>(rest_plan.chunk_end(c) -
+                                                          rest_plan.chunk_begin(c)))});
+        }
     };
 
     const auto merge_chunk = [&](std::size_t c) {
+        const std::int64_t merge_start_ns = trace != nullptr ? trace->wall_now_ns() : 0;
         ChunkResult result = std::move(chunks[c]);
         // Journal FIRST, then merge: a crash in between costs nothing (the
         // record is durable; resume re-drives the merge from it), while the
@@ -661,15 +782,63 @@ CampaignStats Campaign::run_impl(
             if (metrics_ != nullptr && result.metrics != nullptr) {
                 record.telemetry_snapshot = telemetry::snapshot(*result.metrics);
             }
+            const std::int64_t append_start_ns =
+                trace != nullptr ? trace->wall_now_ns() : 0;
             journal->append_chunk(record);
+            if (trace != nullptr) {
+                trace->complete(
+                    TraceClock::wall, wall_merge_lane, "journal append",
+                    append_start_ns, trace->wall_now_ns() - append_start_ns,
+                    {TraceArg::num("chunk", static_cast<std::uint64_t>(
+                                                record.chunk_index)),
+                     TraceArg::num("open_bytes", journal->open_bytes())});
+            }
             result.scans = std::move(record.scans);
+        }
+        if (trace != nullptr && result.metrics != nullptr) {
+            // Chunk-local efficiency, sampled from the chunk's private
+            // registry before it merges away: datagram-pool hit rate and the
+            // simulator event-queue high-water mark. Read-only probes — the
+            // merged registry must not grow instruments just because a
+            // recorder is attached.
+            const auto* hits = result.metrics->find_counter("bytes.pool.hits");
+            const auto* acquires = result.metrics->find_counter("bytes.pool.acquires");
+            if (hits != nullptr && acquires != nullptr && acquires->value() > 0) {
+                trace->counter(TraceClock::wall, "pool hit rate",
+                               trace->wall_now_ns(),
+                               static_cast<double>(hits->value()) /
+                                   static_cast<double>(acquires->value()));
+            }
+            if (const auto* hwm =
+                    result.metrics->find_gauge("netsim.sim.queue_depth_hwm");
+                hwm != nullptr && hwm->has_value()) {
+                trace->counter(TraceClock::wall, "event queue hwm",
+                               trace->wall_now_ns(), hwm->value());
+            }
         }
         if (metrics_ != nullptr && result.metrics != nullptr) {
             metrics_->merge_from(*result.metrics);
         }
+        trace_chunk(c + chunks_replayed, result.scans, /*replayed=*/false,
+                    /*quarantined=*/false);
         for (std::size_t j = 0; j < result.scans.size(); ++j) {
             merge_scan(base_domain + rest_plan.chunk_begin(c) + j,
                        std::move(result.scans[j]));
+        }
+        if (trace != nullptr) {
+            const std::int64_t end_ns = trace->wall_now_ns();
+            const double queued_ms =
+                static_cast<double>(merge_start_ns - scan_done_ns[c]) / 1e6;
+            trace->complete(TraceClock::wall, wall_merge_lane, "merge chunk",
+                            merge_start_ns, end_ns - merge_start_ns,
+                            {TraceArg::num("chunk", static_cast<std::uint64_t>(
+                                                        c + chunks_replayed)),
+                             TraceArg::num("queued_ms", queued_ms)});
+            const double elapsed = wall_elapsed();
+            if (elapsed > 0.0) {
+                trace->counter(TraceClock::wall, "domains_per_sec", end_ns,
+                               static_cast<double>(stats.domains_scanned) / elapsed);
+            }
         }
     };
 
@@ -702,6 +871,17 @@ CampaignStats Campaign::run_impl(
             metrics_->counter("campaign.quarantined_chunks").add(1);
             metrics_->counter("campaign.quarantined_domains").add(end - begin);
         }
+        trace_chunk(failure.chunk + chunks_replayed, placeholders, /*replayed=*/false,
+                    /*quarantined=*/true);
+        if (trace != nullptr) {
+            trace->instant(
+                TraceClock::wall, wall_merge_lane, "quarantine", trace->wall_now_ns(),
+                {TraceArg::num("chunk",
+                               static_cast<std::uint64_t>(failure.chunk +
+                                                          chunks_replayed)),
+                 TraceArg::num("attempts", static_cast<std::uint64_t>(failure.attempts)),
+                 TraceArg::str("error", failure.error)});
+        }
         for (std::size_t j = 0; j < placeholders.size(); ++j) {
             merge_scan(begin + j, std::move(placeholders[j]));
         }
@@ -720,6 +900,8 @@ CampaignStats Campaign::run_impl(
 
     if (journal != nullptr) {
         journal->close();
+        stats.journal_records_appended = journal->records_appended();
+        stats.journal_open_bytes = 0;  // everything sealed and durable
         if (metrics_ != nullptr) {
             metrics_->counter("campaign.journal.records_appended")
                 .add(journal->records_appended());
@@ -735,6 +917,8 @@ CampaignStats Campaign::run_impl(
     if (metrics_ != nullptr) {
         metrics_->gauge("scanner.domains_per_sec").set(stats.domains_per_sec());
         metrics_->gauge("scanner.quic_ok_rate").set(stats.quic_ok_rate());
+        if (resource_probe) resource_probe->publish(*metrics_);
+        if (trace != nullptr) trace->publish_metrics(*metrics_);
     }
     return stats;
 }

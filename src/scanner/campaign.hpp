@@ -28,6 +28,10 @@
 #include "telemetry/metrics.hpp"
 #include "web/population.hpp"
 
+namespace spinscope::telemetry {
+class TraceRecorder;
+}
+
 namespace spinscope::scanner {
 
 /// Knobs of one scan sweep.
@@ -130,6 +134,10 @@ struct DomainScan {
     /// Attempts made but not recorded because ScanOptions::max_attempt_records
     /// was reached (0 for every sane scan).
     std::uint64_t attempts_truncated = 0;
+    /// Total simulated time this domain consumed (every attempt plus every
+    /// retry backoff — the watchdog's accounting). Journaled, so a resumed
+    /// campaign rebuilds the exact flight-recorder timeline of the original.
+    util::Duration sim_time = util::Duration::zero();
     /// Set when scanning this domain threw; the domain was skipped, the
     /// sweep continued (graceful degradation). Quarantined chunks produce
     /// placeholder scans with a "chunk quarantined:" prefix here.
@@ -157,6 +165,12 @@ struct CampaignStats {
     std::uint64_t domains_quarantined = 0;
     /// Crashed-chunk scan re-executions performed by the supervisor.
     std::uint64_t worker_restarts = 0;
+    /// Journal records appended by this run so far (0 without journaling).
+    std::uint64_t journal_records_appended = 0;
+    /// Bytes sitting in the journal's active (unsealed) segment — the
+    /// durability lag a progress reporter surfaces. Resets at every segment
+    /// seal (NOT monotonic); 0 in the final stats (everything sealed).
+    std::uint64_t journal_open_bytes = 0;
     /// Connection attempts by qlog::ConnectionOutcome (index via the enum).
     std::array<std::uint64_t, qlog::kConnectionOutcomeCount> outcomes{};
     /// Connection attempts by active faults::ServerFaultMode (index 0 =
@@ -198,6 +212,22 @@ public:
     /// (pass nullptr to detach). The registry must outlive the campaign
     /// runs; it is written to even from const scan methods.
     void set_metrics(telemetry::MetricsRegistry* registry) noexcept { metrics_ = registry; }
+
+    /// Attaches a flight recorder: run()/resume() then record the campaign
+    /// timeline into it (pass nullptr to detach; must outlive the runs).
+    /// Simulated-time events — chunk spans at cumulative sim offsets plus
+    /// retry/watchdog/quarantine instants — are recorded only on the merge
+    /// thread and are byte-identical for every thread count and across
+    /// kill/resume (replayed chunks re-drive identical spans, flagged
+    /// `"replayed":1`). Wall-clock worker/merge/journal spans land in the
+    /// recorder's wall sidecar. The campaign only records; the owner calls
+    /// TraceRecorder::write after the run.
+    void set_trace(telemetry::TraceRecorder* trace) noexcept { trace_ = trace; }
+
+    /// Number of domains a run() will scan (progress/ETA sizing).
+    [[nodiscard]] std::size_t domain_count() const {
+        return population_->domains().size();
+    }
 
     /// Installs a progress callback fired every `every_n` scanned domains
     /// during run() (0 disables). The callback always runs on the thread
@@ -280,6 +310,9 @@ private:
     /// Not owned; written to from const scan methods (instrumentation sink,
     /// not campaign state).
     telemetry::MetricsRegistry* metrics_ = nullptr;
+    /// Not owned; recorded into from const run methods (same sink contract
+    /// as metrics_).
+    telemetry::TraceRecorder* trace_ = nullptr;
     std::uint64_t progress_every_ = 0;
     std::function<void(const CampaignStats&)> progress_;
 };

@@ -241,6 +241,7 @@ std::string serialize_chunk_record(const ChunkRecord& record) {
         append_kv(out, "retries", scan.retries);
         append_kv(out, "recovered", scan.recovered_by_retry ? 1 : 0);
         append_kv(out, "attempts_truncated", scan.attempts_truncated);
+        append_kv_signed(out, "sim_ns", scan.sim_time.count_nanos());
         out += " error=";
         out += encode_token(scan.error);
         append_kv(out, "response", scan.final_response ? 1 : 0);
@@ -314,7 +315,7 @@ std::optional<ChunkRecord> parse_chunk_record(std::string_view payload) {
         const auto domain_line = cur.line();
         if (!domain_line) return std::nullopt;
         const auto tok = split_tokens(*domain_line);
-        if (tok.size() != 15 || tok[0] != "domain") return std::nullopt;
+        if (tok.size() != 16 || tok[0] != "domain") return std::nullopt;
 
         DomainScan scan;
         std::uint64_t attempt_count = 0;
@@ -322,25 +323,28 @@ std::optional<ChunkRecord> parse_chunk_record(std::string_view payload) {
         bool has_response = false;
         long long status = 0;
         std::uint64_t body_bytes = 0;
+        long long sim_ns = 0;
         if (!parse_kv(tok[1], "id", scan.domain_id) ||
             !parse_kv_bool(tok[2], "resolved", scan.resolved) ||
             !parse_kv(tok[3], "redirects", scan.redirects_followed) ||
             !parse_kv(tok[4], "retries", scan.retries) ||
             !parse_kv_bool(tok[5], "recovered", scan.recovered_by_retry) ||
-            !parse_kv(tok[6], "attempts_truncated", scan.attempts_truncated)) {
+            !parse_kv(tok[6], "attempts_truncated", scan.attempts_truncated) ||
+            !parse_kv(tok[7], "sim_ns", sim_ns)) {
             return std::nullopt;
         }
-        const auto error = parse_kv_token(tok[7], "error");
-        if (!error || !parse_kv_bool(tok[8], "response", has_response) ||
-            !parse_kv(tok[9], "status", status) || !parse_kv(tok[10], "body", body_bytes)) {
+        const auto error = parse_kv_token(tok[8], "error");
+        if (!error || !parse_kv_bool(tok[9], "response", has_response) ||
+            !parse_kv(tok[10], "status", status) || !parse_kv(tok[11], "body", body_bytes)) {
             return std::nullopt;
         }
-        const auto location = parse_kv_token(tok[11], "location");
-        const auto server = parse_kv_token(tok[12], "server");
-        if (!location || !server || !parse_kv(tok[13], "attempts", attempt_count) ||
-            !parse_kv(tok[14], "connections", connection_count)) {
+        const auto location = parse_kv_token(tok[12], "location");
+        const auto server = parse_kv_token(tok[13], "server");
+        if (!location || !server || !parse_kv(tok[14], "attempts", attempt_count) ||
+            !parse_kv(tok[15], "connections", connection_count)) {
             return std::nullopt;
         }
+        scan.sim_time = util::Duration::nanos(sim_ns);
         scan.error = *error;
         if (has_response) {
             ResponseInfo response;

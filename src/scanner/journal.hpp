@@ -133,6 +133,9 @@ public:
 
     [[nodiscard]] std::uint64_t records_appended() const noexcept { return records_appended_; }
     [[nodiscard]] std::uint64_t segments_sealed() const noexcept { return segments_sealed_; }
+    /// Bytes written to the active (unsealed) segment so far — the durability
+    /// lag surfaced by progress reporting. Resets at every seal.
+    [[nodiscard]] std::uint64_t open_bytes() const noexcept { return current_bytes_; }
 
 private:
     void open_segment(std::size_t index, bool truncate);

@@ -155,11 +155,18 @@ std::string csv_impl(const MetricsRegistry& registry, bool deterministic_only) {
 }  // namespace
 
 bool is_chunk_geometry_metric(const std::string& name) {
-    return name.rfind("bytes.pool", 0) == 0;
+    // trace.* recorder bookkeeping counts wall lanes and per-worker events,
+    // which vary with thread scheduling and lane geometry just like the
+    // pool's hit/miss split varies with chunking.
+    return name.rfind("bytes.pool", 0) == 0 || name.rfind("trace.", 0) == 0;
 }
 
 bool is_recovery_metric(const std::string& name) {
-    return name.rfind("campaign.", 0) == 0;
+    // obs.* resource observations (RSS, allocation traffic, phase wall time)
+    // describe THIS host run, not the scan results — like the recovery
+    // counters, a resumed run necessarily reports different values even
+    // though its scan output is byte-identical.
+    return name.rfind("campaign.", 0) == 0 || name.rfind("obs.", 0) == 0;
 }
 
 bool is_wall_clock_metric(const std::string& name) {

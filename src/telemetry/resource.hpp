@@ -1,0 +1,98 @@
+// spinscope/telemetry/resource.hpp
+//
+// Host resource probes: allocation accounting, resident-set sampling and
+// per-phase wall timers — the "what does this pipeline actually consume"
+// half of the flight recorder (DESIGN.md §12).
+//
+// Allocation accounting works by interposition: a binary that wants heap
+// counters includes telemetry/alloc_interpose.hpp in EXACTLY ONE translation
+// unit, which defines global operator new/delete forwarding into the relaxed
+// atomics here. Binaries without the interposer read zeros and
+// alloc::active() == false — the probe never changes behaviour of code that
+// does not opt in (libraries must NOT include the interpose header).
+//
+// RSS sampling reads /proc/self/status (VmHWM / VmRSS) and falls back to
+// getrusage(RU_MAXRSS) for the peak; on platforms with neither, the probes
+// return 0 and callers degrade gracefully.
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace spinscope::telemetry {
+
+namespace alloc {
+
+/// Feed one allocation into the counters (called by the interposed operator
+/// new; safe from any thread, relaxed ordering — counters, not fences).
+void record(std::size_t bytes) noexcept;
+
+/// Marks that an interposer is linked into this binary (called once by the
+/// interpose header's static initializer).
+void mark_active() noexcept;
+
+/// True when telemetry/alloc_interpose.hpp is linked into this binary.
+[[nodiscard]] bool active() noexcept;
+
+/// Global totals since process start (0 without an interposer).
+[[nodiscard]] std::uint64_t count() noexcept;
+[[nodiscard]] std::uint64_t bytes() noexcept;
+
+}  // namespace alloc
+
+/// Point-in-time capture of the allocation counters; `*_since()` measures
+/// the traffic between the capture and now. The unit benches report
+/// (allocs_per_domain and friends) is `count_since() / work_items`.
+struct AllocSnapshot {
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+
+    AllocSnapshot();  ///< captures the current totals
+
+    [[nodiscard]] std::uint64_t count_since() const noexcept;
+    [[nodiscard]] std::uint64_t bytes_since() const noexcept;
+};
+
+/// Peak resident set of this process, in bytes (VmHWM, getrusage fallback);
+/// 0 when neither source is available.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+/// Current resident set of this process, in bytes (VmRSS); 0 when
+/// /proc/self/status is unavailable.
+[[nodiscard]] std::uint64_t current_rss_bytes();
+
+/// Measures one phase: wall time, allocation traffic and peak RSS between
+/// construction and sample(). publish() writes the report as
+/// `obs.resource.<phase>.*` gauges — host observations, excluded from the
+/// deterministic telemetry view (telemetry::is_recovery_metric).
+class ResourceProbe {
+public:
+    explicit ResourceProbe(std::string phase);
+
+    struct Report {
+        double wall_seconds = 0.0;
+        std::uint64_t allocs = 0;       ///< 0 unless alloc::active()
+        std::uint64_t alloc_bytes = 0;  ///< 0 unless alloc::active()
+        std::uint64_t peak_rss = 0;     ///< process peak RSS in bytes
+        bool alloc_active = false;
+    };
+
+    [[nodiscard]] Report sample() const;
+
+    /// Publishes sample() under `obs.resource.<phase>.`: wall_seconds,
+    /// allocs, alloc_bytes (only when the interposer is linked) and
+    /// peak_rss_bytes gauges.
+    void publish(MetricsRegistry& registry) const;
+
+private:
+    std::string phase_;
+    AllocSnapshot start_;
+    std::chrono::steady_clock::time_point wall_start_;
+};
+
+}  // namespace spinscope::telemetry
