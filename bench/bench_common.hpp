@@ -10,15 +10,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <system_error>
 
 #include "bench/progress.hpp"
 #include "bench/trajectory.hpp"
 #include "scanner/campaign.hpp"
+#include "scanner/procpool.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/atomic_file.hpp"
+#include "util/proc.hpp"
 
 namespace spinscope::bench {
 
@@ -42,6 +46,13 @@ struct Options {
     /// Crash-safe journal directory (ScanOptions::journal_dir, DESIGN.md
     /// §11); empty disables journaling.
     std::string journal_dir;
+    /// Worker processes (--procs=N, DESIGN.md §13): the map pass forks N
+    /// crash-isolated workers over a shared journal, then reduces. 0 = the
+    /// classic single-process run. Byte-identical output for every value.
+    unsigned procs = 0;
+    /// True when --procs had to synthesize journal_dir (no --journal given);
+    /// run_campaign removes the directory after a successful reduce.
+    bool journal_is_temp = false;
     /// Resume from the journal left by a killed run (--resume; requires
     /// --journal). Output is byte-identical to an uninterrupted run.
     bool resume = false;
@@ -77,6 +88,8 @@ inline Options parse_options(int argc, char** argv, std::uint64_t default_count 
             options.threads = static_cast<unsigned>(std::strtoul(arg + 10, nullptr, 10));
         } else if (std::strncmp(arg, "--journal=", 10) == 0) {
             options.journal_dir = arg + 10;
+        } else if (std::strncmp(arg, "--procs=", 8) == 0) {
+            options.procs = static_cast<unsigned>(std::strtoul(arg + 8, nullptr, 10));
         } else if (std::strcmp(arg, "--resume") == 0) {
             options.resume = true;
         } else if (std::strncmp(arg, "--trace=", 8) == 0) {
@@ -90,8 +103,8 @@ inline Options parse_options(int argc, char** argv, std::uint64_t default_count 
         } else if (std::strcmp(arg, "--help") == 0) {
             std::printf(
                 "usage: %s [--scale=N] [--seed=N] [--count=N] [--csv=prefix] "
-                "[--telemetry=path|off] [--threads=N] [--journal=dir] [--resume] "
-                "[--trace=file] [--progress[=N]] [--trajectory=file]\n",
+                "[--telemetry=path|off] [--threads=N] [--journal=dir] [--procs=N] "
+                "[--resume] [--trace=file] [--progress[=N]] [--trajectory=file]\n",
                 argv[0]);
             std::exit(0);
         }
@@ -99,6 +112,16 @@ inline Options parse_options(int argc, char** argv, std::uint64_t default_count 
     if (options.resume && options.journal_dir.empty()) {
         std::fprintf(stderr, "--resume requires --journal=dir\n");
         std::exit(2);
+    }
+    if (options.procs > 0 && options.journal_dir.empty()) {
+        // The multi-process map pass needs a shared journal even when the
+        // caller doesn't care about crash recovery; park one in the system
+        // temp directory and clean it up after the reduce.
+        const auto dir = std::filesystem::temp_directory_path() /
+                         ("spinscope-bench-journal-" +
+                          std::to_string(util::current_pid()));
+        options.journal_dir = dir.string();
+        options.journal_is_temp = true;
     }
     return options;
 }
@@ -121,7 +144,32 @@ scanner::CampaignStats run_campaign(const Options& options, scanner::Campaign& c
     }
 
     scanner::CampaignStats stats;
-    if (options.resume) {
+    if (options.procs > 0) {
+        // Crash-isolated map pass (DESIGN.md §13): fork N workers over a
+        // shared journal, then reduce it through the caller's sink. --resume
+        // keeps whatever chunks a previous (possibly killed) run journaled.
+        scanner::ProcPoolOptions pool;
+        pool.procs = options.procs;
+        pool.fresh = !options.resume;
+        if (options.resume) {
+            std::printf("resuming from journal %s\n", options.journal_dir.c_str());
+        }
+        const scanner::ProcPoolReport report = scanner::run_procs(campaign, pool);
+        std::printf("map pass: %u worker procs, %llu/%llu chunks journaled "
+                    "(%llu proc restarts, %llu hang kills, %llu quarantined)\n",
+                    report.procs,
+                    static_cast<unsigned long long>(report.chunks_recorded),
+                    static_cast<unsigned long long>(report.chunks_total),
+                    static_cast<unsigned long long>(report.proc_restarts),
+                    static_cast<unsigned long long>(report.hang_kills),
+                    static_cast<unsigned long long>(report.chunks_quarantined));
+        stats = campaign.reduce(sink);
+        stats.proc_restarts = report.proc_restarts;
+        if (options.journal_is_temp) {
+            std::error_code ec;
+            std::filesystem::remove_all(options.journal_dir, ec);
+        }
+    } else if (options.resume) {
         std::printf("resuming from journal %s\n", options.journal_dir.c_str());
         stats = campaign.resume(sink);
     } else {
@@ -200,6 +248,9 @@ inline void banner(const char* what, const Options& options) {
     if (options.threads != 1) {
         std::printf(", campaign threads %u%s", options.threads,
                     options.threads == 0 ? " (hardware)" : "");
+    }
+    if (options.procs > 0) {
+        std::printf(", worker procs %u", options.procs);
     }
     std::printf("\n\n");
 }

@@ -59,9 +59,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(scanned), watch.seconds(),
                 stats.domains_per_sec(), stats.quic_ok_rate() * 100.0);
     bench::write_telemetry(options, "table1", registry);
-    bench::write_trajectory(options,
-                            bench::measure_trajectory("scale", scanned,
-                                                      campaign_watch.seconds(),
-                                                      campaign_allocs));
+    auto trajectory = bench::measure_trajectory("scale", scanned,
+                                                campaign_watch.seconds(),
+                                                campaign_allocs);
+    trajectory.procs = options.procs;
+    if (const auto* gauge = registry.find_gauge("obs.proc.peak_worker_rss_bytes");
+        gauge != nullptr && gauge->has_value()) {
+        trajectory.peak_worker_rss_bytes = static_cast<std::uint64_t>(gauge->value());
+    }
+    bench::write_trajectory(options, trajectory);
     return 0;
 }

@@ -31,6 +31,12 @@ struct Trajectory {
     std::uint64_t peak_rss_bytes = 0;
     double allocs_per_domain = 0.0;
     double alloc_bytes_per_domain = 0.0;
+    /// Multi-process context (--procs runs, DESIGN.md §13): worker process
+    /// count and the high-water worker RSS the supervisor observed over the
+    /// heartbeat channel. Both stay 0 for classic single-process runs;
+    /// bench_check.py skips a zero/absent peak_worker_rss_bytes baseline.
+    unsigned procs = 0;
+    std::uint64_t peak_worker_rss_bytes = 0;
 };
 
 /// Builds a snapshot from one measured section: `before` captured at section
@@ -66,10 +72,12 @@ inline std::string to_json(const Trajectory& t) {
     out += "\",\"domains\":" + std::to_string(t.domains);
     out += ",\"wall_seconds\":" + num(t.wall_seconds);
     out += ",\"alloc_probe\":" + std::string{t.alloc_probe ? "1" : "0"};
+    out += ",\"procs\":" + std::to_string(t.procs);
     out += ",\"metrics\":{\"domains_per_sec\":" + num(t.domains_per_sec);
     out += ",\"peak_rss_bytes\":" + std::to_string(t.peak_rss_bytes);
     out += ",\"allocs_per_domain\":" + num(t.allocs_per_domain);
     out += ",\"alloc_bytes_per_domain\":" + num(t.alloc_bytes_per_domain);
+    out += ",\"peak_worker_rss_bytes\":" + std::to_string(t.peak_worker_rss_bytes);
     out += "}}";
     return out;
 }

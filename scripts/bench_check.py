@@ -33,9 +33,15 @@ POLICY = {
     "peak_rss_bytes": (False, 0.40),
     "allocs_per_domain": (False, 0.10),
     "alloc_bytes_per_domain": (False, 0.10),
+    # Multi-process map pass (--procs, DESIGN.md §13): high-water worker RSS
+    # reported over the heartbeat channel. Wall-clock noisy, so wide.
+    "peak_worker_rss_bytes": (False, 0.50),
 }
 # Allocation metrics are meaningless without the interposer on both sides.
 ALLOC_METRICS = {"allocs_per_domain", "alloc_bytes_per_domain"}
+# Metrics only multi-process runs produce: silently skipped when the
+# committed baseline predates them or was measured without --procs.
+OPTIONAL_METRICS = {"peak_worker_rss_bytes"}
 
 
 def load(path):
@@ -58,6 +64,8 @@ def compare(baseline, candidate, base_name="baseline", cand_name="candidate"):
             continue
         base = baseline["metrics"].get(metric)
         cand = candidate["metrics"].get(metric)
+        if metric in OPTIONAL_METRICS and (base is None or cand is None):
+            continue
         if base is None or cand is None:
             failures.append(f"{bench}/{metric}: missing from snapshot")
             continue
@@ -94,6 +102,7 @@ def self_test():
             "peak_rss_bytes": 100 * 1024 * 1024,
             "allocs_per_domain": 200.0,
             "alloc_bytes_per_domain": 50000.0,
+            "peak_worker_rss_bytes": 80 * 1024 * 1024,
         },
     }
     identical = json.loads(json.dumps(baseline))
@@ -108,6 +117,7 @@ def self_test():
         "peak_rss_bytes": 100 * 1024 * 1024 * 2,  # 2x footprint
         "allocs_per_domain": 200.0 * 1.5,         # +50% allocations
         "alloc_bytes_per_domain": 50000.0 * 1.5,  # +50% bytes
+        "peak_worker_rss_bytes": 80 * 1024 * 1024 * 2,  # 2x worker footprint
     }
     for metric, bad in injected.items():
         regressed = json.loads(json.dumps(baseline))
@@ -115,6 +125,15 @@ def self_test():
         if not compare(baseline, regressed):
             print(f"self-test FAILED: regression in {metric} was not detected")
             return 1
+
+    print("self-test: optional metrics absent from the baseline must be skipped")
+    legacy = json.loads(json.dumps(baseline))
+    del legacy["metrics"]["peak_worker_rss_bytes"]
+    bloated = json.loads(json.dumps(baseline))
+    bloated["metrics"]["peak_worker_rss_bytes"] = 10 * 80 * 1024 * 1024
+    if compare(legacy, bloated):
+        print("self-test FAILED: optional metric flagged without a baseline")
+        return 1
 
     print("self-test: alloc metrics must be skipped without the interposer")
     unprobed = json.loads(json.dumps(baseline))

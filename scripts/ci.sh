@@ -9,6 +9,9 @@
 #   scripts/ci.sh bench        # perf-trajectory lane: measure BENCH_*.json and
 #                              # fail on regression vs the committed baselines
 #                              # (REGEN=1 scripts/ci.sh bench re-baselines)
+#   scripts/ci.sh chaos        # crash-isolation lane: the multi-process kill
+#                              # sweep (SIGKILL workers at every lifecycle
+#                              # point), journal/lease and proc-plumbing suites
 #   scripts/ci.sh all          # default + sanitize + tsan (+ lint if available)
 #
 # Exit status is non-zero as soon as any configure, build or test step of any
@@ -49,7 +52,10 @@ run_bench_lane() {
     local out="build/bench"
     ./build/bench/bench_packet_path \
         --trajectory="${out}/BENCH_packet_path.json" --trajectory_count=192
-    ./build/bench/bench_table1 --scale=20000 --telemetry=off \
+    # --procs=2 routes the Table 1 sweep through the multi-process map pass
+    # (fork + shared journal + reduce), so the committed BENCH_scale.json also
+    # pins the crash-isolated path's throughput and worker footprint.
+    ./build/bench/bench_table1 --scale=20000 --telemetry=off --procs=2 \
         --trajectory="${out}/BENCH_scale.json" >/dev/null
 
     if [ "${REGEN:-0}" = "1" ]; then
@@ -62,6 +68,22 @@ run_bench_lane() {
             BENCH_scale.json "${out}/BENCH_scale.json"
     fi
     echo "=== lane bench: OK ==="
+}
+
+# Chaos lane: the crash-isolation suites on their own — the kill sweep
+# (SIGKILL at every worker lifecycle point x {1,2,4} procs, reduced output
+# must stay byte-identical), hang/poison/RSS supervision, journal + lease
+# invariants and the process plumbing underneath. All of this also runs in
+# the default lane's ctest; this lane is the focused, fast repro loop.
+run_chaos_lane() {
+    echo "=== lane: chaos ==="
+    cmake --preset default >/dev/null
+    cmake --build --preset default -j "${JOBS}" \
+        --target test_scanner_procpool test_scanner_journal test_util_misc
+    ./build/tests/test_scanner_procpool
+    ./build/tests/test_scanner_journal
+    ./build/tests/test_util_misc
+    echo "=== lane chaos: OK ==="
 }
 
 main() {
@@ -78,6 +100,7 @@ main() {
         case "${lane}" in
             default|sanitize|tsan) run_lane "${lane}" ;;
             bench) run_bench_lane ;;
+            chaos) run_chaos_lane ;;
             lint)
                 if lint_available; then
                     run_lane lint
@@ -87,7 +110,7 @@ main() {
                 fi
                 ;;
             *)
-                echo "error: unknown lane '${lane}' (default|sanitize|tsan|lint|bench|all)" >&2
+                echo "error: unknown lane '${lane}' (default|sanitize|tsan|lint|bench|chaos|all)" >&2
                 exit 2
                 ;;
         esac

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -19,6 +20,7 @@
 #include "telemetry/trace.hpp"
 #include "util/distributions.hpp"
 #include "util/format.hpp"
+#include "util/proc.hpp"
 
 namespace spinscope::scanner {
 
@@ -90,6 +92,9 @@ std::string CampaignStats::render() const {
     }
     if (worker_restarts > 0) {
         table.add_row({"worker restarts", util::group_digits(worker_restarts)});
+    }
+    if (proc_restarts > 0) {
+        table.add_row({"process restarts", util::group_digits(proc_restarts)});
     }
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         table.add_row({std::string{"outcome "} +
@@ -354,6 +359,60 @@ DomainScan Campaign::scan_domain(const web::Domain& domain) const {
     return scan;
 }
 
+std::size_t Campaign::chunk_count() const {
+    return ShardPlan{population_->domains().size(), options_.chunk_domains}.chunk_count();
+}
+
+std::vector<std::uint32_t> Campaign::chunk_domain_ids(std::size_t chunk_index) const {
+    const auto domains = population_->domains();
+    const ShardPlan plan{domains.size(), options_.chunk_domains};
+    if (chunk_index >= plan.chunk_count()) {
+        throw std::out_of_range("scanner: chunk_domain_ids index past chunk_count()");
+    }
+    std::vector<std::uint32_t> ids;
+    ids.reserve(plan.chunk_end(chunk_index) - plan.chunk_begin(chunk_index));
+    for (std::size_t i = plan.chunk_begin(chunk_index); i < plan.chunk_end(chunk_index);
+         ++i) {
+        ids.push_back(domains[i].id);
+    }
+    return ids;
+}
+
+ScannedChunk Campaign::scan_chunk(std::size_t chunk_index) const {
+    const auto domains = population_->domains();
+    const ShardPlan plan{domains.size(), options_.chunk_domains};
+    if (chunk_index >= plan.chunk_count()) {
+        throw std::out_of_range("scanner: scan_chunk index past chunk_count()");
+    }
+    if (options_.chunk_fault_hook) options_.chunk_fault_hook(chunk_index);
+    // Chunk-private registry and pool, exactly as run()'s workers build them:
+    // the snapshot below must be byte-identical to what run() journals for
+    // this chunk, or the reducer's merged telemetry would drift.
+    std::unique_ptr<telemetry::MetricsRegistry> metrics;
+    if (metrics_ != nullptr) metrics = std::make_unique<telemetry::MetricsRegistry>();
+    bytes::BufferPool pool;
+    ScannedChunk out;
+    out.scans.reserve(plan.chunk_end(chunk_index) - plan.chunk_begin(chunk_index));
+    for (std::size_t i = plan.chunk_begin(chunk_index); i < plan.chunk_end(chunk_index);
+         ++i) {
+        const web::Domain& domain = domains[i];
+        DomainScan scan;
+        try {
+            scan = scan_domain_into(domain, metrics.get(), &pool);
+        } catch (const std::exception& e) {
+            scan = DomainScan{};
+            scan.domain_id = domain.id;
+            scan.error = e.what();
+        }
+        out.scans.push_back(std::move(scan));
+    }
+    if (metrics != nullptr) {
+        pool.publish_metrics(*metrics);
+        out.telemetry_snapshot = telemetry::snapshot(*metrics);
+    }
+    return out;
+}
+
 DomainScan Campaign::scan_domain_into(const web::Domain& domain,
                                       telemetry::MetricsRegistry* metrics,
                                       bytes::BufferPool* pool) const {
@@ -438,7 +497,7 @@ DomainScan Campaign::scan_domain_into(const web::Domain& domain,
 
 CampaignStats Campaign::run(
     const std::function<void(const web::Domain&, DomainScan&&)>& sink) const {
-    return run_impl(sink, /*resume_journal=*/false);
+    return run_impl(sink, RunMode::fresh);
 }
 
 CampaignStats Campaign::resume(
@@ -446,12 +505,20 @@ CampaignStats Campaign::resume(
     if (options_.journal_dir.empty()) {
         throw std::invalid_argument("scanner: resume() requires ScanOptions.journal_dir");
     }
-    return run_impl(sink, /*resume_journal=*/true);
+    return run_impl(sink, RunMode::resume);
+}
+
+CampaignStats Campaign::reduce(
+    const std::function<void(const web::Domain&, DomainScan&&)>& sink) const {
+    if (options_.journal_dir.empty()) {
+        throw std::invalid_argument("scanner: reduce() requires ScanOptions.journal_dir");
+    }
+    return run_impl(sink, RunMode::reduce);
 }
 
 CampaignStats Campaign::run_impl(
     const std::function<void(const web::Domain&, DomainScan&&)>& sink,
-    bool resume_journal) const {
+    RunMode mode) const {
     CampaignStats stats;
     const auto wall_start = std::chrono::steady_clock::now();
     const auto wall_elapsed = [&wall_start] {
@@ -618,20 +685,213 @@ CampaignStats Campaign::run_impl(
         }
     };
 
-    // ---- journal replay (resume) and writer setup ---------------------------
+    // ---- journal lock, replay (resume/reduce) and writer setup --------------
     const bool journaling = !options_.journal_dir.empty();
+    CampaignHeader header;
+    header.seed = options_.seed;
+    header.week = options_.week;
+    header.ipv6 = options_.ipv6;
+    header.chunk_domains = options_.chunk_domains;
+    header.domain_count = domains.size();
+    header.has_telemetry = metrics_ != nullptr;
+
+    // Exactly one campaign may write a journal directory at a time: two
+    // writers interleaving appends (or a reduce racing a scan) would corrupt
+    // it. Held until this run returns; a stale lock whose owner died is
+    // broken silently, a live owner makes this run refuse loudly.
+    util::PidLockFile journal_lock;
+    if (journaling) {
+        std::filesystem::create_directories(options_.journal_dir);
+        try {
+            journal_lock.acquire(journal_lock_path(options_.journal_dir));
+        } catch (const std::runtime_error& e) {
+            throw std::runtime_error(std::string{"scanner: journal dir '"} +
+                                     options_.journal_dir +
+                                     "' is in use by another campaign (" + e.what() +
+                                     ")");
+        }
+    }
+
+    // Re-drives the merge bookkeeping for one journaled chunk record —
+    // telemetry, quarantine accounting, trace and per-scan merge — exactly
+    // as the live path would have. Shared by resume (segment journal) and
+    // reduce (map journal): replayed chunks producing the same counters the
+    // uninterrupted merge would have produced is what makes recovered output
+    // byte-identical.
+    const auto replay_record = [&](ChunkRecord& record) {
+        const std::size_t begin = plan.chunk_begin(record.chunk_index);
+        const std::size_t end = plan.chunk_end(record.chunk_index);
+        if (record.scans.size() != end - begin) {
+            throw std::invalid_argument(
+                "scanner: journal chunk geometry does not match the population");
+        }
+        // Same merge order as the live path: chunk telemetry first, then
+        // per-scan bookkeeping.
+        if (metrics_ != nullptr && !record.telemetry_snapshot.empty()) {
+            auto parsed = telemetry::parse_snapshot(record.telemetry_snapshot);
+            if (!parsed) {
+                throw std::invalid_argument(
+                    "scanner: journal telemetry snapshot is malformed");
+            }
+            metrics_->merge_from(*parsed);
+        }
+        if (record.quarantined) {
+            ++stats.chunks_quarantined;
+            stats.domains_quarantined += record.scans.size();
+            if (metrics_ != nullptr) {
+                metrics_->counter("campaign.quarantined_chunks").add(1);
+                metrics_->counter("campaign.quarantined_domains")
+                    .add(record.scans.size());
+            }
+        }
+        trace_chunk(record.chunk_index, record.scans, /*replayed=*/true,
+                    record.quarantined);
+        for (std::size_t j = 0; j < record.scans.size(); ++j) {
+            if (record.scans[j].domain_id != domains[begin + j].id) {
+                throw std::invalid_argument(
+                    "scanner: journal domain ids do not match the population");
+            }
+            merge_scan(begin + j, std::move(record.scans[j]));
+        }
+    };
+
+    if (mode == RunMode::reduce) {
+        // ---- multi-process reducer (map-layout journal, DESIGN.md §13) ------
+        // Recorded chunks may be ANY subset — worker processes finish out of
+        // order and die mid-campaign — so the reducer interleaves replays of
+        // recorded chunks with fresh scans of missing ones, keeping merges in
+        // strict ascending chunk order. Chunks it scans are published back
+        // into the map journal BEFORE merging (atomic, idempotent), so a
+        // killed reduce rescans nothing it already published.
+        init_map_journal(options_.journal_dir, header, /*wipe=*/false);
+        MapReplayResult map = read_map_journal(options_.journal_dir);
+        std::vector<std::optional<ChunkRecord>> recorded(plan.chunk_count());
+        std::uint64_t records_replayed = 0;
+        for (auto& record : map.chunks) {
+            if (record.chunk_index >= plan.chunk_count()) {
+                throw std::invalid_argument(
+                    "scanner: map journal chunk index is past this campaign's "
+                    "chunk count");
+            }
+            recorded[record.chunk_index] = std::move(record);
+            ++records_replayed;
+        }
+        std::vector<std::size_t> missing;
+        for (std::size_t c = 0; c < plan.chunk_count(); ++c) {
+            if (!recorded[c]) missing.push_back(c);
+        }
+
+        // Next global chunk whose replay is still pending; recorded chunks
+        // below a freshly-scanned chunk replay right before it merges.
+        std::size_t replay_cursor = 0;
+        const auto replay_up_to = [&](std::size_t limit) {
+            for (; replay_cursor < limit; ++replay_cursor) {
+                if (recorded[replay_cursor]) replay_record(*recorded[replay_cursor]);
+            }
+        };
+
+        std::vector<ScannedChunk> scanned(missing.size());
+        const auto scan_missing = [&](std::size_t c) {
+            const std::int64_t scan_start_ns =
+                trace != nullptr ? trace->wall_now_ns() : 0;
+            scanned[c] = scan_chunk(missing[c]);
+            if (trace != nullptr) {
+                const std::int64_t end_ns = trace->wall_now_ns();
+                trace->complete(
+                    TraceClock::wall, trace->wall_lane_for_current_thread("worker"),
+                    "scan chunk", scan_start_ns, end_ns - scan_start_ns,
+                    {TraceArg::num("chunk", static_cast<std::uint64_t>(missing[c])),
+                     TraceArg::num("domains", static_cast<std::uint64_t>(
+                                                  scanned[c].scans.size()))});
+            }
+        };
+        const auto publish_and_merge = [&](ChunkRecord&& record) {
+            if (!write_map_chunk(options_.journal_dir, record)) {
+                throw std::runtime_error{"scanner: cannot publish map chunk record in " +
+                                         options_.journal_dir};
+            }
+            ++stats.journal_records_appended;
+            if (metrics_ != nullptr && !record.telemetry_snapshot.empty()) {
+                auto parsed = telemetry::parse_snapshot(record.telemetry_snapshot);
+                if (parsed) metrics_->merge_from(*parsed);
+            }
+            trace_chunk(record.chunk_index, record.scans, /*replayed=*/false,
+                        record.quarantined);
+            const std::size_t begin = plan.chunk_begin(record.chunk_index);
+            for (std::size_t j = 0; j < record.scans.size(); ++j) {
+                merge_scan(begin + j, std::move(record.scans[j]));
+            }
+            replay_cursor = record.chunk_index + 1;
+        };
+        const auto merge_missing = [&](std::size_t c) {
+            const std::size_t g = missing[c];
+            replay_up_to(g);
+            ChunkRecord record;
+            record.chunk_index = g;
+            record.scans = std::move(scanned[c].scans);
+            record.telemetry_snapshot = std::move(scanned[c].telemetry_snapshot);
+            publish_and_merge(std::move(record));
+        };
+        const auto quarantine_missing = [&](const ChunkFailure& failure) {
+            const std::size_t g = missing[failure.chunk];
+            replay_up_to(g);
+            ChunkRecord record;
+            record.chunk_index = g;
+            record.quarantined = true;
+            record.quarantine_error = failure.error;
+            record.scans.reserve(plan.chunk_end(g) - plan.chunk_begin(g));
+            for (std::size_t i = plan.chunk_begin(g); i < plan.chunk_end(g); ++i) {
+                DomainScan scan;
+                scan.domain_id = domains[i].id;
+                scan.error = "chunk quarantined: " + failure.error;
+                record.scans.push_back(std::move(scan));
+            }
+            ++stats.chunks_quarantined;
+            stats.domains_quarantined += record.scans.size();
+            if (metrics_ != nullptr) {
+                metrics_->counter("campaign.quarantined_chunks").add(1);
+                metrics_->counter("campaign.quarantined_domains")
+                    .add(record.scans.size());
+            }
+            publish_and_merge(std::move(record));
+        };
+
+        SupervisorConfig supervisor;
+        supervisor.restart = options_.worker_restart;
+        supervisor.seed = options_.seed;
+        // One missing chunk per work item: the campaign chunk is already the
+        // unit of journaling, so the reducer's shard layer must not regroup.
+        const SupervisionReport report =
+            run_supervised(ShardConfig{options_.threads, 1},
+                           ShardPlan{missing.size(), 1}, supervisor, scan_missing,
+                           merge_missing, quarantine_missing);
+        replay_up_to(plan.chunk_count());
+        stats.worker_restarts = report.restarts;
+        if (metrics_ != nullptr) {
+            if (report.restarts > 0) {
+                metrics_->counter("campaign.restarted_workers").add(report.restarts);
+            }
+            metrics_->counter("campaign.journal.records_replayed")
+                .add(records_replayed);
+            if (map.corrupt_chunks > 0) {
+                metrics_->counter("campaign.journal.corrupt_map_chunks")
+                    .add(map.corrupt_chunks);
+            }
+        }
+        stats.wall_seconds = wall_elapsed();
+        if (metrics_ != nullptr) {
+            metrics_->gauge("scanner.domains_per_sec").set(stats.domains_per_sec());
+            metrics_->gauge("scanner.quic_ok_rate").set(stats.quic_ok_rate());
+            if (resource_probe) resource_probe->publish(*metrics_);
+            if (trace != nullptr) trace->publish_metrics(*metrics_);
+        }
+        return stats;
+    }
+
     std::size_t chunks_replayed = 0;
     if (journaling) {
-        CampaignHeader header;
-        header.seed = options_.seed;
-        header.week = options_.week;
-        header.ipv6 = options_.ipv6;
-        header.chunk_domains = options_.chunk_domains;
-        header.domain_count = domains.size();
-        header.has_telemetry = metrics_ != nullptr;
         const JournalOptions journal_options{options_.journal_segment_bytes};
-
-        if (resume_journal) {
+        if (mode == RunMode::resume) {
             ReplayResult replayed = replay_journal(options_.journal_dir);
             if (replayed.has_header) {
                 if (!(replayed.header == header)) {
@@ -639,46 +899,7 @@ CampaignStats Campaign::run_impl(
                         "scanner: resume() journal belongs to a different campaign "
                         "(options or population changed since it was written)");
                 }
-                for (auto& record : replayed.chunks) {
-                    const std::size_t begin = plan.chunk_begin(record.chunk_index);
-                    const std::size_t end = plan.chunk_end(record.chunk_index);
-                    if (record.scans.size() != end - begin) {
-                        throw std::invalid_argument(
-                            "scanner: resume() journal chunk geometry does not match "
-                            "the population");
-                    }
-                    // Same merge order as the live path: chunk telemetry
-                    // first, then per-scan bookkeeping.
-                    if (metrics_ != nullptr && !record.telemetry_snapshot.empty()) {
-                        auto parsed =
-                            telemetry::parse_snapshot(record.telemetry_snapshot);
-                        if (!parsed) {
-                            throw std::invalid_argument(
-                                "scanner: resume() journal telemetry snapshot is "
-                                "malformed");
-                        }
-                        metrics_->merge_from(*parsed);
-                    }
-                    if (record.quarantined) {
-                        ++stats.chunks_quarantined;
-                        stats.domains_quarantined += record.scans.size();
-                        if (metrics_ != nullptr) {
-                            metrics_->counter("campaign.quarantined_chunks").add(1);
-                            metrics_->counter("campaign.quarantined_domains")
-                                .add(record.scans.size());
-                        }
-                    }
-                    trace_chunk(record.chunk_index, record.scans, /*replayed=*/true,
-                                record.quarantined);
-                    for (std::size_t j = 0; j < record.scans.size(); ++j) {
-                        if (record.scans[j].domain_id != domains[begin + j].id) {
-                            throw std::invalid_argument(
-                                "scanner: resume() journal domain ids do not match "
-                                "the population");
-                        }
-                        merge_scan(begin + j, std::move(record.scans[j]));
-                    }
-                }
+                for (auto& record : replayed.chunks) replay_record(record);
                 chunks_replayed = replayed.chunks.size();
                 if (metrics_ != nullptr) {
                     metrics_->counter("campaign.journal.records_replayed")
@@ -894,8 +1115,12 @@ CampaignStats Campaign::run_impl(
         run_supervised(shard, rest_plan, supervisor, scan_chunk, merge_chunk,
                        quarantine_chunk);
     stats.worker_restarts = report.restarts;
+    // restarted_workers = thread-level scan re-executions (run_supervised);
+    // its sibling campaign.restarted_procs counts worker PROCESS re-forks
+    // and is published by scanner::run_procs — keeping the two attribution
+    // paths distinct for the progress reporter and the flight recorder.
     if (metrics_ != nullptr && report.restarts > 0) {
-        metrics_->counter("campaign.worker_restarts").add(report.restarts);
+        metrics_->counter("campaign.restarted_workers").add(report.restarts);
     }
 
     if (journal != nullptr) {

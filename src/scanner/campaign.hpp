@@ -163,8 +163,14 @@ struct CampaignStats {
     /// domains are counted in domains_quarantined AND domains_errored).
     std::uint64_t chunks_quarantined = 0;
     std::uint64_t domains_quarantined = 0;
-    /// Crashed-chunk scan re-executions performed by the supervisor.
+    /// Crashed-chunk scan re-executions performed by the in-process
+    /// supervisor (thread-level restarts, run_supervised).
     std::uint64_t worker_restarts = 0;
+    /// Worker PROCESS re-forks performed by the multi-process supervisor
+    /// (scanner::run_procs). Always 0 for in-process runs; stitched in by
+    /// the caller after a run_procs + reduce pair (reduce itself cannot
+    /// observe process deaths — they happened in an earlier pass).
+    std::uint64_t proc_restarts = 0;
     /// Journal records appended by this run so far (0 without journaling).
     std::uint64_t journal_records_appended = 0;
     /// Bytes sitting in the journal's active (unsealed) segment — the
@@ -195,6 +201,16 @@ struct CampaignStats {
 
     /// Aligned-table rendering (throughput, rates, outcome breakdown).
     [[nodiscard]] std::string render() const;
+};
+
+/// One chunk's worth of scan output in journal-ready form: the scans of the
+/// chunk's domains in domain-id order plus the chunk-private telemetry
+/// snapshot (empty when the campaign has no registry attached). This is what
+/// a multi-process worker publishes as one map-journal record
+/// (scanner::run_procs) and what Campaign::reduce folds back together.
+struct ScannedChunk {
+    std::vector<DomainScan> scans;
+    std::string telemetry_snapshot;
 };
 
 /// Scans domains of a Population.
@@ -241,8 +257,26 @@ public:
         progress_ = std::move(callback);
     }
 
+    /// Number of work chunks a run() will process (chunk geometry is a pure
+    /// function of domain_count and ScanOptions::chunk_domains).
+    [[nodiscard]] std::size_t chunk_count() const;
+
+    /// Domain ids of one global chunk in scan order — what quarantine
+    /// placeholder records need. Throws std::out_of_range past chunk_count().
+    [[nodiscard]] std::vector<std::uint32_t> chunk_domain_ids(std::size_t chunk_index) const;
+
     /// Scans a single domain (resolution, connection, redirects).
     [[nodiscard]] DomainScan scan_domain(const web::Domain& domain) const;
+
+    /// Scans one GLOBAL chunk into journal-ready form: per-domain fault
+    /// isolation, a chunk-private telemetry registry (snapshotted; only when
+    /// a registry is attached to the campaign) and a chunk-private buffer
+    /// pool — byte-identical to what run() produces and journals for the
+    /// same chunk. This is the unit of work a multi-process worker executes
+    /// under a lease (DESIGN.md §13). ScanOptions::chunk_fault_hook fires at
+    /// entry with the global chunk index, OUTSIDE the per-domain isolation.
+    /// Throws std::out_of_range for an index past chunk_count().
+    [[nodiscard]] ScannedChunk scan_chunk(std::size_t chunk_index) const;
 
     /// Scans every domain, streaming results to `sink` in domain-id order
     /// (traces are large; aggregate, then drop them). Returns the sweep's
@@ -269,7 +303,30 @@ public:
     CampaignStats resume(
         const std::function<void(const web::Domain&, DomainScan&&)>& sink) const;
 
+    /// Multi-process reducer: folds the MAP-layout journal at
+    /// ScanOptions::journal_dir (the per-chunk record files N worker
+    /// processes published, see scanner::run_procs) into one merged result —
+    /// replaying recorded chunks and scanning any missing ones in strict
+    /// ascending chunk order through the exact merge bookkeeping run() uses,
+    /// so the sink stream, stats and deterministic telemetry are
+    /// byte-identical to an uninterrupted single-process run(). Chunks it
+    /// scans itself are published back into the map journal first
+    /// (journal-before-merge, idempotent), so a killed reduce is rerunnable.
+    /// An empty or headerless directory degenerates to a full scan that
+    /// builds the map journal. Holds the journal.lock for the duration;
+    /// throws std::invalid_argument when journal_dir is empty or the journal
+    /// belongs to a different campaign, std::runtime_error when the
+    /// directory is locked by a live campaign.
+    CampaignStats reduce(
+        const std::function<void(const web::Domain&, DomainScan&&)>& sink) const;
+
     [[nodiscard]] const ScanOptions& options() const noexcept { return options_; }
+    /// The attached instrumentation sinks (nullptr when detached) — read by
+    /// the multi-process supervisor, which publishes its own process-level
+    /// observations (obs.proc.*, campaign.restarted_procs) into the same
+    /// registry and recorder the campaign uses.
+    [[nodiscard]] telemetry::MetricsRegistry* metrics() const noexcept { return metrics_; }
+    [[nodiscard]] telemetry::TraceRecorder* trace() const noexcept { return trace_; }
 
 private:
     struct AttemptOutcome {
@@ -302,8 +359,15 @@ private:
                                              telemetry::MetricsRegistry* metrics,
                                              bytes::BufferPool* pool) const;
 
+    /// How run_impl interacts with ScanOptions::journal_dir.
+    enum class RunMode {
+        fresh,   ///< run(): fresh segment journal (when journaling at all)
+        resume,  ///< resume(): replay + continue the segment journal
+        reduce,  ///< reduce(): replay + complete the map-layout journal
+    };
+
     CampaignStats run_impl(const std::function<void(const web::Domain&, DomainScan&&)>& sink,
-                           bool resume_journal) const;
+                           RunMode mode) const;
 
     const web::Population* population_;
     ScanOptions options_;

@@ -686,4 +686,202 @@ void JournalWriter::append_chunk(const ChunkRecord& record) {
 
 void JournalWriter::close() { seal_current_segment(); }
 
+// ---------------------------------------------------------------------------
+// Journal-directory lock
+
+std::filesystem::path journal_lock_path(const std::filesystem::path& dir) {
+    return dir / "journal.lock";
+}
+
+// ---------------------------------------------------------------------------
+// Map-layout journal
+
+namespace {
+
+constexpr const char* kMapHeaderName = "header.rec";
+constexpr const char* kMapChunkPrefix = "chunk-";
+constexpr const char* kMapChunkSuffix = ".rec";
+constexpr const char* kLeaseSuffix = ".lease";
+
+[[nodiscard]] std::filesystem::path map_name(const std::filesystem::path& dir,
+                                             std::size_t index, const char* suffix) {
+    char name[48];
+    std::snprintf(name, sizeof name, "%s%05zu%s", kMapChunkPrefix, index, suffix);
+    return dir / name;
+}
+
+/// Payload of a single-record framed file; nullopt when the file is absent,
+/// torn, fails CRC, or has trailing bytes past the frame.
+[[nodiscard]] std::optional<std::string> read_framed_file(
+    const std::filesystem::path& path) {
+    if (!std::filesystem::is_regular_file(path)) return std::nullopt;
+    const std::string content = read_whole_file(path);
+    const auto frame = next_frame(content, 0);
+    if (!frame || frame->end != content.size()) return std::nullopt;
+    return std::string{frame->payload};
+}
+
+/// True for header.rec, chunk-*.rec and chunk-*.lease filenames.
+[[nodiscard]] bool is_map_file(const std::string& name) {
+    if (name == kMapHeaderName) return true;
+    if (name.rfind(kMapChunkPrefix, 0) != 0) return false;
+    const std::string_view rest = std::string_view{name}.substr(std::strlen(kMapChunkPrefix));
+    return rest.ends_with(kMapChunkSuffix) || rest.ends_with(kLeaseSuffix);
+}
+
+}  // namespace
+
+std::filesystem::path map_header_path(const std::filesystem::path& dir) {
+    return dir / kMapHeaderName;
+}
+
+std::filesystem::path map_chunk_path(const std::filesystem::path& dir,
+                                     std::size_t chunk_index) {
+    return map_name(dir, chunk_index, kMapChunkSuffix);
+}
+
+std::filesystem::path lease_path(const std::filesystem::path& dir,
+                                 std::size_t chunk_index) {
+    return map_name(dir, chunk_index, kLeaseSuffix);
+}
+
+void init_map_journal(const std::filesystem::path& dir, const CampaignHeader& header,
+                      bool wipe) {
+    std::filesystem::create_directories(dir);
+    // Persist the directory's own existence: a power cut right after mkdir
+    // must not orphan every file published into it.
+    (void)util::fsync_dir(dir.has_parent_path() ? dir.parent_path()
+                                                : std::filesystem::path{"."});
+    if (wipe) {
+        for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+            if (is_map_file(entry.path().filename().string())) {
+                std::filesystem::remove(entry.path());
+            }
+        }
+    } else {
+        const auto existing = read_framed_file(map_header_path(dir));
+        if (existing) {
+            const auto parsed = parse_header(*existing);
+            if (parsed && !(*parsed == header)) {
+                throw std::invalid_argument(
+                    "journal: map header mismatch — this journal belongs to a "
+                    "different campaign (seed/week/family/chunking/population "
+                    "differ)");
+            }
+        }
+    }
+    if (!util::write_file_atomic(map_header_path(dir),
+                                 frame_record(serialize_header(header)))) {
+        throw std::runtime_error{"journal: cannot write map header in " + dir.string()};
+    }
+}
+
+bool write_map_chunk(const std::filesystem::path& dir, const ChunkRecord& record) {
+    return util::write_file_atomic(map_chunk_path(dir, record.chunk_index),
+                                   frame_record(serialize_chunk_record(record)));
+}
+
+std::optional<ChunkRecord> read_map_chunk(const std::filesystem::path& dir,
+                                          std::size_t chunk_index) {
+    const auto payload = read_framed_file(map_chunk_path(dir, chunk_index));
+    if (!payload) return std::nullopt;
+    auto record = parse_chunk_record(*payload);
+    if (!record || record->chunk_index != chunk_index) return std::nullopt;
+    return record;
+}
+
+MapReplayResult read_map_journal(const std::filesystem::path& dir) {
+    MapReplayResult out;
+    if (!std::filesystem::is_directory(dir)) return out;
+    if (const auto payload = read_framed_file(map_header_path(dir))) {
+        if (const auto header = parse_header(*payload)) {
+            out.header = *header;
+            out.has_header = true;
+        }
+    }
+    std::vector<std::size_t> indices;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (!entry.is_regular_file()) continue;
+        const auto name = entry.path().filename().string();
+        if (name.rfind(kMapChunkPrefix, 0) != 0) continue;
+        std::string_view rest = std::string_view{name}.substr(std::strlen(kMapChunkPrefix));
+        if (!rest.ends_with(kMapChunkSuffix)) continue;
+        rest.remove_suffix(std::strlen(kMapChunkSuffix));
+        std::uint64_t index = 0;
+        if (!parse_number(rest, index)) continue;
+        indices.push_back(static_cast<std::size_t>(index));
+    }
+    std::sort(indices.begin(), indices.end());
+    indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+    for (const std::size_t index : indices) {
+        auto record = read_map_chunk(dir, index);
+        if (record) {
+            out.chunks.push_back(std::move(*record));
+        } else {
+            ++out.corrupt_chunks;
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Chunk leases
+
+std::string serialize_lease(const ChunkLease& lease) {
+    std::string out = "lease";
+    append_kv(out, "chunk", lease.chunk_index);
+    append_kv_signed(out, "pid", lease.pid);
+    append_kv(out, "token", lease.token);
+    append_kv(out, "attempts", lease.attempts);
+    out += '\n';
+    return out;
+}
+
+std::optional<ChunkLease> parse_lease(std::string_view payload) {
+    Cursor cur{payload};
+    const auto line = cur.line();
+    if (!line || !cur.done()) return std::nullopt;
+    const auto tok = split_tokens(*line);
+    ChunkLease lease;
+    std::uint64_t chunk = 0;
+    long long pid = 0;
+    if (tok.size() != 5 || tok[0] != "lease" || !parse_kv(tok[1], "chunk", chunk) ||
+        !parse_kv(tok[2], "pid", pid) || !parse_kv(tok[3], "token", lease.token) ||
+        !parse_kv(tok[4], "attempts", lease.attempts)) {
+        return std::nullopt;
+    }
+    lease.chunk_index = static_cast<std::size_t>(chunk);
+    lease.pid = static_cast<long>(pid);
+    return lease;
+}
+
+bool claim_lease(const std::filesystem::path& dir, const ChunkLease& lease) {
+    return util::create_file_exclusive(lease_path(dir, lease.chunk_index),
+                                       serialize_lease(lease));
+}
+
+std::optional<ChunkLease> read_lease(const std::filesystem::path& dir,
+                                     std::size_t chunk_index) {
+    const auto path = lease_path(dir, chunk_index);
+    if (!std::filesystem::is_regular_file(path)) return std::nullopt;
+    auto lease = parse_lease(read_whole_file(path));
+    if (!lease || lease->chunk_index != chunk_index) return std::nullopt;
+    return lease;
+}
+
+bool release_lease(const std::filesystem::path& dir, std::size_t chunk_index,
+                   std::uint64_t token) {
+    const auto path = lease_path(dir, chunk_index);
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) return true;
+    const auto lease = read_lease(dir, chunk_index);
+    if (lease) {
+        if (lease->token != token) return false;  // fencing: not our lease
+    } else if (token != 0) {
+        return false;  // garbled lease needs the explicit token-0 override
+    }
+    std::filesystem::remove(path, ec);
+    return !std::filesystem::exists(path, ec);
+}
+
 }  // namespace spinscope::scanner

@@ -162,4 +162,126 @@ private:
 /// Frames `payload` as one journal record (`#rec <len> <crc>\n` + payload).
 [[nodiscard]] std::string frame_record(const std::string& payload);
 
+// ---------------------------------------------------------------------------
+// Journal-directory lock
+//
+// Exactly one campaign may write a journal directory at a time: two writers
+// interleaving appends (or one resuming while another scans) would corrupt
+// the contiguous-prefix invariant. The lock is a pid file created with
+// O_EXCL; a lock whose owner is dead is stale and silently broken, a lock
+// whose owner is alive makes Campaign::run/resume and the benches refuse
+// with a clear error instead of corrupting.
+
+/// `journal.lock` inside `dir`.
+[[nodiscard]] std::filesystem::path journal_lock_path(const std::filesystem::path& dir);
+
+// ---------------------------------------------------------------------------
+// Map-layout journal (multi-process campaigns, DESIGN.md §13)
+//
+// The segment journal above is an append-only log owned by ONE merge thread.
+// N worker processes cannot share an append stream without ordering writes,
+// so the multi-process path uses a second, order-free layout in the same
+// directory: one atomically-published file per chunk,
+//
+//   header.rec          frame_record(serialize_header(...))
+//   chunk-00042.rec     frame_record(serialize_chunk_record(...))
+//   chunk-00042.lease   claim marker of the worker scanning chunk 42
+//
+// "Chunk 42 is done" ⇔ chunk-00042.rec exists and parses. Because chunk
+// scans are pure functions of (options, chunk geometry) — DESIGN.md §9 —
+// two workers racing to publish the same chunk write byte-identical files,
+// so the atomic-rename publish is idempotent and double-scans are merely
+// wasted work, never corruption. Leases exist for efficiency and liveness
+// (workers avoid double-scanning; a dead worker's chunks are re-leased),
+// NOT for correctness. Campaign::reduce folds the per-chunk files into the
+// ordinary merge path in strict chunk order.
+
+/// `header.rec` inside `dir`.
+[[nodiscard]] std::filesystem::path map_header_path(const std::filesystem::path& dir);
+/// `chunk-NNNNN.rec` inside `dir`.
+[[nodiscard]] std::filesystem::path map_chunk_path(const std::filesystem::path& dir,
+                                                   std::size_t chunk_index);
+/// `chunk-NNNNN.lease` inside `dir`.
+[[nodiscard]] std::filesystem::path lease_path(const std::filesystem::path& dir,
+                                               std::size_t chunk_index);
+
+/// Prepares `dir` as a map-layout journal. With `wipe`, removes every
+/// existing chunk/lease/header file first (a fresh run rescans everything);
+/// without it, an existing header must equal `header`
+/// (std::invalid_argument otherwise — the journal belongs to a different
+/// campaign) and finished chunks are kept for reuse. The header file is
+/// published atomically and the directory entry fsynced. Throws
+/// std::runtime_error on I/O failure.
+void init_map_journal(const std::filesystem::path& dir, const CampaignHeader& header,
+                      bool wipe);
+
+/// Atomically publishes one finished chunk (write-temp + fsync + rename).
+/// Idempotent: republishing the same chunk is harmless. Returns false on
+/// I/O failure.
+[[nodiscard]] bool write_map_chunk(const std::filesystem::path& dir,
+                                   const ChunkRecord& record);
+
+/// Reads one published chunk; nullopt when absent, torn, or failing
+/// frame/CRC/body validation (all treated as "not scanned yet").
+[[nodiscard]] std::optional<ChunkRecord> read_map_chunk(const std::filesystem::path& dir,
+                                                        std::size_t chunk_index);
+
+/// Everything intact in a map-layout journal directory.
+struct MapReplayResult {
+    /// False when header.rec is absent or fails validation.
+    bool has_header = false;
+    CampaignHeader header;
+    /// Intact chunks in ascending chunk order. Unlike the segment journal
+    /// this need NOT be a contiguous prefix — workers finish out of order.
+    std::vector<ChunkRecord> chunks;
+    /// chunk-*.rec files that failed frame/CRC/body validation (counted,
+    /// then treated as missing — the reducer rescans them).
+    std::uint64_t corrupt_chunks = 0;
+};
+
+/// Reads every intact record of the map-layout journal at `dir`. Never
+/// modifies the directory.
+[[nodiscard]] MapReplayResult read_map_journal(const std::filesystem::path& dir);
+
+// ---------------------------------------------------------------------------
+// Chunk leases
+
+/// A worker's claim on one chunk. The fencing token is unique per lease
+/// grant (worker slot × incarnation counter), so a supervisor reclaiming a
+/// dead worker's chunks removes exactly the leases that worker held — a
+/// worker that was wrongly declared dead cannot have its NEW lease (new
+/// token) swept away by a reclaim aimed at its old incarnation.
+struct ChunkLease {
+    std::size_t chunk_index = 0;
+    long pid = 0;
+    std::uint64_t token = 0;
+    /// How many times a process STARTED scanning this chunk (a claim writes
+    /// the inherited count; the owner bumps it right before scanning). Drives
+    /// poisoned-chunk quarantine: a chunk whose scans keep killing processes
+    /// gets a bounded number of incarnations before the pool gives up on it —
+    /// while a chunk that was merely LEASED by a dying process is not tainted.
+    std::uint64_t attempts = 0;
+
+    friend bool operator==(const ChunkLease&, const ChunkLease&) = default;
+};
+
+[[nodiscard]] std::string serialize_lease(const ChunkLease& lease);
+[[nodiscard]] std::optional<ChunkLease> parse_lease(std::string_view payload);
+
+/// Atomically claims `lease.chunk_index` (O_EXCL create of the lease file).
+/// Exactly one of N racing claimants succeeds. Returns false when the chunk
+/// is already leased or on I/O failure.
+[[nodiscard]] bool claim_lease(const std::filesystem::path& dir, const ChunkLease& lease);
+
+/// The current lease on a chunk; nullopt when unleased or garbled (a
+/// garbled lease file blocks nobody: release_lease with token 0 removes it).
+[[nodiscard]] std::optional<ChunkLease> read_lease(const std::filesystem::path& dir,
+                                                   std::size_t chunk_index);
+
+/// Removes the lease on `chunk_index` iff its fencing token matches
+/// `token` (or the lease file is garbled and `token` is 0). Returns true
+/// when the lease file is gone afterwards.
+bool release_lease(const std::filesystem::path& dir, std::size_t chunk_index,
+                   std::uint64_t token);
+
 }  // namespace spinscope::scanner

@@ -1,5 +1,7 @@
 #include "util/atomic_file.hpp"
 
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <string>
 #include <system_error>
@@ -41,15 +43,20 @@ bool sync_path(const std::filesystem::path& path, bool directory) noexcept {
 }
 
 /// Temp-file name next to `path`; the PID suffix keeps concurrent writers of
-/// different processes from clobbering each other's temp files.
+/// different processes from clobbering each other's temp files, and the
+/// process-wide serial keeps concurrent threads of ONE process (sharded
+/// chunk workers publishing into one journal dir) from clobbering each
+/// other's temp files too.
 std::filesystem::path temp_sibling(const std::filesystem::path& path) {
 #ifndef _WIN32
     const long pid = static_cast<long>(::getpid());
 #else
     const long pid = 0;
 #endif
+    static std::atomic<unsigned long> serial{0};
+    const unsigned long n = serial.fetch_add(1, std::memory_order_relaxed);
     std::filesystem::path temp = path;
-    temp += ".tmp." + std::to_string(pid);
+    temp += ".tmp." + std::to_string(pid) + "." + std::to_string(n);
     return temp;
 }
 
@@ -84,15 +91,66 @@ bool rename_durable(const std::filesystem::path& from, const std::filesystem::pa
     std::error_code ec;
     std::filesystem::rename(from, to, ec);
     if (ec) return false;
-    // Persist the directory entry. Failure here is not fatal to correctness
-    // (the rename happened); report it anyway so callers can surface it.
-    const std::filesystem::path dir =
+    // Persist the directory entries. The rename already happened, so sync
+    // failure here must NOT be reported as rename failure — callers would
+    // react by deleting or rewriting a file that is correctly published.
+    const std::filesystem::path to_dir =
         to.has_parent_path() ? to.parent_path() : std::filesystem::path{"."};
-    return sync_path(dir, /*directory=*/true);
+    (void)sync_path(to_dir, /*directory=*/true);
+    const std::filesystem::path from_dir =
+        from.has_parent_path() ? from.parent_path() : std::filesystem::path{"."};
+    if (!std::filesystem::equivalent(to_dir, from_dir, ec) && !ec) {
+        // Cross-directory rename: also persist the removal of the old entry,
+        // or a power cut can resurrect the source name next to the new one.
+        (void)sync_path(from_dir, /*directory=*/true);
+    }
+    return true;
+}
+
+bool fsync_dir(const std::filesystem::path& dir) {
+    return sync_path(dir.empty() ? std::filesystem::path{"."} : dir,
+                     /*directory=*/true);
 }
 
 bool fsync_file(const std::filesystem::path& path) {
     return sync_path(path, /*directory=*/false);
+}
+
+bool create_file_exclusive(const std::filesystem::path& path, std::string_view content) {
+#ifndef _WIN32
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd < 0) return false;
+    std::size_t off = 0;
+    bool ok = true;
+    while (off < content.size()) {
+        const ::ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            ok = false;
+            break;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    ok = sync_fd(fd) && ok;
+    ::close(fd);
+    if (!ok) {
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+    }
+    return ok;
+#else
+    // C11 "x" mode: fail when the file exists (the closest O_EXCL analogue).
+    std::FILE* f = std::fopen(path.string().c_str(), "wbx");
+    if (f == nullptr) return false;
+    bool ok = content.empty() ||
+              std::fwrite(content.data(), 1, content.size(), f) == content.size();
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok) {
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+    }
+    return ok;
+#endif
 }
 
 }  // namespace spinscope::util

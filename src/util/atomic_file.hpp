@@ -27,14 +27,31 @@ namespace spinscope::util {
 /// Durably renames `from` onto `to`: fsyncs `from`'s data is the caller's
 /// job (write_file_atomic does it; an append-mode writer must fsync before
 /// sealing); this performs the atomic rename and then fsyncs the containing
-/// directory so the new directory entry itself survives a crash. Returns
-/// false on failure, leaving `from` in place.
+/// directory (both directories, when the rename crosses them) so the moved
+/// directory entry itself survives a crash — without the source-side sync a
+/// power cut can resurrect the old name next to the new one. Returns false
+/// only when the rename itself fails, leaving `from` in place; a failed
+/// directory sync after a successful rename still returns true (the file IS
+/// published — reporting failure would make callers delete or rewrite it).
 [[nodiscard]] bool rename_durable(const std::filesystem::path& from,
                                   const std::filesystem::path& to);
+
+/// Best-effort fsync of a directory by path, persisting its entries (used
+/// after creating a journal directory so the directory itself survives a
+/// power cut). Returns false when the directory cannot be opened or synced.
+bool fsync_dir(const std::filesystem::path& dir);
 
 /// Best-effort fsync of an already-written file by path (opens, fsyncs,
 /// closes). Used by append-mode writers before sealing a segment. Returns
 /// false when the file cannot be opened or synced.
 bool fsync_file(const std::filesystem::path& path);
+
+/// Atomically creates `path` with `content` iff it does not already exist
+/// (O_EXCL). This is the claim primitive behind lock and lease files: of N
+/// concurrent creators exactly one succeeds. Returns false when the file
+/// already exists or on I/O failure; a partially-written file is removed
+/// best-effort so a loser never observes a torn winner.
+[[nodiscard]] bool create_file_exclusive(const std::filesystem::path& path,
+                                         std::string_view content);
 
 }  // namespace spinscope::util

@@ -1,0 +1,208 @@
+#include "util/proc.hpp"
+
+#include "util/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+#endif
+
+namespace spinscope::util {
+
+long current_pid() noexcept {
+#ifndef _WIN32
+    return static_cast<long>(::getpid());
+#else
+    return 0;
+#endif
+}
+
+bool process_alive(long pid) noexcept {
+#ifndef _WIN32
+    if (pid <= 0) return false;
+    if (::kill(static_cast<pid_t>(pid), 0) == 0) return true;
+    return errno != ESRCH;
+#else
+    (void)pid;
+    return true;  // no probe: never declare a possibly-live owner dead
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Pipe
+
+Pipe::Pipe() {
+#ifndef _WIN32
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        throw std::runtime_error{std::string{"util: pipe() failed: "} +
+                                 std::strerror(errno)};
+    }
+    read_fd_ = fds[0];
+    write_fd_ = fds[1];
+    ::fcntl(read_fd_, F_SETFD, FD_CLOEXEC);
+    ::fcntl(write_fd_, F_SETFD, FD_CLOEXEC);
+#else
+    throw std::runtime_error{"util: pipes are not supported on this platform"};
+#endif
+}
+
+Pipe::~Pipe() {
+    close_read();
+    close_write();
+}
+
+Pipe::Pipe(Pipe&& other) noexcept
+    : read_fd_{other.read_fd_}, write_fd_{other.write_fd_} {
+    other.read_fd_ = -1;
+    other.write_fd_ = -1;
+}
+
+Pipe& Pipe::operator=(Pipe&& other) noexcept {
+    if (this != &other) {
+        close_read();
+        close_write();
+        read_fd_ = other.read_fd_;
+        write_fd_ = other.write_fd_;
+        other.read_fd_ = -1;
+        other.write_fd_ = -1;
+    }
+    return *this;
+}
+
+void Pipe::close_read() noexcept {
+#ifndef _WIN32
+    if (read_fd_ >= 0) ::close(read_fd_);
+#endif
+    read_fd_ = -1;
+}
+
+void Pipe::close_write() noexcept {
+#ifndef _WIN32
+    if (write_fd_ >= 0) ::close(write_fd_);
+#endif
+    write_fd_ = -1;
+}
+
+bool write_line(int fd, std::string_view line) noexcept {
+#ifndef _WIN32
+    std::string framed{line};
+    framed.push_back('\n');
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        const ssize_t n = ::write(fd, framed.data() + off, framed.size() - off);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;  // EPIPE and friends: the peer is gone
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+#else
+    (void)fd;
+    (void)line;
+    return false;
+#endif
+}
+
+bool set_nonblocking(int fd) noexcept {
+#ifndef _WIN32
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0) return false;
+    return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+#else
+    (void)fd;
+    return false;
+#endif
+}
+
+bool LineReader::drain(std::vector<std::string>& out) {
+#ifndef _WIN32
+    char buf[4096];
+    while (!eof_) {
+        const ssize_t n = ::read(fd_, buf, sizeof buf);
+        if (n > 0) {
+            buffer_.append(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0) {
+            eof_ = true;
+            break;
+        }
+        if (errno == EINTR) continue;
+        break;  // EAGAIN/EWOULDBLOCK: drained everything available for now
+    }
+    std::size_t start = 0;
+    for (;;) {
+        const auto nl = buffer_.find('\n', start);
+        if (nl == std::string::npos) break;
+        out.push_back(buffer_.substr(start, nl - start));
+        start = nl + 1;
+    }
+    buffer_.erase(0, start);
+    if (eof_ && !buffer_.empty()) {
+        out.push_back(std::move(buffer_));  // partial final line, best effort
+        buffer_.clear();
+    }
+    return !eof_;
+#else
+    (void)out;
+    return false;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// PidLockFile
+
+std::optional<long> PidLockFile::owner(const std::filesystem::path& path) {
+    std::FILE* f = std::fopen(path.string().c_str(), "rb");
+    if (f == nullptr) return std::nullopt;
+    char buf[64] = {};
+    const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+    std::fclose(f);
+    if (n == 0) return std::nullopt;
+    char* end = nullptr;
+    const long pid = std::strtol(buf, &end, 10);
+    if (end == buf || pid <= 0) return std::nullopt;
+    return pid;
+}
+
+void PidLockFile::acquire(const std::filesystem::path& path) {
+    release();
+    const std::string content = std::to_string(current_pid()) + "\n";
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        if (create_file_exclusive(path, content)) {
+            path_ = path;
+            held_ = true;
+            return;
+        }
+        const auto pid = owner(path);
+        if (pid && process_alive(*pid) && *pid != current_pid()) {
+            throw std::runtime_error{
+                "util: " + path.string() + " is locked by a running process (pid " +
+                std::to_string(*pid) + ") — refusing to share it"};
+        }
+        // Stale (owner dead, garbled, or a leftover of our own crashed run):
+        // break the lock and retry the exclusive create exactly once.
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+    }
+    throw std::runtime_error{"util: cannot create lock file " + path.string()};
+}
+
+void PidLockFile::release() noexcept {
+    if (!held_) return;
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+    held_ = false;
+}
+
+}  // namespace spinscope::util
