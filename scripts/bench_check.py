@@ -26,6 +26,7 @@ import json
 import sys
 
 SCHEMA = "spinscope-bench-trajectory-v1"
+OBSERVER_SCHEMA = "spinscope-bench-observer-v1"
 
 # metric -> (higher_is_better, relative tolerance)
 POLICY = {
@@ -43,19 +44,83 @@ ALLOC_METRICS = {"allocs_per_domain", "alloc_bytes_per_domain"}
 # committed baseline predates them or was measured without --procs.
 OPTIONAL_METRICS = {"peak_worker_rss_bytes"}
 
+# Constrained-observer accuracy table (BENCH_observer.json, DESIGN.md §14):
+# metric -> (higher_is_better, relative tolerance, absolute slack).
+# Accuracy metrics are deterministic-ish (same seed, same stream; only libm
+# rounding can drift), so they get tight relative tolerances plus a small
+# absolute slack that keeps near-zero baselines from amplifying noise.
+# Wall throughput is CI-machine noise and gets the usual wide band.
+OBSERVER_POLICY = {
+    "coverage": (True, 0.05, 0.01),
+    "within_25ms_share": (True, 0.05, 0.01),
+    "mean_abs_err_ms": (False, 0.25, 0.05),
+    "packets_per_sec": (True, 0.50, 0.0),
+}
+
 
 def load(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
-    if doc.get("schema") != SCHEMA:
-        raise ValueError(f"{path}: not a {SCHEMA} document")
-    if "metrics" not in doc or not isinstance(doc["metrics"], dict):
-        raise ValueError(f"{path}: missing metrics object")
+    schema = doc.get("schema")
+    if schema == SCHEMA:
+        if "metrics" not in doc or not isinstance(doc["metrics"], dict):
+            raise ValueError(f"{path}: missing metrics object")
+    elif schema == OBSERVER_SCHEMA:
+        if "rows" not in doc or not isinstance(doc["rows"], dict):
+            raise ValueError(f"{path}: missing rows object")
+    else:
+        raise ValueError(f"{path}: not a {SCHEMA} or {OBSERVER_SCHEMA} document")
     return doc
+
+
+def compare_observer(baseline, candidate, base_name="baseline", cand_name="candidate"):
+    """Row-keyed accuracy table comparison. Returns failure strings."""
+    failures = []
+    cand_rows = candidate.get("rows", {})
+    for row_id, base_row in baseline.get("rows", {}).items():
+        cand_row = cand_rows.get(row_id)
+        if cand_row is None:
+            failures.append(f"{row_id}: row missing from candidate")
+            continue
+        base_metrics = base_row.get("metrics", {})
+        cand_metrics = cand_row.get("metrics", {})
+        for metric, (higher_better, rel, slack) in OBSERVER_POLICY.items():
+            base = base_metrics.get(metric)
+            cand = cand_metrics.get(metric)
+            if base is None and cand is None:
+                continue
+            if base is None or cand is None:
+                failures.append(f"{row_id}/{metric}: missing from snapshot")
+                continue
+            if base <= 0:
+                continue  # nothing committed to guard against
+            if higher_better:
+                ok = cand >= base * (1.0 - rel) - slack
+                direction = "worse (lower)"
+            else:
+                ok = cand <= base * (1.0 + rel) + slack
+                direction = "worse (higher)"
+            status = "ok" if ok else "REGRESSION"
+            print(
+                f"  {row_id}/{metric}: {base_name} {base:.6g} -> {cand_name} "
+                f"{cand:.6g} (tolerance {rel:.0%} + {slack:g}) [{status}]"
+            )
+            if not ok:
+                failures.append(
+                    f"{row_id}/{metric}: {cand:.6g} vs baseline {base:.6g} is "
+                    f"{direction} than the {rel:.0%} + {slack:g} tolerance"
+                )
+    return failures
 
 
 def compare(baseline, candidate, base_name="baseline", cand_name="candidate"):
     """Returns a list of failure strings (empty = pass)."""
+    if baseline.get("schema") != candidate.get("schema"):
+        return [
+            f"schema mismatch: {baseline.get('schema')} vs {candidate.get('schema')}"
+        ]
+    if baseline.get("schema") == OBSERVER_SCHEMA:
+        return compare_observer(baseline, candidate, base_name, cand_name)
     failures = []
     bench = baseline.get("bench", "?")
     alloc_ok = baseline.get("alloc_probe", 0) and candidate.get("alloc_probe", 0)
@@ -133,6 +198,50 @@ def self_test():
     bloated["metrics"]["peak_worker_rss_bytes"] = 10 * 80 * 1024 * 1024
     if compare(legacy, bloated):
         print("self-test FAILED: optional metric flagged without a baseline")
+        return 1
+
+    print("self-test: observer-table regressions must be detected")
+    obs_base = {
+        "schema": OBSERVER_SCHEMA,
+        "rows": {
+            "slots16_lru": {
+                "metrics": {
+                    "coverage": 0.94,
+                    "mean_abs_err_ms": 0.25,
+                    "within_25ms_share": 0.999,
+                    "packets_per_sec": 1e7,
+                }
+            }
+        },
+    }
+    obs_same = json.loads(json.dumps(obs_base))
+    if compare(obs_base, obs_same):
+        print("self-test FAILED: identical observer table was flagged")
+        return 1
+    obs_bad = {
+        "coverage": 0.94 * 0.5,          # half the flows lost
+        "mean_abs_err_ms": 0.25 * 2.0,   # 2x the error (past rel+slack)
+        "within_25ms_share": 0.999 * 0.8,
+        "packets_per_sec": 1e7 * 0.3,
+    }
+    for metric, bad in obs_bad.items():
+        regressed = json.loads(json.dumps(obs_base))
+        regressed["rows"]["slots16_lru"]["metrics"][metric] = bad
+        if not compare(obs_base, regressed):
+            print(f"self-test FAILED: observer regression in {metric} not detected")
+            return 1
+    dropped = json.loads(json.dumps(obs_base))
+    dropped["rows"] = {}
+    if not compare(obs_base, dropped):
+        print("self-test FAILED: missing observer row not detected")
+        return 1
+    print("self-test: near-zero observer baselines must stay inside the slack")
+    tiny = json.loads(json.dumps(obs_base))
+    tiny["rows"]["slots16_lru"]["metrics"]["mean_abs_err_ms"] = 0.001
+    wobble = json.loads(json.dumps(tiny))
+    wobble["rows"]["slots16_lru"]["metrics"]["mean_abs_err_ms"] = 0.04  # < slack
+    if compare(tiny, wobble):
+        print("self-test FAILED: sub-slack error wobble was flagged")
         return 1
 
     print("self-test: alloc metrics must be skipped without the interposer")

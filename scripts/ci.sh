@@ -46,7 +46,7 @@ run_bench_lane() {
     echo "=== lane: bench ==="
     cmake --preset default >/dev/null
     cmake --build --preset default -j "${JOBS}" \
-        --target bench_packet_path bench_table1
+        --target bench_packet_path bench_table1 bench_observer
     python3 scripts/bench_check.py --self-test
 
     local out="build/bench"
@@ -57,15 +57,22 @@ run_bench_lane() {
     # pins the crash-isolated path's throughput and worker footprint.
     ./build/bench/bench_table1 --scale=20000 --telemetry=off --procs=2 \
         --trajectory="${out}/BENCH_scale.json" >/dev/null
+    # Constrained-observer accuracy table (DESIGN.md §14): campaign replay +
+    # the synthetic flow sweep incl. the 1M-flow/64K-slot roadmap point.
+    # Accuracy tolerances are tight, wall throughput wide (bench_check.py).
+    ./build/bench/bench_observer --scale=20000 \
+        --trajectory="${out}/BENCH_observer.json" >/dev/null
 
     if [ "${REGEN:-0}" = "1" ]; then
         cp "${out}/BENCH_packet_path.json" BENCH_packet_path.json
         cp "${out}/BENCH_scale.json" BENCH_scale.json
-        echo "re-baselined BENCH_packet_path.json and BENCH_scale.json"
+        cp "${out}/BENCH_observer.json" BENCH_observer.json
+        echo "re-baselined BENCH_packet_path.json, BENCH_scale.json and BENCH_observer.json"
     else
         python3 scripts/bench_check.py \
             BENCH_packet_path.json "${out}/BENCH_packet_path.json" \
-            BENCH_scale.json "${out}/BENCH_scale.json"
+            BENCH_scale.json "${out}/BENCH_scale.json" \
+            BENCH_observer.json "${out}/BENCH_observer.json"
     fi
     echo "=== lane bench: OK ==="
 }

@@ -1,8 +1,48 @@
 #include "core/flow_monitor.hpp"
 
+#include <algorithm>
+
+#include "core/constrained_monitor.hpp"
 #include "quic/packet.hpp"
 
 namespace spinscope::core {
+namespace {
+
+/// Parses a hex flow key back into its raw packed form; nullopt on anything
+/// that is not exactly `key_length` bytes of hex.
+[[nodiscard]] std::optional<std::uint64_t> parse_hex_key(const std::string& hex,
+                                                         std::size_t key_length) {
+    if (hex.size() != key_length * 2) return std::nullopt;
+    std::uint64_t key = 0;
+    for (const char c : hex) {
+        int nibble = -1;
+        if (c >= '0' && c <= '9') {
+            nibble = c - '0';
+        } else if (c >= 'a' && c <= 'f') {
+            nibble = c - 'a' + 10;
+        } else if (c >= 'A' && c <= 'F') {
+            nibble = c - 'A' + 10;
+        } else {
+            return std::nullopt;
+        }
+        key = (key << 4) | static_cast<std::uint64_t>(nibble);
+    }
+    return key;
+}
+
+[[nodiscard]] std::string render_hex_key(std::uint64_t key, std::size_t key_length) {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(key_length * 2);
+    for (std::size_t i = 0; i < key_length; ++i) {
+        const auto byte = static_cast<std::uint8_t>(key >> (8 * (key_length - 1 - i)));
+        out.push_back(kDigits[byte >> 4]);
+        out.push_back(kDigits[byte & 0xf]);
+    }
+    return out;
+}
+
+}  // namespace
 
 std::string dcid_hex(std::span<const std::uint8_t> dcid) {
     static constexpr char kDigits[] = "0123456789abcdef";
@@ -21,38 +61,46 @@ void FlowMonitor::on_datagram(util::TimePoint at, bytes::ConstByteSpan datagram)
         ++non_flow_;
         return;
     }
-    const bytes::ConstByteSpan dcid = datagram.subspan(view->dcid_offset, dcid_length_);
-    const auto key = dcid_hex(dcid);
+    // No per-packet string: the flow key is the raw DCID prefix packed into
+    // one word. Hex exists only at the snapshot boundary below.
+    const std::uint64_t key =
+        ConstrainedMonitor::pack_key(datagram.data() + view->dcid_offset, key_length_);
     auto [it, inserted] = flows_.try_emplace(key, observer_config_);
     auto& flow = it->second;
     ++flow.packets;
-    flow.observer.on_packet(
-        SpinObservation{at, synthetic_pn_[key]++, view->spin, view->vec});
+    flow.observer.on_packet(SpinObservation{at, flow.next_pn++, view->spin, view->vec});
+}
+
+FlowStats FlowMonitor::stats_of(const Flow& flow) {
+    FlowStats stats;
+    stats.packets = flow.packets;
+    stats.spin = flow.observer.result();
+    stats.rejected_samples = flow.observer.rejected_samples();
+    stats.smoothed_rtt_ms = flow.observer.smoothed_ms().value_or(0.0);
+    return stats;
 }
 
 std::vector<std::pair<std::string, FlowStats>> FlowMonitor::flows() const {
     std::vector<std::pair<std::string, FlowStats>> out;
     out.reserve(flows_.size());
     for (const auto& [key, flow] : flows_) {
-        FlowStats stats;
-        stats.packets = flow.packets;
-        stats.spin = flow.observer.result();
-        stats.rejected_samples = flow.observer.rejected_samples();
-        stats.smoothed_rtt_ms = flow.observer.smoothed_ms().value_or(0.0);
-        out.emplace_back(key, std::move(stats));
+        out.emplace_back(render_hex_key(key, key_length_), stats_of(flow));
     }
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
     return out;
 }
 
 std::optional<FlowStats> FlowMonitor::find(const std::string& dcid_hex_key) const {
-    const auto it = flows_.find(dcid_hex_key);
+    const auto key = parse_hex_key(dcid_hex_key, key_length_);
+    if (!key) return std::nullopt;
+    return find_key(*key);
+}
+
+std::optional<FlowStats> FlowMonitor::find_key(std::uint64_t key) const {
+    const auto it = flows_.find(key);
     if (it == flows_.end()) return std::nullopt;
-    FlowStats stats;
-    stats.packets = it->second.packets;
-    stats.spin = it->second.observer.result();
-    stats.rejected_samples = it->second.observer.rejected_samples();
-    stats.smoothed_rtt_ms = it->second.observer.smoothed_ms().value_or(0.0);
-    return stats;
+    return stats_of(it->second);
 }
 
 }  // namespace spinscope::core

@@ -6,6 +6,10 @@
 // wave (Kunze et al. 2021 did this on P4 hardware). spinscope demuxes on
 // the destination connection ID prefix of short-header packets, which is
 // exactly what such devices key on.
+//
+// This is the IDEALIZED observer: unbounded flow table, float EWMA. Its
+// hardware-budgeted counterpart is core::ConstrainedMonitor; the
+// differential suite keeps the two in lockstep.
 
 #pragma once
 
@@ -32,12 +36,19 @@ struct FlowStats {
 };
 
 /// Passive monitor over an interleaved multi-flow packet stream.
+///
+/// The hot tap path is string-free: flows are keyed on the raw DCID prefix
+/// packed into one 64-bit word (the first min(8, dcid_length) bytes,
+/// big-endian); hex keys exist only at the snapshot boundary (flows(),
+/// find()).
 class FlowMonitor {
 public:
     /// `dcid_length` is the connection-ID length the monitored server pool
     /// uses (operators know their own deployment; 8 is spinscope's default).
     explicit FlowMonitor(ObserverConfig observer_config = {}, std::size_t dcid_length = 8)
-        : observer_config_{observer_config}, dcid_length_{dcid_length} {}
+        : observer_config_{observer_config},
+          dcid_length_{dcid_length},
+          key_length_{dcid_length < 8 ? dcid_length : 8} {}
 
     /// Processes one observed datagram (a borrowed view; nothing is copied
     /// beyond the flow key).
@@ -51,23 +62,33 @@ public:
     [[nodiscard]] std::size_t flow_count() const noexcept { return flows_.size(); }
     [[nodiscard]] std::uint64_t non_flow_packets() const noexcept { return non_flow_; }
 
-    /// Snapshot of every tracked flow, keyed by the hex DCID prefix.
+    /// Snapshot of every tracked flow, keyed by the hex DCID prefix and
+    /// sorted by it (map iteration order must never leak into output).
     [[nodiscard]] std::vector<std::pair<std::string, FlowStats>> flows() const;
 
-    /// Stats for one flow key (hex DCID); nullopt if unknown.
+    /// Stats for one flow key (hex DCID prefix); nullopt if unknown.
     [[nodiscard]] std::optional<FlowStats> find(const std::string& dcid_hex) const;
+
+    /// Stats for one flow by raw packed key; nullopt if unknown.
+    [[nodiscard]] std::optional<FlowStats> find_key(std::uint64_t key) const;
 
 private:
     struct Flow {
         explicit Flow(const ObserverConfig& config) : observer{config} {}
         SpinEdgeObserver observer;
         std::uint64_t packets = 0;
+        /// Arrival index of this flow's packets — the synthetic packet
+        /// number an on-wire observer (which cannot read protected PNs)
+        /// feeds the RFC 9312 heuristics.
+        quic::PacketNumber next_pn = 0;
     };
+
+    [[nodiscard]] static FlowStats stats_of(const Flow& flow);
 
     ObserverConfig observer_config_;
     std::size_t dcid_length_;
-    std::unordered_map<std::string, Flow> flows_;
-    std::unordered_map<std::string, quic::PacketNumber> synthetic_pn_;
+    std::size_t key_length_;
+    std::unordered_map<std::uint64_t, Flow> flows_;
     std::uint64_t non_flow_ = 0;
 };
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bytes/bytes.hpp"
+#include "core/constrained_monitor.hpp"
 #include "faults/faults.hpp"
 #include "faults/retry_policy.hpp"
 #include "qlog/trace.hpp"
@@ -91,6 +92,15 @@ struct ScanOptions {
     /// small by default.
     faults::RetryPolicy worker_restart{2, util::Duration::millis(10), 2.0,
                                        util::Duration::millis(100), true};
+    /// Optional constrained on-path observer (DESIGN.md §14): when engaged,
+    /// every attempt's server→client direction is tapped by a per-DOMAIN
+    /// core::ConstrainedMonitor and its table counters are published as
+    /// observer.* telemetry after the domain completes. Per-domain scope
+    /// keeps the counters a pure function of the domain's own packet stream,
+    /// so they merge deterministically at every thread/chunk/process count
+    /// and may appear in telemetry::deterministic_csv (the golden fixture
+    /// pins them).
+    std::optional<core::ConstrainedConfig> observer;
     /// TEST/FAULT hook: invoked on the worker thread at the start of every
     /// chunk scan execution (with the global chunk index), OUTSIDE the
     /// per-domain isolation — a throw crashes the whole chunk and exercises
@@ -352,12 +362,15 @@ private:
     /// min(attempt_deadline, remaining domain watchdog budget). When the
     /// budget (not the per-attempt deadline) is what cut the simulation
     /// short, the outcome is watchdog_cancelled instead of attempt_timeout.
+    /// `observer` is the domain's constrained monitor (nullptr when
+    /// ScanOptions::observer is disengaged); it taps the return link.
     [[nodiscard]] AttemptOutcome run_attempt(const web::Domain& domain,
                                              const std::string& host, int redirect_hop,
                                              int retry, bool serve_redirect,
                                              util::Duration deadline,
                                              telemetry::MetricsRegistry* metrics,
-                                             bytes::BufferPool* pool) const;
+                                             bytes::BufferPool* pool,
+                                             core::ConstrainedMonitor* observer) const;
 
     /// How run_impl interacts with ScanOptions::journal_dir.
     enum class RunMode {

@@ -1,0 +1,485 @@
+// Differential suite for the constrained on-path observer (DESIGN.md §14).
+//
+// The contract under test: core::ConstrainedMonitor with its constraints
+// lifted (a table far larger than the flow universe, eviction off, sampling
+// 1:1) agrees with the idealized core::FlowMonitor flow-for-flow on the same
+// interleaved datagram stream — exactly on every counter, and within the
+// documented integer-EWMA precision bound on the RTT estimate. Under
+// constraints, every packet the constrained monitor loses relative to the
+// idealized one is explained, to the packet, by its collision / eviction /
+// sampling counters (the seeded ~10k-case property sweep).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/constrained_monitor.hpp"
+#include "core/flow_monitor.hpp"
+#include "netsim/link.hpp"
+#include "quic/packet.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace spinscope::core {
+namespace {
+
+using util::Duration;
+using util::Rng;
+using util::TimePoint;
+
+netsim::Datagram short_packet(std::uint64_t cid, bool spin, quic::PacketNumber pn) {
+    quic::PacketHeader header;
+    header.type = quic::PacketType::one_rtt;
+    header.dcid = quic::ConnectionId::from_u64(cid);
+    header.packet_number = pn;
+    header.spin = spin;
+    netsim::Datagram wire;
+    quic::encode_packet(wire, header, {}, quic::kInvalidPacketNumber);
+    return wire;
+}
+
+TimePoint at_us(std::int64_t us) { return TimePoint::origin() + Duration::micros(us); }
+
+/// One observed packet of a synthetic interleaved stream.
+struct StreamEvent {
+    std::int64_t time_us = 0;
+    std::uint64_t key = 0;
+    bool spin = false;
+};
+
+/// Builds an interleaved multi-flow stream: each flow flips its spin value
+/// at its own cadence with jittered inter-packet gaps, then all flows are
+/// merged in time order. Pure function of (rng, keys).
+std::vector<StreamEvent> interleaved_stream(Rng& rng, const std::vector<std::uint64_t>& keys,
+                                            int packets_per_flow) {
+    std::vector<StreamEvent> events;
+    events.reserve(keys.size() * static_cast<std::size_t>(packets_per_flow));
+    for (const std::uint64_t key : keys) {
+        std::int64_t t_us = static_cast<std::int64_t>(rng.uniform_u64(5'000));
+        bool spin = rng.coin();
+        const std::uint64_t flip_every = 1 + rng.uniform_u64(4);
+        for (int p = 0; p < packets_per_flow; ++p) {
+            if (p > 0 && static_cast<std::uint64_t>(p) % flip_every == 0) spin = !spin;
+            t_us += 1'000 + static_cast<std::int64_t>(rng.uniform_u64(9'000));
+            events.push_back(StreamEvent{t_us, key, spin});
+        }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const StreamEvent& a, const StreamEvent& b) {
+                         if (a.time_us != b.time_us) return a.time_us < b.time_us;
+                         return a.key < b.key;
+                     });
+    return events;
+}
+
+/// Feeds the same stream to both monitors.
+void drive_both(const std::vector<StreamEvent>& events, FlowMonitor& idealized,
+                ConstrainedMonitor& constrained) {
+    quic::PacketNumber pn = 0;
+    for (const StreamEvent& event : events) {
+        const netsim::Datagram wire = short_packet(event.key, event.spin, pn++);
+        idealized.on_datagram(at_us(event.time_us), wire);
+        constrained.on_datagram(at_us(event.time_us), wire);
+    }
+}
+
+/// Keys whose table slots are pairwise distinct (rejection sampling), so an
+/// unbounded-configuration run is collision-free by construction.
+std::vector<std::uint64_t> collision_free_keys(Rng& rng, const ConstrainedMonitor& monitor,
+                                               std::size_t count) {
+    std::vector<std::uint64_t> keys;
+    std::vector<std::size_t> used;
+    while (keys.size() < count) {
+        const std::uint64_t key = rng.next();
+        if (key == 0) continue;
+        const std::size_t slot = monitor.slot_of(key);
+        if (std::find(used.begin(), used.end(), slot) != used.end()) continue;
+        used.push_back(slot);
+        keys.push_back(key);
+    }
+    return keys;
+}
+
+/// Total packets the idealized monitor attributed to flows.
+std::uint64_t idealized_tracked(const FlowMonitor& monitor) {
+    std::uint64_t total = 0;
+    for (const auto& [key, stats] : monitor.flows()) total += stats.packets;
+    return total;
+}
+
+// --- differential equivalence (constraints lifted) --------------------------
+
+TEST(ConstrainedDifferential, UnboundedConfigMatchesFlowMonitorFlowForFlow) {
+    ConstrainedConfig config;
+    config.log2_slots = 18;  // 262144 slots for 64 flows: effectively unbounded
+    config.eviction = EvictionPolicy::none;
+    config.sample_every = 1;
+    config.ewma_shift = 3;  // same 1/8 weight as the float path
+    ConstrainedMonitor constrained{config};
+    FlowMonitor idealized;
+
+    Rng rng{0x5eed'd1ffULL};
+    const auto keys = collision_free_keys(rng, constrained, 64);
+    const auto events = interleaved_stream(rng, keys, 200);
+    drive_both(events, idealized, constrained);
+
+    // No constraint fired: the table behaved as if unbounded.
+    const ConstrainedTableCounters& t = constrained.counters();
+    EXPECT_EQ(t.collisions, 0u);
+    EXPECT_EQ(t.evictions, 0u);
+    EXPECT_EQ(t.untracked, 0u);
+    EXPECT_EQ(t.sampled_out, 0u);
+    EXPECT_EQ(t.non_flow, 0u);
+    EXPECT_EQ(t.offered, events.size());
+    EXPECT_EQ(t.tracked, events.size());
+
+    EXPECT_EQ(constrained.flow_count(), idealized.flow_count());
+    ASSERT_EQ(constrained.flow_count(), keys.size());
+
+    for (const std::uint64_t key : keys) {
+        const auto ideal = idealized.find_key(key);
+        const auto hard = constrained.find_key(key);
+        ASSERT_TRUE(ideal.has_value());
+        ASSERT_TRUE(hard.has_value());
+        // Integer-exact surface: acceptance decisions are int64 nanosecond
+        // comparisons on both paths, so these must agree to the packet.
+        EXPECT_EQ(hard->packets, ideal->packets);
+        EXPECT_EQ(hard->edge_count, ideal->spin.edge_count);
+        EXPECT_EQ(hard->samples, ideal->spin.samples_ms.size());
+        EXPECT_EQ(hard->rejected_samples, ideal->rejected_samples);
+        EXPECT_EQ(hard->saw_zero, ideal->spin.saw_zero);
+        EXPECT_EQ(hard->saw_one, ideal->spin.saw_one);
+        // Float-equivalent EWMA scaling: the integer estimate tracks the
+        // float one within the §14 precision bound (~2 µs steady state;
+        // 10 µs leaves margin without masking real divergence).
+        if (hard->has_estimate) {
+            EXPECT_NEAR(hard->srtt_ms(), ideal->smoothed_rtt_ms, 0.010)
+                << "flow key " << key;
+        } else {
+            EXPECT_EQ(ideal->smoothed_rtt_ms, 0.0);
+        }
+    }
+
+    // Snapshot keying agrees too: both render the raw key as lowercase hex.
+    const auto ideal_flows = idealized.flows();
+    const auto hard_flows = constrained.flows();
+    ASSERT_EQ(ideal_flows.size(), hard_flows.size());
+    for (const auto& [hex, stats] : ideal_flows) {
+        EXPECT_TRUE(constrained.find(hex).has_value()) << hex;
+    }
+}
+
+TEST(ConstrainedDifferential, MinPlausibleRejectionIsIntegerExact) {
+    ConstrainedConfig config;
+    config.log2_slots = 12;
+    config.min_plausible_rtt = Duration::millis(20);
+    ConstrainedMonitor constrained{config};
+    ObserverConfig observer_config;
+    observer_config.min_plausible_rtt = Duration::millis(20);
+    FlowMonitor idealized{observer_config};
+
+    Rng rng{0x00ed'0e11ULL};
+    const auto keys = collision_free_keys(rng, constrained, 16);
+    // 1–10 ms gaps with flips every 1–5 packets: many intervals straddle the
+    // 20 ms floor, exercising the accept/reject boundary on both paths.
+    const auto events = interleaved_stream(rng, keys, 300);
+    drive_both(events, idealized, constrained);
+
+    std::size_t rejected_total = 0;
+    for (const std::uint64_t key : keys) {
+        const auto ideal = idealized.find_key(key);
+        const auto hard = constrained.find_key(key);
+        ASSERT_TRUE(ideal.has_value());
+        ASSERT_TRUE(hard.has_value());
+        EXPECT_EQ(hard->rejected_samples, ideal->rejected_samples);
+        EXPECT_EQ(hard->samples, ideal->spin.samples_ms.size());
+        rejected_total += hard->rejected_samples;
+    }
+    EXPECT_GT(rejected_total, 0u);  // the floor actually fired
+}
+
+// --- seeded property sweep (collision-heavy universes) -----------------------
+
+TEST(ConstrainedProperty, DeltaExplainedByCountersAcross10kCases) {
+    // ~10k seeded cases over a 16-slot table and tiny key universes: heavy
+    // collisions, all three eviction policies, all sampling rates. The
+    // invariant: the constrained/idealized tracked-packet delta is exactly
+    // the packets the counters say were sampled out or lost to collisions.
+    constexpr int kCases = 10'000;
+    constexpr EvictionPolicy kPolicies[] = {EvictionPolicy::none, EvictionPolicy::lru,
+                                            EvictionPolicy::random};
+    for (int c = 0; c < kCases; ++c) {
+        Rng rng{util::derive_stream_seed(0xc011'ec7edULL, static_cast<std::uint64_t>(c))};
+        ConstrainedConfig config;
+        config.log2_slots = 4;  // 16 slots
+        config.eviction = kPolicies[c % 3];
+        config.sample_every = static_cast<std::uint32_t>(1 + rng.uniform_u64(4));
+        config.lru_idle_packets = 1 + rng.uniform_u64(16);
+        ConstrainedMonitor constrained{config};
+        FlowMonitor idealized;
+
+        // Keys drawn from a universe of <= 24 values: far more flows than
+        // distinct slots, so slot fights are the norm, not the exception.
+        const std::size_t universe = 2 + rng.uniform_u64(22);
+        std::vector<std::uint64_t> keys;
+        keys.reserve(universe);
+        for (std::size_t k = 0; k < universe; ++k) {
+            keys.push_back(0x1000 + k);  // dense keys: hash quality is not the test
+        }
+        const auto events =
+            interleaved_stream(rng, keys, static_cast<int>(2 + rng.uniform_u64(14)));
+        drive_both(events, idealized, constrained);
+
+        const ConstrainedTableCounters& t = constrained.counters();
+        // Identity 1: every offered datagram lands in exactly one bucket.
+        ASSERT_EQ(t.offered, t.non_flow + t.sampled_out + t.tracked + t.untracked)
+            << "case " << c;
+        // Identity 2: a collision either evicts or leaves the packet untracked.
+        ASSERT_EQ(t.collisions, t.untracked + t.evictions) << "case " << c;
+        // Identity 3: both monitors classify flow/non-flow identically.
+        ASSERT_EQ(t.non_flow, idealized.non_flow_packets()) << "case " << c;
+        ASSERT_EQ(t.offered, events.size()) << "case " << c;
+        // Identity 4 (the differential): packets the idealized monitor
+        // tracked but the constrained one did not are EXACTLY the sampled-out
+        // plus collision-untracked ones. Eviction losses do not appear here —
+        // an evicting packet is still tracked (by the usurping flow).
+        ASSERT_EQ(idealized_tracked(idealized) - t.tracked, t.sampled_out + t.untracked)
+            << "case " << c;
+        // The table can never hold more flows than slots or than exist.
+        ASSERT_LE(constrained.flow_count(), std::size_t{16}) << "case " << c;
+        ASSERT_LE(constrained.flow_count(), idealized.flow_count()) << "case " << c;
+    }
+}
+
+// --- eviction policies -------------------------------------------------------
+
+/// A key != `resident` hashing onto the same slot.
+std::uint64_t colliding_key(const ConstrainedMonitor& monitor, std::uint64_t resident) {
+    const std::size_t target = monitor.slot_of(resident);
+    for (std::uint64_t candidate = 1;; ++candidate) {
+        if (candidate != resident && monitor.slot_of(candidate) == target) return candidate;
+    }
+}
+
+TEST(ConstrainedEviction, DropNewKeepsResident) {
+    ConstrainedConfig config;
+    config.log2_slots = 4;
+    config.eviction = EvictionPolicy::none;
+    ConstrainedMonitor monitor{config};
+
+    const std::uint64_t resident = 0xaaaa;
+    const std::uint64_t intruder = colliding_key(monitor, resident);
+    monitor.on_datagram(at_us(0), short_packet(resident, false, 0));
+    monitor.on_datagram(at_us(1'000), short_packet(intruder, true, 1));
+
+    EXPECT_EQ(monitor.counters().collisions, 1u);
+    EXPECT_EQ(monitor.counters().untracked, 1u);
+    EXPECT_EQ(monitor.counters().evictions, 0u);
+    EXPECT_TRUE(monitor.find_key(resident).has_value());
+    EXPECT_FALSE(monitor.find_key(intruder).has_value());
+}
+
+TEST(ConstrainedEviction, LruEvictsIdleResidentOnly) {
+    ConstrainedConfig config;
+    config.log2_slots = 4;
+    config.eviction = EvictionPolicy::lru;
+    config.lru_idle_packets = 4;
+    ConstrainedMonitor monitor{config};
+
+    const std::uint64_t resident = 0xbbbb;
+    const std::uint64_t intruder = colliding_key(monitor, resident);
+    monitor.on_datagram(at_us(0), short_packet(resident, false, 0));
+
+    // Fresh resident: the intruder must be dropped, not the resident.
+    monitor.on_datagram(at_us(1'000), short_packet(intruder, true, 1));
+    EXPECT_EQ(monitor.counters().untracked, 1u);
+    EXPECT_TRUE(monitor.find_key(resident).has_value());
+
+    // Let the resident go idle past the threshold (other, non-colliding
+    // traffic advances the packet clock), then collide again: now it is
+    // evicted and the intruder takes the slot.
+    std::uint64_t filler = 0x1'0000;
+    int sent = 0;
+    while (sent < 6) {
+        ++filler;
+        if (monitor.slot_of(filler) == monitor.slot_of(resident)) continue;
+        monitor.on_datagram(at_us(2'000 + sent * 100), short_packet(filler, false, 2));
+        ++sent;
+    }
+    monitor.on_datagram(at_us(10'000), short_packet(intruder, true, 3));
+    EXPECT_EQ(monitor.counters().evictions, 1u);
+    EXPECT_FALSE(monitor.find_key(resident).has_value());
+    EXPECT_TRUE(monitor.find_key(intruder).has_value());
+    EXPECT_EQ(monitor.counters().collisions,
+              monitor.counters().untracked + monitor.counters().evictions);
+}
+
+TEST(ConstrainedEviction, RandomReplacementIsDeterministicPerStream) {
+    const auto run_once = [] {
+        ConstrainedConfig config;
+        config.log2_slots = 3;  // 8 slots
+        config.eviction = EvictionPolicy::random;
+        ConstrainedMonitor monitor{config};
+        Rng rng{0x7a2d'0123ULL};
+        std::vector<std::uint64_t> keys;
+        for (std::uint64_t k = 0; k < 40; ++k) keys.push_back(0x2000 + k);
+        const auto events = interleaved_stream(rng, keys, 12);
+        FlowMonitor idealized;
+        ConstrainedMonitor constrained = std::move(monitor);
+        drive_both(events, idealized, constrained);
+        return constrained.counters();
+    };
+    const ConstrainedTableCounters a = run_once();
+    const ConstrainedTableCounters b = run_once();
+    EXPECT_EQ(a.collisions, b.collisions);
+    EXPECT_EQ(a.evictions, b.evictions);
+    EXPECT_EQ(a.untracked, b.untracked);
+    EXPECT_EQ(a.tracked, b.tracked);
+    EXPECT_GT(a.evictions, 0u);  // the coin actually lands on both sides
+    EXPECT_GT(a.untracked, 0u);
+    EXPECT_EQ(a.collisions, a.untracked + a.evictions);
+}
+
+// --- sampling ----------------------------------------------------------------
+
+TEST(ConstrainedSampling, OneInNCountsSkippedPacketsAndTouchesNoSlot) {
+    ConstrainedConfig config;
+    config.log2_slots = 8;
+    config.sample_every = 3;
+    ConstrainedMonitor monitor{config};
+
+    for (int p = 0; p < 30; ++p) {
+        monitor.on_datagram(at_us(p * 10'000), short_packet(0xcccc, (p / 3) % 2 == 1, 0));
+    }
+    const ConstrainedTableCounters& t = monitor.counters();
+    EXPECT_EQ(t.offered, 30u);
+    EXPECT_EQ(t.tracked, 10u);
+    EXPECT_EQ(t.sampled_out, 20u);
+    const auto stats = monitor.find_key(0xcccc);
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->packets, 10u);
+}
+
+// --- adversarial robustness (satellite: both monitors side by side) ----------
+
+/// Runs one corpus through both monitors and asserts the shared sanity
+/// contract: identical flow/non-flow classification and the accounting
+/// identity — i.e. no adversarial datagram is ever double-counted or
+/// counted as tracked without being a well-formed short-header packet.
+void adversarial_sweep(const std::vector<std::vector<std::uint8_t>>& corpus) {
+    ConstrainedConfig config;
+    config.log2_slots = 6;
+    config.eviction = EvictionPolicy::lru;
+    config.lru_idle_packets = 8;
+    ConstrainedMonitor constrained{config};
+    FlowMonitor idealized;
+    std::int64_t t_us = 0;
+    for (const auto& datagram : corpus) {
+        ++t_us;
+        idealized.on_datagram(at_us(t_us), datagram);
+        constrained.on_datagram(at_us(t_us), datagram);
+    }
+    const ConstrainedTableCounters& t = constrained.counters();
+    EXPECT_EQ(t.offered, corpus.size());
+    EXPECT_EQ(t.offered, t.non_flow + t.sampled_out + t.tracked + t.untracked);
+    EXPECT_EQ(t.collisions, t.untracked + t.evictions);
+    EXPECT_EQ(t.non_flow, idealized.non_flow_packets());
+    EXPECT_EQ(idealized_tracked(idealized) - t.tracked, t.sampled_out + t.untracked);
+}
+
+TEST(ConstrainedRobustness, SurvivesRandomJunkCorpus) {
+    // The codec-fuzz generator of test_quic_robustness: random buffers of
+    // 1..80 bytes. Some will parse as short headers — the identity above
+    // checks they are then counted consistently by both monitors.
+    Rng fuzz{0xfeed'beefULL};
+    std::vector<std::vector<std::uint8_t>> corpus;
+    corpus.reserve(20'000);
+    for (int i = 0; i < 20'000; ++i) {
+        std::vector<std::uint8_t> junk(fuzz.uniform_u64(80) + 1);
+        for (auto& byte : junk) byte = static_cast<std::uint8_t>(fuzz.next());
+        corpus.push_back(std::move(junk));
+    }
+    adversarial_sweep(corpus);
+}
+
+TEST(ConstrainedRobustness, TruncatedAndDegenerateDatagramsAreNonFlow) {
+    std::vector<std::vector<std::uint8_t>> corpus = {
+        {},                  // empty
+        {0x40},              // short header flag, no DCID at all
+        {0x40, 0x01},        // truncated DCID
+        {0x00, 0x00},        // fixed bit clear: not QUIC v1
+        {0xc0},              // long header flag, nothing else
+        {0x40, 1, 2, 3, 4, 5, 6, 7},  // one byte short of an 8-byte DCID
+    };
+    ConstrainedMonitor constrained{ConstrainedConfig{}};
+    FlowMonitor idealized;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+        idealized.on_datagram(at_us(static_cast<std::int64_t>(i)), corpus[i]);
+        constrained.on_datagram(at_us(static_cast<std::int64_t>(i)), corpus[i]);
+    }
+    EXPECT_EQ(constrained.counters().non_flow, corpus.size());
+    EXPECT_EQ(constrained.counters().tracked, 0u);
+    EXPECT_EQ(constrained.flow_count(), 0u);
+    EXPECT_EQ(idealized.non_flow_packets(), corpus.size());
+    EXPECT_EQ(idealized.flow_count(), 0u);
+}
+
+TEST(ConstrainedRobustness, LongHeaderOnlyCorpusIsNeverTracked) {
+    std::vector<std::vector<std::uint8_t>> corpus;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        quic::PacketHeader header;
+        header.type = i % 2 == 0 ? quic::PacketType::initial : quic::PacketType::handshake;
+        header.dcid = quic::ConnectionId::from_u64(0x4000 + i);
+        header.scid = quic::ConnectionId::from_u64(0x8000 + i);
+        header.packet_number = i;
+        std::vector<std::uint8_t> wire;
+        const std::vector<std::uint8_t> payload{0x01};
+        quic::encode_packet(wire, header, payload, quic::kInvalidPacketNumber);
+        corpus.push_back(std::move(wire));
+    }
+    ConstrainedMonitor constrained{ConstrainedConfig{}};
+    FlowMonitor idealized;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+        idealized.on_datagram(at_us(static_cast<std::int64_t>(i)), corpus[i]);
+        constrained.on_datagram(at_us(static_cast<std::int64_t>(i)), corpus[i]);
+    }
+    EXPECT_EQ(constrained.counters().tracked, 0u);
+    EXPECT_EQ(constrained.counters().non_flow, corpus.size());
+    EXPECT_EQ(idealized.flow_count(), 0u);
+}
+
+// --- config validation -------------------------------------------------------
+
+TEST(ConstrainedConfigValidation, RejectsNonsensicalBudgets) {
+    ConstrainedConfig config;
+    config.log2_slots = 0;
+    EXPECT_THROW(ConstrainedMonitor{config}, std::invalid_argument);
+    config = ConstrainedConfig{};
+    config.log2_slots = 25;
+    EXPECT_THROW(ConstrainedMonitor{config}, std::invalid_argument);
+    config = ConstrainedConfig{};
+    config.sample_every = 0;
+    EXPECT_THROW(ConstrainedMonitor{config}, std::invalid_argument);
+    config = ConstrainedConfig{};
+    config.ewma_shift = 16;
+    EXPECT_THROW(ConstrainedMonitor{config}, std::invalid_argument);
+    config = ConstrainedConfig{};
+    config.dcid_length = 0;
+    EXPECT_THROW(ConstrainedMonitor{config}, std::invalid_argument);
+    config = ConstrainedConfig{};
+    config.eviction = EvictionPolicy::lru;
+    config.lru_idle_packets = 0;
+    EXPECT_THROW(ConstrainedMonitor{config}, std::invalid_argument);
+}
+
+TEST(ConstrainedConfigValidation, DefaultsAreValid) {
+    EXPECT_NO_THROW(ConstrainedConfig{}.validate());
+    ConstrainedMonitor monitor{ConstrainedConfig{}};
+    EXPECT_EQ(monitor.slot_count(), std::size_t{1} << 16);
+    EXPECT_EQ(monitor.flow_count(), 0u);
+}
+
+}  // namespace
+}  // namespace spinscope::core
