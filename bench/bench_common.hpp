@@ -13,6 +13,7 @@
 #include <filesystem>
 #include <string>
 #include <system_error>
+#include <vector>
 
 #include "bench/progress.hpp"
 #include "bench/trajectory.hpp"
@@ -30,6 +31,10 @@ namespace spinscope::bench {
 /// all percentages are scale-invariant, absolute counts scale linearly.
 struct Options {
     double scale = 2000.0;
+    /// Multi-scale sweep (--scales=A,B,C): benches that support it run once
+    /// per scale and emit a spinscope-bench-scale-v1 row family to
+    /// --trajectory instead of a single row. Empty = single --scale run.
+    std::vector<double> scales;
     std::uint64_t seed = 20230520;
     /// Extra per-bench knob (e.g. corpus size for the accuracy figures).
     std::uint64_t count = 0;
@@ -76,6 +81,20 @@ inline Options parse_options(int argc, char** argv, std::uint64_t default_count 
         const char* arg = argv[i];
         if (std::strncmp(arg, "--scale=", 8) == 0) {
             options.scale = std::atof(arg + 8);
+        } else if (std::strncmp(arg, "--scales=", 9) == 0) {
+            options.scales.clear();
+            for (const char* p = arg + 9; *p != '\0';) {
+                char* end = nullptr;
+                const double value = std::strtod(p, &end);
+                if (end == p) break;  // trailing garbage: stop parsing
+                if (value > 0.0) options.scales.push_back(value);
+                p = (*end == ',') ? end + 1 : end;
+            }
+            if (options.scales.empty()) {
+                std::fprintf(stderr, "--scales needs a comma-separated list of "
+                                     "positive downscale factors\n");
+                std::exit(2);
+            }
         } else if (std::strncmp(arg, "--seed=", 7) == 0) {
             options.seed = std::strtoull(arg + 7, nullptr, 10);
         } else if (std::strncmp(arg, "--count=", 8) == 0) {
@@ -102,7 +121,7 @@ inline Options parse_options(int argc, char** argv, std::uint64_t default_count 
             options.trajectory_path = arg + 13;
         } else if (std::strcmp(arg, "--help") == 0) {
             std::printf(
-                "usage: %s [--scale=N] [--seed=N] [--count=N] [--csv=prefix] "
+                "usage: %s [--scale=N] [--scales=A,B,C] [--seed=N] [--count=N] [--csv=prefix] "
                 "[--telemetry=path|off] [--threads=N] [--journal=dir] [--procs=N] "
                 "[--resume] [--trace=file] [--progress[=N]] [--trajectory=file]\n",
                 argv[0]);

@@ -10,8 +10,17 @@
 // 5-10 % in each other bin, and the measured curve stays below both RFC
 // overlays at high week counts (hosts spin *less* than the RFCs allow —
 // deployment churn on top of the lottery).
+//
+// Out-of-core sweep shape (DESIGN.md §15): domains-outer, weeks-inner. The
+// first sampled week's campaign streams the universe via bench::run_campaign;
+// for each spin-capable domain it delivers, the sink scans the remaining
+// sampled weeks inline and folds the domain's complete weekly bitmasks into
+// the aggregator in one add_domain() call. Nothing is retained per domain —
+// memory is O(weeks), not O(domains).
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "analysis/adoption.hpp"
 #include "analysis/csv.hpp"
@@ -28,30 +37,48 @@ int main(int argc, char** argv) {
     bench::banner("Figure 2 — RFC lottery compliance across 12 weeks", options);
 
     bench::Stopwatch watch;
-    web::Population population{{options.scale, options.seed}};
-    const auto weeks = static_cast<unsigned>(options.count);
+    web::PopulationModel model{{options.scale, options.seed}};
+    // Weekly outcomes are folded as 32-bit masks; the paper samples 12 weeks.
+    const auto weeks = std::min(static_cast<unsigned>(options.count), 32u);
     analysis::LongitudinalAggregator longitudinal{weeks};
+
+    // One campaign per sampled week, spread across the 58-week campaign; all
+    // share the model, so each is O(1) state.
+    std::vector<scanner::Campaign> campaigns;
+    campaigns.reserve(weeks);
+    for (unsigned sample = 0; sample < weeks; ++sample) {
+        scanner::ScanOptions scan_options;
+        scan_options.week = static_cast<int>(sample * 57 / (weeks > 1 ? weeks - 1 : 1));
+        if (sample == 0) {
+            scan_options.threads = options.threads;
+            scan_options.journal_dir = options.journal_dir;
+        }
+        campaigns.emplace_back(model, scan_options);
+    }
 
     // Only domains of spin-capable organizations can ever contribute to the
     // "spun in any week" population; skipping the rest keeps the bench fast
     // without changing the histogram.
     std::uint64_t scanned = 0;
-    for (unsigned sample = 0; sample < weeks; ++sample) {
-        // Spread the sampled weeks across the 58-week campaign.
-        const int week = static_cast<int>(sample * 57 / (weeks > 1 ? weeks - 1 : 1));
-        scanner::ScanOptions scan_options;
-        scan_options.week = week;
-        scanner::Campaign campaign{population, scan_options};
-        for (const auto& domain : population.domains()) {
-            if (!domain.quic || population.org_of(domain).spin_host_rate <= 0.0) continue;
-            const auto scan = campaign.scan_domain(domain);
-            ++scanned;
-            const bool connected = scan.quic_ok();
-            const bool spun =
-                analysis::classify_domain(scan) == analysis::DomainSpinClass::spinning;
-            longitudinal.add(domain.id, sample, connected, spun);
-        }
-    }
+    bench::run_campaign(
+        options, campaigns.front(),
+        [&](const web::Domain& domain, scanner::DomainScan&& scan) {
+            if (!domain.quic || model.org_of(domain).spin_host_rate <= 0.0) return;
+            std::uint32_t connected_mask = 0;
+            std::uint32_t spun_mask = 0;
+            for (unsigned sample = 0; sample < weeks; ++sample) {
+                const scanner::DomainScan week_scan =
+                    sample == 0 ? std::move(scan)
+                                : campaigns[sample].scan_domain(domain);
+                ++scanned;
+                if (week_scan.quic_ok()) connected_mask |= 1U << sample;
+                if (analysis::classify_domain(week_scan) ==
+                    analysis::DomainSpinClass::spinning) {
+                    spun_mask |= 1U << sample;
+                }
+            }
+            longitudinal.add_domain(connected_mask, spun_mask);
+        });
 
     std::printf("%s\n", longitudinal.render_figure().c_str());
     bench::write_csv(options, "fig2.csv", analysis::weeks_histogram_csv(longitudinal));

@@ -7,8 +7,15 @@
 //
 // The synthetic population is a 1:N downscale of the paper's universe; the
 // percentage columns are the reproduction targets, the counts scale with N.
+// The campaign streams DomainBlocks from the PopulationModel (DESIGN.md §15)
+// — no domain vector is ever materialized, so peak RSS is flat in the domain
+// count. --scales=A,B,C measures that flatness directly: one campaign per
+// scale, all rows written as a spinscope-bench-scale-v1 family.
 
+#include <algorithm>
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "analysis/adoption.hpp"
 #include "bench/bench_common.hpp"
@@ -20,24 +27,25 @@
 
 using namespace spinscope;
 
-int main(int argc, char** argv) {
-    const auto options = bench::parse_options(argc, argv);
-    bench::banner("Table 1 — IPv4 overview (CW 20, 2023)", options);
+namespace {
 
-    bench::Stopwatch watch;
-    web::Population population{{options.scale, options.seed}};
+/// Runs one full Table 1 campaign at `scale` and returns its trajectory row.
+/// `print_tables` keeps the sweep output readable (tables once, not per row).
+bench::Trajectory run_at_scale(const bench::Options& options, double scale,
+                               bool print_tables) {
+    web::PopulationModel model{{scale, options.seed}};
 
     scanner::ScanOptions scan_options;
     scan_options.ipv6 = false;
     scan_options.week = 57;  // CW 20/2023, counted from CW 15/2022
     scan_options.threads = options.threads;
     scan_options.journal_dir = options.journal_dir;
-    scanner::Campaign campaign{population, scan_options};
+    scanner::Campaign campaign{model, scan_options};
 
     telemetry::MetricsRegistry registry;
     campaign.set_metrics(&registry);
 
-    analysis::AdoptionAggregator aggregator{population, /*ipv6=*/false};
+    analysis::AdoptionAggregator aggregator{model, /*ipv6=*/false};
     std::uint64_t scanned = 0;
     const telemetry::AllocSnapshot campaign_allocs;
     const bench::Stopwatch campaign_watch;
@@ -47,26 +55,65 @@ int main(int argc, char** argv) {
             ++scanned;
         });
 
-    std::printf("%s\n", aggregator.render_overview_table().c_str());
-    std::printf("paper (1:1 scale):\n"
-                "  Toplists     #Domains 2 732 702 -> 1 937 701 -> 547 107 -> 6.9 %%\n"
-                "               #IPs                    774 832 -> 118 544 -> 15.2 %%\n"
-                "  CZDS         #Domains 216 520 521 -> 183 735 238 -> 22 205 271 -> 10.2 %%\n"
-                "               #IPs                  10 271 558 ->   259 766 -> 45.3 %%\n"
-                "  com/net/org  #Domains 183 047 638 -> 158 891 771 -> 18 415 242 -> 11.1 %%\n"
-                "               #IPs                   9 203 681 ->   242 877 -> 46.4 %%\n");
-    std::printf("\nscanned %llu domains in %.1f s (%.0f domains/sec, QUIC-ok %.1f %%)\n",
-                static_cast<unsigned long long>(scanned), watch.seconds(),
-                stats.domains_per_sec(), stats.quic_ok_rate() * 100.0);
+    if (print_tables) {
+        std::printf("%s\n", aggregator.render_overview_table().c_str());
+        std::printf("paper (1:1 scale):\n"
+                    "  Toplists     #Domains 2 732 702 -> 1 937 701 -> 547 107 -> 6.9 %%\n"
+                    "               #IPs                    774 832 -> 118 544 -> 15.2 %%\n"
+                    "  CZDS         #Domains 216 520 521 -> 183 735 238 -> 22 205 271 -> 10.2 %%\n"
+                    "               #IPs                  10 271 558 ->   259 766 -> 45.3 %%\n"
+                    "  com/net/org  #Domains 183 047 638 -> 158 891 771 -> 18 415 242 -> 11.1 %%\n"
+                    "               #IPs                   9 203 681 ->   242 877 -> 46.4 %%\n");
+    }
+    std::printf("\nscale 1:%.0f — scanned %llu domains in %.1f s "
+                "(%.0f domains/sec, QUIC-ok %.1f %%)\n",
+                scale, static_cast<unsigned long long>(scanned),
+                campaign_watch.seconds(), stats.domains_per_sec(),
+                stats.quic_ok_rate() * 100.0);
     bench::write_telemetry(options, "table1", registry);
+
     auto trajectory = bench::measure_trajectory("scale", scanned,
                                                 campaign_watch.seconds(),
                                                 campaign_allocs);
     trajectory.procs = options.procs;
+    trajectory.scale = scale;
     if (const auto* gauge = registry.find_gauge("obs.proc.peak_worker_rss_bytes");
         gauge != nullptr && gauge->has_value()) {
         trajectory.peak_worker_rss_bytes = static_cast<std::uint64_t>(gauge->value());
     }
-    bench::write_trajectory(options, trajectory);
+    return trajectory;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto options = bench::parse_options(argc, argv);
+    bench::banner("Table 1 — IPv4 overview (CW 20, 2023)", options);
+
+    if (options.scales.empty()) {
+        const auto trajectory = run_at_scale(options, options.scale, /*print_tables=*/true);
+        bench::write_trajectory(options, trajectory);
+        return 0;
+    }
+
+    // Scale sweep: largest downscale (fewest domains) first, so the process
+    // peak-RSS high-water mark can only be pushed up by a later, larger
+    // universe — the flatness bench_check.py gates (see trajectory.hpp).
+    std::vector<double> scales = options.scales;
+    std::sort(scales.begin(), scales.end(), std::greater<>{});
+    std::vector<bench::Trajectory> rows;
+    rows.reserve(scales.size());
+    for (std::size_t i = 0; i < scales.size(); ++i) {
+        bench::Options run = options;
+        if (!run.journal_dir.empty()) {
+            // Each scale is a different campaign geometry; journals must not
+            // be shared across them.
+            run.journal_dir += "-scale" + std::to_string(i);
+        }
+        rows.push_back(run_at_scale(run, scales[i], /*print_tables=*/i == 0));
+    }
+    if (!options.trajectory_path.empty()) {
+        bench::write_scale_sweep_file(options.trajectory_path, rows);
+    }
     return 0;
 }

@@ -21,14 +21,16 @@ int main(int argc, char** argv) {
     bench::banner("Table 2 — per-AS-organization spin support (com/net/org, IPv4)", options);
 
     bench::Stopwatch watch;
-    web::Population population{{options.scale, options.seed}};
+    // Streaming population (DESIGN.md §15): the campaign materializes its own
+    // transient DomainBlocks from the model; no resident domain vector.
+    web::PopulationModel model{{options.scale, options.seed}};
     scanner::ScanOptions scan_options;
     scan_options.week = 57;
     scan_options.threads = options.threads;
     scan_options.journal_dir = options.journal_dir;
-    scanner::Campaign campaign{population, scan_options};
+    scanner::Campaign campaign{model, scan_options};
 
-    analysis::AdoptionAggregator aggregator{population, false};
+    analysis::AdoptionAggregator aggregator{model, false};
     bench::run_campaign(options, campaign,
                         [&](const web::Domain& domain, scanner::DomainScan&& scan) {
                             aggregator.add(domain, scan);

@@ -19,15 +19,16 @@ int main(int argc, char** argv) {
     bench::banner("Table 4 — IPv6 overview (CW 20, 2023)", options);
 
     bench::Stopwatch watch;
-    web::Population population{{options.scale, options.seed}};
+    // Streaming population (DESIGN.md §15): no resident domain vector.
+    web::PopulationModel model{{options.scale, options.seed}};
     scanner::ScanOptions scan_options;
     scan_options.ipv6 = true;
     scan_options.week = 57;
     scan_options.threads = options.threads;
     scan_options.journal_dir = options.journal_dir;
-    scanner::Campaign campaign{population, scan_options};
+    scanner::Campaign campaign{model, scan_options};
 
-    analysis::AdoptionAggregator aggregator{population, /*ipv6=*/true};
+    analysis::AdoptionAggregator aggregator{model, /*ipv6=*/true};
     bench::run_campaign(options, campaign,
                         [&](const web::Domain& domain, scanner::DomainScan&& scan) {
                             aggregator.add(domain, scan);

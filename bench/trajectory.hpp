@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "telemetry/resource.hpp"
 #include "util/atomic_file.hpp"
@@ -37,6 +38,9 @@ struct Trajectory {
     /// bench_check.py skips a zero/absent peak_worker_rss_bytes baseline.
     unsigned procs = 0;
     std::uint64_t peak_worker_rss_bytes = 0;
+    /// Population downscale (1:N) the row was measured at; 0 for benches
+    /// without a population (micro benches).
+    double scale = 0.0;
 };
 
 /// Builds a snapshot from one measured section: `before` captured at section
@@ -61,25 +65,64 @@ inline Trajectory measure_trajectory(std::string bench, std::uint64_t domains,
     return t;
 }
 
-inline std::string to_json(const Trajectory& t) {
-    const auto num = [](double v) {
-        char buf[40];
-        std::snprintf(buf, sizeof buf, "%.9g", v);
-        return std::string{buf};
-    };
-    std::string out = "{\"schema\":\"spinscope-bench-trajectory-v1\",\"bench\":\"";
+namespace detail {
+inline std::string trajectory_num(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return std::string{buf};
+}
+
+/// The schema-less field body shared by the single-row trajectory file and
+/// the scale-sweep row array.
+inline std::string trajectory_fields(const Trajectory& t) {
+    std::string out = "\"bench\":\"";
     out += t.bench;  // bench names are identifiers, no escaping needed
     out += "\",\"domains\":" + std::to_string(t.domains);
-    out += ",\"wall_seconds\":" + num(t.wall_seconds);
+    out += ",\"wall_seconds\":" + trajectory_num(t.wall_seconds);
     out += ",\"alloc_probe\":" + std::string{t.alloc_probe ? "1" : "0"};
     out += ",\"procs\":" + std::to_string(t.procs);
-    out += ",\"metrics\":{\"domains_per_sec\":" + num(t.domains_per_sec);
+    out += ",\"scale\":" + trajectory_num(t.scale);
+    out += ",\"metrics\":{\"domains_per_sec\":" + trajectory_num(t.domains_per_sec);
     out += ",\"peak_rss_bytes\":" + std::to_string(t.peak_rss_bytes);
-    out += ",\"allocs_per_domain\":" + num(t.allocs_per_domain);
-    out += ",\"alloc_bytes_per_domain\":" + num(t.alloc_bytes_per_domain);
+    out += ",\"allocs_per_domain\":" + trajectory_num(t.allocs_per_domain);
+    out += ",\"alloc_bytes_per_domain\":" + trajectory_num(t.alloc_bytes_per_domain);
     out += ",\"peak_worker_rss_bytes\":" + std::to_string(t.peak_worker_rss_bytes);
-    out += "}}";
+    out += "}";
     return out;
+}
+}  // namespace detail
+
+inline std::string to_json(const Trajectory& t) {
+    return "{\"schema\":\"spinscope-bench-trajectory-v1\"," + detail::trajectory_fields(t) +
+           "}";
+}
+
+/// Scale-sweep row family (spinscope-bench-scale-v1): one trajectory row per
+/// population scale, measured back to back inside one process from the
+/// largest downscale (fewest domains) to the smallest. peak_rss_bytes is the
+/// process high-water mark and therefore monotone across rows — if campaign
+/// state grew with the domain count, later (bigger-universe) rows would push
+/// it up, so "last row ≈ first row" is exactly the flat-RSS proof
+/// bench_check.py gates.
+inline std::string scale_sweep_to_json(const std::vector<Trajectory>& rows) {
+    std::string out = "{\"schema\":\"spinscope-bench-scale-v1\",\"rows\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "{" + detail::trajectory_fields(rows[i]) + "}";
+    }
+    out += "]}";
+    return out;
+}
+
+/// Writes the scale-sweep snapshot atomically and reports the path.
+inline bool write_scale_sweep_file(const std::string& path,
+                                   const std::vector<Trajectory>& rows) {
+    if (util::write_file_atomic(path, scale_sweep_to_json(rows) + "\n")) {
+        std::printf("wrote %s (%zu scale rows)\n", path.c_str(), rows.size());
+        return true;
+    }
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return false;
 }
 
 /// Writes the snapshot atomically and reports the path.

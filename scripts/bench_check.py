@@ -27,6 +27,7 @@ import sys
 
 SCHEMA = "spinscope-bench-trajectory-v1"
 OBSERVER_SCHEMA = "spinscope-bench-observer-v1"
+SCALE_SCHEMA = "spinscope-bench-scale-v1"
 
 # metric -> (higher_is_better, relative tolerance)
 POLICY = {
@@ -57,6 +58,16 @@ OBSERVER_POLICY = {
     "packets_per_sec": (True, 0.50, 0.0),
 }
 
+# Scale-sweep flatness gate (spinscope-bench-scale-v1, DESIGN.md §15): the
+# sweep measures one campaign per population scale inside one process, fewest
+# domains first, so process peak RSS is monotone across rows. Out-of-core
+# streaming means the biggest-universe row's peak RSS must stay within this
+# factor of the smallest's — campaign state growing with the domain count
+# shows up as a blown ratio long before any baseline comparison would drift.
+# The measured ratio across a 10x domain range is ~1.02; 1.5 leaves room for
+# allocator noise while still catching even a bytes-per-domain-scale leak.
+SCALE_FLATNESS_LIMIT = 1.5
+
 
 def load(path):
     with open(path, "r", encoding="utf-8") as f:
@@ -68,8 +79,13 @@ def load(path):
     elif schema == OBSERVER_SCHEMA:
         if "rows" not in doc or not isinstance(doc["rows"], dict):
             raise ValueError(f"{path}: missing rows object")
+    elif schema == SCALE_SCHEMA:
+        if "rows" not in doc or not isinstance(doc["rows"], list):
+            raise ValueError(f"{path}: missing rows array")
     else:
-        raise ValueError(f"{path}: not a {SCHEMA} or {OBSERVER_SCHEMA} document")
+        raise ValueError(
+            f"{path}: not a {SCHEMA}, {OBSERVER_SCHEMA} or {SCALE_SCHEMA} document"
+        )
     return doc
 
 
@@ -113,6 +129,56 @@ def compare_observer(baseline, candidate, base_name="baseline", cand_name="candi
     return failures
 
 
+def compare_scale(baseline, candidate, base_name="baseline", cand_name="candidate"):
+    """Scale-sweep comparison: per-row metrics vs the committed row of the
+    same scale, plus the intrinsic peak-RSS flatness gate on the candidate
+    sweep itself. Returns failure strings."""
+    failures = []
+    cand_rows = candidate.get("rows", [])
+    base_rows = baseline.get("rows", [])
+
+    # Flatness: biggest universe vs smallest, on the fresh measurement.
+    measured = [
+        r for r in cand_rows
+        if r.get("domains", 0) > 0 and r.get("metrics", {}).get("peak_rss_bytes", 0) > 0
+    ]
+    if len(measured) < 2:
+        failures.append("scale sweep: candidate needs >= 2 measured rows")
+    else:
+        smallest = min(measured, key=lambda r: r["domains"])
+        biggest = max(measured, key=lambda r: r["domains"])
+        ratio = (
+            biggest["metrics"]["peak_rss_bytes"] / smallest["metrics"]["peak_rss_bytes"]
+        )
+        ok = ratio <= SCALE_FLATNESS_LIMIT
+        status = "ok" if ok else "REGRESSION"
+        print(
+            f"  scale-sweep flatness: peak RSS {smallest['metrics']['peak_rss_bytes']} "
+            f"({smallest['domains']} domains) -> {biggest['metrics']['peak_rss_bytes']} "
+            f"({biggest['domains']} domains), ratio {ratio:.2f} "
+            f"(limit {SCALE_FLATNESS_LIMIT}) [{status}]"
+        )
+        if not ok:
+            failures.append(
+                f"scale sweep: peak RSS grew {ratio:.2f}x from {smallest['domains']} to "
+                f"{biggest['domains']} domains — campaign state is no longer flat in "
+                f"the domain count (limit {SCALE_FLATNESS_LIMIT}x)"
+            )
+
+    # Per-row trajectory comparison, keyed by scale.
+    cand_by_scale = {r.get("scale"): r for r in cand_rows}
+    for base_row in base_rows:
+        scale = base_row.get("scale")
+        cand_row = cand_by_scale.get(scale)
+        if cand_row is None:
+            failures.append(f"scale sweep: row for scale {scale} missing from candidate")
+            continue
+        failures += compare_trajectory(
+            base_row, cand_row, base_name, cand_name, label=f"scale:{scale:g}"
+        )
+    return failures
+
+
 def compare(baseline, candidate, base_name="baseline", cand_name="candidate"):
     """Returns a list of failure strings (empty = pass)."""
     if baseline.get("schema") != candidate.get("schema"):
@@ -121,8 +187,16 @@ def compare(baseline, candidate, base_name="baseline", cand_name="candidate"):
         ]
     if baseline.get("schema") == OBSERVER_SCHEMA:
         return compare_observer(baseline, candidate, base_name, cand_name)
+    if baseline.get("schema") == SCALE_SCHEMA:
+        return compare_scale(baseline, candidate, base_name, cand_name)
+    return compare_trajectory(baseline, candidate, base_name, cand_name)
+
+
+def compare_trajectory(baseline, candidate, base_name="baseline",
+                       cand_name="candidate", label=None):
+    """Single trajectory-row comparison (also reused per scale-sweep row)."""
     failures = []
-    bench = baseline.get("bench", "?")
+    bench = label if label is not None else baseline.get("bench", "?")
     alloc_ok = baseline.get("alloc_probe", 0) and candidate.get("alloc_probe", 0)
     for metric, (higher_better, tolerance) in POLICY.items():
         if metric in ALLOC_METRICS and not alloc_ok:
@@ -242,6 +316,46 @@ def self_test():
     wobble["rows"]["slots16_lru"]["metrics"]["mean_abs_err_ms"] = 0.04  # < slack
     if compare(tiny, wobble):
         print("self-test FAILED: sub-slack error wobble was flagged")
+        return 1
+
+    print("self-test: scale-sweep flatness and per-row regressions must be detected")
+    scale_base = {
+        "schema": SCALE_SCHEMA,
+        "rows": [
+            {
+                "bench": "scale", "scale": 20000.0, "domains": 2173,
+                "alloc_probe": 1,
+                "metrics": {"domains_per_sec": 900.0, "peak_rss_bytes": 5000000,
+                            "allocs_per_domain": 210.0,
+                            "alloc_bytes_per_domain": 52000.0},
+            },
+            {
+                "bench": "scale", "scale": 2000.0, "domains": 21730,
+                "alloc_probe": 1,
+                "metrics": {"domains_per_sec": 1100.0, "peak_rss_bytes": 5100000,
+                            "allocs_per_domain": 190.0,
+                            "alloc_bytes_per_domain": 48000.0},
+            },
+        ],
+    }
+    scale_same = json.loads(json.dumps(scale_base))
+    if compare(scale_base, scale_same):
+        print("self-test FAILED: identical scale sweep was flagged")
+        return 1
+    leaky = json.loads(json.dumps(scale_base))
+    leaky["rows"][1]["metrics"]["peak_rss_bytes"] = 3 * 5000000  # grows with domains
+    if not compare(scale_base, leaky):
+        print("self-test FAILED: non-flat peak RSS across scales not detected")
+        return 1
+    slow = json.loads(json.dumps(scale_base))
+    slow["rows"][0]["metrics"]["domains_per_sec"] = 900.0 * 0.5
+    if not compare(scale_base, slow):
+        print("self-test FAILED: per-scale throughput regression not detected")
+        return 1
+    truncated = json.loads(json.dumps(scale_base))
+    truncated["rows"] = truncated["rows"][:1]
+    if not compare(scale_base, truncated):
+        print("self-test FAILED: dropped scale row not detected")
         return 1
 
     print("self-test: alloc metrics must be skipped without the interposer")

@@ -12,6 +12,9 @@
 #   scripts/ci.sh chaos        # crash-isolation lane: the multi-process kill
 #                              # sweep (SIGKILL workers at every lifecycle
 #                              # point), journal/lease and proc-plumbing suites
+#   scripts/ci.sh rss          # out-of-core lane: a mid-scale streaming
+#                              # campaign under a hard RLIMIT_AS ceiling — an
+#                              # accidental O(domains) allocation fails loudly
 #   scripts/ci.sh all          # default + sanitize + tsan (+ lint if available)
 #
 # Exit status is non-zero as soon as any configure, build or test step of any
@@ -54,8 +57,11 @@ run_bench_lane() {
         --trajectory="${out}/BENCH_packet_path.json" --trajectory_count=192
     # --procs=2 routes the Table 1 sweep through the multi-process map pass
     # (fork + shared journal + reduce), so the committed BENCH_scale.json also
-    # pins the crash-isolated path's throughput and worker footprint.
-    ./build/bench/bench_table1 --scale=20000 --telemetry=off --procs=2 \
+    # pins the crash-isolated path's throughput and worker footprint. The
+    # --scales sweep spans a 10x domain range; bench_check.py gates both the
+    # per-row metrics and the flatness of peak RSS across the rows (the
+    # out-of-core guarantee of DESIGN.md §15).
+    ./build/bench/bench_table1 --scales=20000,6000,2000 --telemetry=off --procs=2 \
         --trajectory="${out}/BENCH_scale.json" >/dev/null
     # Constrained-observer accuracy table (DESIGN.md §14): campaign replay +
     # the synthetic flow sweep incl. the 1M-flow/64K-slot roadmap point.
@@ -93,6 +99,26 @@ run_chaos_lane() {
     echo "=== lane chaos: OK ==="
 }
 
+# Out-of-core lane: run a mid-scale (2.2 M domain) streaming Table 1 campaign
+# under a hard RLIMIT_AS ceiling. The streaming population (DESIGN.md §15)
+# keeps the campaign's address space flat (~27 MB with a single malloc arena)
+# regardless of domain count, so the 96 MB ceiling leaves >3x headroom — an
+# accidental O(domains) allocation blows through it and the lane fails loudly
+# (bad_alloc abort, or the watchdog timeout when the failure degenerates into
+# a chunk-retry crawl). RSS_CEILING_KB overrides the ceiling.
+run_rss_lane() {
+    echo "=== lane: rss ==="
+    cmake --preset default >/dev/null
+    cmake --build --preset default -j "${JOBS}" --target bench_table1
+    local ceiling_kb="${RSS_CEILING_KB:-98304}"
+    (
+        ulimit -v "${ceiling_kb}"
+        MALLOC_ARENA_MAX=1 timeout 600 ./build/bench/bench_table1 \
+            --scale=100 --threads=2 --telemetry=off >/dev/null
+    )
+    echo "=== lane rss: OK (2.2 M-domain campaign held under $((ceiling_kb / 1024)) MB address space) ==="
+}
+
 main() {
     local lanes=("${@:-default}")
     if [ "${1:-}" = "all" ]; then
@@ -108,6 +134,7 @@ main() {
             default|sanitize|tsan) run_lane "${lane}" ;;
             bench) run_bench_lane ;;
             chaos) run_chaos_lane ;;
+            rss) run_rss_lane ;;
             lint)
                 if lint_available; then
                     run_lane lint
@@ -117,7 +144,7 @@ main() {
                 fi
                 ;;
             *)
-                echo "error: unknown lane '${lane}' (default|sanitize|tsan|lint|bench|chaos|all)" >&2
+                echo "error: unknown lane '${lane}' (default|sanitize|tsan|lint|bench|chaos|rss|all)" >&2
                 exit 2
                 ;;
         esac

@@ -39,26 +39,68 @@ DomainSpinClass classify_domain(const scanner::DomainScan& scan) {
 bool in_list(const web::Domain& domain, ListId list) noexcept {
     switch (list) {
         case ListId::toplists: return domain.on_toplist;
-        case ListId::czds: return domain.segment != web::Segment::toplist_extra;
-        case ListId::cno: return domain.segment == web::Segment::czds_cno;
+        case ListId::czds: return domain.segment() != web::Segment::toplist_extra;
+        case ListId::cno: return domain.segment() == web::Segment::czds_cno;
     }
     return false;
 }
 
-AdoptionAggregator::AdoptionAggregator(const web::Population& population, bool ipv6)
-    : population_{&population}, ipv6_{ipv6} {
-    orgs_.reserve(population.orgs().size());
-    for (const auto& org : population.orgs()) {
+HostSet::HostSet(const web::PopulationModel& model, bool ipv6) : ipv6_{ipv6} {
+    const std::size_t orgs = model.orgs().size();
+    base_.assign(orgs + 1, 0);
+    for (std::size_t i = 0; i < orgs; ++i) {
+        const std::uint64_t pool =
+            ipv6 ? model.ipv6_pool(i) : static_cast<std::uint64_t>(model.ipv4_pool(i));
+        base_[i + 1] = base_[i] + pool;
+    }
+    bits_.assign((base_[orgs] + 63) / 64, 0);
+}
+
+std::uint64_t HostSet::slot(const web::Domain& d) const noexcept {
+    const std::uint64_t host = ipv6_ ? d.ipv6_host : d.ipv4_host;
+    return base_[d.org] + host;
+}
+
+bool HostSet::insert(const web::Domain& d) {
+    const std::uint64_t s = slot(d);
+    const std::uint64_t mask = 1ULL << (s % 64);
+    if ((bits_[s / 64] & mask) != 0) return false;
+    bits_[s / 64] |= mask;
+    ++count_;
+    return true;
+}
+
+bool HostSet::contains(const web::Domain& d) const noexcept {
+    const std::uint64_t s = slot(d);
+    return (bits_[s / 64] & (1ULL << (s % 64))) != 0;
+}
+
+bool HostSet::subset_of(const HostSet& other) const noexcept {
+    if (other.bits_.size() < bits_.size()) return false;
+    for (std::size_t i = 0; i < bits_.size(); ++i) {
+        if ((bits_[i] & ~other.bits_[i]) != 0) return false;
+    }
+    return true;
+}
+
+AdoptionAggregator::AdoptionAggregator(const web::PopulationModel& model, bool ipv6)
+    : model_{&model}, ipv6_{ipv6} {
+    for (auto& counters : lists_) {
+        counters.ips_resolved = HostSet{model, ipv6};
+        counters.ips_quic = HostSet{model, ipv6};
+        counters.ips_spin = HostSet{model, ipv6};
+    }
+    orgs_.reserve(model.orgs().size());
+    for (const auto& org : model.orgs()) {
         orgs_.push_back(OrgCounters{org.name, 0, 0});
     }
-    webserver_counts_.assign(population.stacks().size(), 0);
-    webserver_spin_counts_.assign(population.stacks().size(), 0);
+    webserver_counts_.assign(model.stacks().size(), 0);
+    webserver_spin_counts_.assign(model.stacks().size(), 0);
 }
 
 void AdoptionAggregator::add(const web::Domain& domain, const scanner::DomainScan& scan) {
     const DomainSpinClass domain_class = classify_domain(scan);
     const bool quic_ok = domain_class != DomainSpinClass::not_quic;
-    const std::uint64_t host = population_->host_key(domain, ipv6_);
 
     for (std::size_t l = 0; l < kListCount; ++l) {
         const auto id = static_cast<ListId>(l);
@@ -67,14 +109,14 @@ void AdoptionAggregator::add(const web::Domain& domain, const scanner::DomainSca
         ++counters.domains_total;
         if (!scan.resolved) continue;
         ++counters.domains_resolved;
-        counters.ips_resolved.insert(host);
+        counters.ips_resolved.insert(domain);
         if (!quic_ok) continue;
         ++counters.domains_quic;
-        counters.ips_quic.insert(host);
+        counters.ips_quic.insert(domain);
         switch (domain_class) {
             case DomainSpinClass::spinning:
                 ++counters.domains_spin;
-                counters.ips_spin.insert(host);
+                counters.ips_spin.insert(domain);
                 break;
             case DomainSpinClass::greased: ++counters.domains_grease; break;
             case DomainSpinClass::all_zero: ++counters.domains_all_zero; break;
@@ -86,7 +128,7 @@ void AdoptionAggregator::add(const web::Domain& domain, const scanner::DomainSca
     // Table 2 counts connections of the com/net/org view (paper §4.2).
     if (in_list(domain, ListId::cno) && quic_ok) {
         auto& org = orgs_.at(domain.org);
-        const auto& stack = population_->org_of(domain).stack;
+        const auto& stack = model_->org_of(domain).stack;
         for (const auto& trace : scan.connections) {
             if (trace.outcome != qlog::ConnectionOutcome::ok) continue;
             ++org.connections;
@@ -106,7 +148,7 @@ std::vector<std::pair<std::string, std::uint64_t>> AdoptionAggregator::webserver
     std::vector<std::pair<std::string, std::uint64_t>> out;
     for (std::size_t i = 0; i < counts.size(); ++i) {
         if (counts[i] == 0) continue;
-        out.emplace_back(population_->stacks()[i].name, counts[i]);
+        out.emplace_back(model_->stacks()[i].name, counts[i]);
     }
     std::sort(out.begin(), out.end(),
               [](const auto& a, const auto& b) { return a.second > b.second; });

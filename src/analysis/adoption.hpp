@@ -9,7 +9,6 @@
 #include <array>
 #include <cstdint>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "core/accuracy.hpp"
@@ -48,6 +47,35 @@ inline constexpr std::size_t kListCount = 3;
 /// Whether a domain belongs to a list view.
 [[nodiscard]] bool in_list(const web::Domain& domain, ListId list) noexcept;
 
+/// Fixed-footprint distinct-host tracker: one bit per host of the model's
+/// closed-form per-org pools (for one address family), indexed
+/// `base[org] + host_index`. Replaces hash sets whose memory grew with the
+/// number of distinct hosts *seen* — out-of-core analysis state must depend
+/// only on the model geometry, never on how many domains streamed through.
+class HostSet {
+public:
+    HostSet() = default;
+    HostSet(const web::PopulationModel& model, bool ipv6);
+
+    /// Marks the host serving `d`; returns true when newly set.
+    bool insert(const web::Domain& d);
+    [[nodiscard]] bool contains(const web::Domain& d) const noexcept;
+    /// Number of distinct hosts marked so far.
+    [[nodiscard]] std::uint64_t size() const noexcept { return count_; }
+    [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+    /// True when every host of this set is also marked in `other` (same
+    /// model geometry and family assumed).
+    [[nodiscard]] bool subset_of(const HostSet& other) const noexcept;
+
+private:
+    [[nodiscard]] std::uint64_t slot(const web::Domain& d) const noexcept;
+
+    std::vector<std::uint64_t> base_;  ///< per-org prefix sums into the bit space
+    std::vector<std::uint64_t> bits_;
+    std::uint64_t count_ = 0;
+    bool ipv6_ = false;
+};
+
 /// Counters backing one row block of Table 1/4.
 struct ListCounters {
     std::uint64_t domains_total = 0;
@@ -57,9 +85,9 @@ struct ListCounters {
     std::uint64_t domains_all_zero = 0;  // Table 3 columns
     std::uint64_t domains_all_one = 0;
     std::uint64_t domains_grease = 0;
-    std::unordered_set<std::uint64_t> ips_resolved;
-    std::unordered_set<std::uint64_t> ips_quic;
-    std::unordered_set<std::uint64_t> ips_spin;
+    HostSet ips_resolved;
+    HostSet ips_quic;
+    HostSet ips_spin;
 };
 
 /// Per-organization counters (Table 2; counts connections, not domains).
@@ -69,10 +97,15 @@ struct OrgCounters {
     std::uint64_t spin_connections = 0;
 };
 
-/// Streaming aggregator over one sweep's DomainScans.
+/// Streaming aggregator over one sweep's DomainScans. Single-pass and
+/// fixed-footprint: all state is counters plus HostSet bitvectors sized from
+/// the model's closed-form geometry, so feeding the 216 M-domain universe
+/// through chunk by chunk never grows it.
 class AdoptionAggregator {
 public:
-    AdoptionAggregator(const web::Population& population, bool ipv6);
+    AdoptionAggregator(const web::PopulationModel& model, bool ipv6);
+    AdoptionAggregator(const web::Population& population, bool ipv6)
+        : AdoptionAggregator{population.model(), ipv6} {}
 
     /// Folds one scanned domain into all aggregates.
     void add(const web::Domain& domain, const scanner::DomainScan& scan);
@@ -98,7 +131,7 @@ public:
     [[nodiscard]] std::string render_config_table() const;
 
 private:
-    const web::Population* population_;
+    const web::PopulationModel* model_;
     bool ipv6_;
     std::array<ListCounters, kListCount> lists_;
     std::vector<OrgCounters> orgs_;

@@ -15,8 +15,19 @@ void LongitudinalAggregator::add(std::uint32_t domain_id, unsigned week, bool co
     if (spun) record.spun_mask |= 1U << week;
 }
 
+void LongitudinalAggregator::add_domain(std::uint32_t connected_mask,
+                                        std::uint32_t spun_mask) {
+    const std::uint32_t all = all_weeks_mask();
+    spun_mask &= all;
+    if (spun_mask == 0) return;
+    ++spun_any_;
+    if ((connected_mask & all) != all) return;
+    ++connected_all_;
+    ++histogram_[static_cast<std::size_t>(std::popcount(spun_mask))];
+}
+
 std::uint64_t LongitudinalAggregator::spun_any() const {
-    std::uint64_t n = 0;
+    std::uint64_t n = spun_any_;
     for (const auto& [id, record] : records_) {
         if (record.spun_mask != 0) ++n;
     }
@@ -24,8 +35,8 @@ std::uint64_t LongitudinalAggregator::spun_any() const {
 }
 
 std::uint64_t LongitudinalAggregator::connected_all() const {
-    const std::uint32_t all = (weeks_ >= 32) ? ~0U : ((1U << weeks_) - 1);
-    std::uint64_t n = 0;
+    const std::uint32_t all = all_weeks_mask();
+    std::uint64_t n = connected_all_;
     for (const auto& [id, record] : records_) {
         if (record.spun_mask != 0 && (record.connected_mask & all) == all) ++n;
     }
@@ -33,8 +44,11 @@ std::uint64_t LongitudinalAggregator::connected_all() const {
 }
 
 util::CategoricalCounts LongitudinalAggregator::weeks_spinning_histogram() const {
-    const std::uint32_t all = (weeks_ >= 32) ? ~0U : ((1U << weeks_) - 1);
+    const std::uint32_t all = all_weeks_mask();
     util::CategoricalCounts counts{weeks_ + 1};
+    for (std::size_t k = 0; k < histogram_.size(); ++k) {
+        if (histogram_[k] > 0) counts.add(k, histogram_[k]);
+    }
     for (const auto& [id, record] : records_) {
         if (record.spun_mask == 0) continue;
         if ((record.connected_mask & all) != all) continue;

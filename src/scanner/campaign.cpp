@@ -125,7 +125,7 @@ Campaign::AttemptOutcome Campaign::run_attempt(const web::Domain& domain,
     // The watchdog capped this attempt below the normal per-attempt
     // deadline: a cut-off is then a kill, not an ordinary timeout.
     const bool watchdog_capped = deadline < options_.attempt_deadline;
-    const web::Population& pop = *population_;
+    const web::PopulationModel& pop = *model_;
     // Redirect follow-ups are profiled as their own phase: their cost is
     // extra connections, which the first-attempt phase must not absorb.
     std::optional<telemetry::ScopedTimer> attempt_timer;
@@ -155,7 +155,7 @@ Campaign::AttemptOutcome Campaign::run_attempt(const web::Domain& domain,
     // the attempt's own randomness.
     Rng server_fault_rng{~attempt_seed};
 
-    const auto one_way = Duration::from_ms(domain.rtt_ms / 2.0);
+    const auto one_way = Duration::from_ms(domain.rtt_ms() / 2.0);
     LinkConfig link;
     link.base_delay = one_way;
     link.jitter_scale = one_way.scaled(0.03);
@@ -367,12 +367,13 @@ DomainScan Campaign::scan_domain(const web::Domain& domain) const {
 }
 
 std::size_t Campaign::chunk_count() const {
-    return ShardPlan{population_->domains().size(), options_.chunk_domains}.chunk_count();
+    return ShardPlan{model_->domain_count(), options_.chunk_domains}.chunk_count();
 }
 
 std::vector<std::uint32_t> Campaign::chunk_domain_ids(std::size_t chunk_index) const {
-    const auto domains = population_->domains();
-    const ShardPlan plan{domains.size(), options_.chunk_domains};
+    // Domain ids ARE global indices (PopulationModel's purity contract), so
+    // the chunk's ids follow from the geometry alone — no materialization.
+    const ShardPlan plan{model_->domain_count(), options_.chunk_domains};
     if (chunk_index >= plan.chunk_count()) {
         throw std::out_of_range("scanner: chunk_domain_ids index past chunk_count()");
     }
@@ -380,18 +381,23 @@ std::vector<std::uint32_t> Campaign::chunk_domain_ids(std::size_t chunk_index) c
     ids.reserve(plan.chunk_end(chunk_index) - plan.chunk_begin(chunk_index));
     for (std::size_t i = plan.chunk_begin(chunk_index); i < plan.chunk_end(chunk_index);
          ++i) {
-        ids.push_back(domains[i].id);
+        ids.push_back(static_cast<std::uint32_t>(i));
     }
     return ids;
 }
 
 ScannedChunk Campaign::scan_chunk(std::size_t chunk_index) const {
-    const auto domains = population_->domains();
-    const ShardPlan plan{domains.size(), options_.chunk_domains};
+    const ShardPlan plan{model_->domain_count(), options_.chunk_domains};
     if (chunk_index >= plan.chunk_count()) {
         throw std::out_of_range("scanner: scan_chunk index past chunk_count()");
     }
     if (options_.chunk_fault_hook) options_.chunk_fault_hook(chunk_index);
+    // The worker regenerates exactly its own chunk's domains and drops them
+    // with this frame: chunk scans touch O(chunk_domains) population memory
+    // no matter how large the universe is.
+    const web::DomainBlock block = model_->materialize(
+        static_cast<std::uint32_t>(plan.chunk_begin(chunk_index)),
+        static_cast<std::uint32_t>(plan.chunk_end(chunk_index)));
     // Chunk-private registry and pool, exactly as run()'s workers build them:
     // the snapshot below must be byte-identical to what run() journals for
     // this chunk, or the reducer's merged telemetry would drift.
@@ -399,10 +405,8 @@ ScannedChunk Campaign::scan_chunk(std::size_t chunk_index) const {
     if (metrics_ != nullptr) metrics = std::make_unique<telemetry::MetricsRegistry>();
     bytes::BufferPool pool;
     ScannedChunk out;
-    out.scans.reserve(plan.chunk_end(chunk_index) - plan.chunk_begin(chunk_index));
-    for (std::size_t i = plan.chunk_begin(chunk_index); i < plan.chunk_end(chunk_index);
-         ++i) {
-        const web::Domain& domain = domains[i];
+    out.scans.reserve(block.size());
+    for (const web::Domain& domain : block.domains) {
         DomainScan scan;
         try {
             scan = scan_domain_into(domain, metrics.get(), &pool);
@@ -441,7 +445,7 @@ DomainScan Campaign::scan_domain_into(const web::Domain& domain,
     std::optional<core::ConstrainedMonitor> observer;
     if (options_.observer) observer.emplace(*options_.observer);
 
-    std::string host = "www." + population_->domain_name(domain);
+    std::string host = "www." + model_->domain_name(domain);
     bool serve_redirect = domain.redirects;
     // Backoff jitter runs on its own per-domain stream: with retries off it
     // is never drawn from, and with them on it cannot perturb attempt seeds.
@@ -562,9 +566,12 @@ CampaignStats Campaign::run_impl(
             .count();
     };
 
-    const auto domains = population_->domains();
+    // The population is never materialized here: the merge thread works from
+    // the model's closed-form geometry and regenerates single domains on
+    // demand, so run_impl's footprint is O(merge window), not O(universe).
+    const std::size_t universe = model_->domain_count();
     const ShardConfig shard{options_.threads, options_.chunk_domains};
-    const ShardPlan plan{domains.size(), options_.chunk_domains};
+    const ShardPlan plan{universe, options_.chunk_domains};
 
     // Whole-sweep host-resource observation: wall time, allocation traffic
     // (when the binary links the interposer) and peak RSS, published as
@@ -665,7 +672,11 @@ CampaignStats Campaign::run_impl(
     // an uninterrupted merge would have driven, which is what makes resumed
     // output byte-identical.
     const auto merge_scan = [&](std::size_t domain_index, DomainScan&& scan) {
-        const web::Domain& domain = domains[domain_index];
+        // Regenerated, not looked up: the sink's Domain is a pure function of
+        // (seed, id), so handing it a fresh copy keeps the merge thread free
+        // of any materialized population.
+        const web::Domain domain =
+            model_->domain(static_cast<std::uint32_t>(domain_index));
 
         ++stats.domains_scanned;
         if (scan.resolved) ++stats.domains_resolved;
@@ -728,7 +739,7 @@ CampaignStats Campaign::run_impl(
     header.week = options_.week;
     header.ipv6 = options_.ipv6;
     header.chunk_domains = options_.chunk_domains;
-    header.domain_count = domains.size();
+    header.domain_count = universe;
     header.has_telemetry = metrics_ != nullptr;
 
     // Exactly one campaign may write a journal directory at a time: two
@@ -744,7 +755,9 @@ CampaignStats Campaign::run_impl(
             throw std::runtime_error(std::string{"scanner: journal dir '"} +
                                      options_.journal_dir +
                                      "' is in use by another campaign (" + e.what() +
-                                     ")");
+                                     "); this campaign spans domains [0, " +
+                                     std::to_string(universe) + ") in " +
+                                     std::to_string(plan.chunk_count()) + " chunks");
         }
     }
 
@@ -759,7 +772,9 @@ CampaignStats Campaign::run_impl(
         const std::size_t end = plan.chunk_end(record.chunk_index);
         if (record.scans.size() != end - begin) {
             throw std::invalid_argument(
-                "scanner: journal chunk geometry does not match the population");
+                "scanner: journal chunk geometry does not match the population at " +
+                describe_chunk(plan, record.chunk_index) + ": record holds " +
+                std::to_string(record.scans.size()) + " scans");
         }
         // Same merge order as the live path: chunk telemetry first, then
         // per-scan bookkeeping.
@@ -783,9 +798,11 @@ CampaignStats Campaign::run_impl(
         trace_chunk(record.chunk_index, record.scans, /*replayed=*/true,
                     record.quarantined);
         for (std::size_t j = 0; j < record.scans.size(); ++j) {
-            if (record.scans[j].domain_id != domains[begin + j].id) {
+            // Model ids are global indices, so the expected id is arithmetic.
+            if (record.scans[j].domain_id != begin + j) {
                 throw std::invalid_argument(
-                    "scanner: journal domain ids do not match the population");
+                    "scanner: journal domain ids do not match the population at " +
+                    describe_chunk(plan, record.chunk_index));
             }
             merge_scan(begin + j, std::move(record.scans[j]));
         }
@@ -799,52 +816,37 @@ CampaignStats Campaign::run_impl(
         // strict ascending chunk order. Chunks it scans are published back
         // into the map journal BEFORE merging (atomic, idempotent), so a
         // killed reduce rescans nothing it already published.
+        // Only chunk PRESENCE is loaded eagerly (one byte per chunk): each
+        // recorded chunk's bytes are read when its turn to merge comes and
+        // die with the merge, so the reducer's RSS is bounded by the merge
+        // window — never by how many chunks the workers already published.
         init_map_journal(options_.journal_dir, header, /*wipe=*/false);
-        MapReplayResult map = read_map_journal(options_.journal_dir);
-        std::vector<std::optional<ChunkRecord>> recorded(plan.chunk_count());
-        std::uint64_t records_replayed = 0;
-        for (auto& record : map.chunks) {
-            if (record.chunk_index >= plan.chunk_count()) {
+        std::vector<char> recorded(plan.chunk_count(), 0);
+        for (const std::size_t index : list_map_chunks(options_.journal_dir)) {
+            if (index >= plan.chunk_count()) {
                 throw std::invalid_argument(
-                    "scanner: map journal chunk index is past this campaign's "
-                    "chunk count");
+                    "scanner: map journal chunk index " + std::to_string(index) +
+                    " is past this campaign's chunk count (" +
+                    std::to_string(plan.chunk_count()) + " chunks over " +
+                    std::to_string(universe) + " domains)");
             }
-            recorded[record.chunk_index] = std::move(record);
-            ++records_replayed;
+            recorded[index] = 1;
         }
         std::vector<std::size_t> missing;
         for (std::size_t c = 0; c < plan.chunk_count(); ++c) {
-            if (!recorded[c]) missing.push_back(c);
+            if (recorded[c] == 0) missing.push_back(c);
         }
 
+        std::uint64_t records_replayed = 0;
+        std::uint64_t corrupt_chunks = 0;
         // Next global chunk whose replay is still pending; recorded chunks
         // below a freshly-scanned chunk replay right before it merges.
         std::size_t replay_cursor = 0;
-        const auto replay_up_to = [&](std::size_t limit) {
-            for (; replay_cursor < limit; ++replay_cursor) {
-                if (recorded[replay_cursor]) replay_record(*recorded[replay_cursor]);
-            }
-        };
-
-        std::vector<ScannedChunk> scanned(missing.size());
-        const auto scan_missing = [&](std::size_t c) {
-            const std::int64_t scan_start_ns =
-                trace != nullptr ? trace->wall_now_ns() : 0;
-            scanned[c] = scan_chunk(missing[c]);
-            if (trace != nullptr) {
-                const std::int64_t end_ns = trace->wall_now_ns();
-                trace->complete(
-                    TraceClock::wall, trace->wall_lane_for_current_thread("worker"),
-                    "scan chunk", scan_start_ns, end_ns - scan_start_ns,
-                    {TraceArg::num("chunk", static_cast<std::uint64_t>(missing[c])),
-                     TraceArg::num("domains", static_cast<std::uint64_t>(
-                                                  scanned[c].scans.size()))});
-            }
-        };
         const auto publish_and_merge = [&](ChunkRecord&& record) {
             if (!write_map_chunk(options_.journal_dir, record)) {
-                throw std::runtime_error{"scanner: cannot publish map chunk record in " +
-                                         options_.journal_dir};
+                throw std::runtime_error{"scanner: cannot publish map chunk record for " +
+                                         describe_chunk(plan, record.chunk_index) +
+                                         " in " + options_.journal_dir};
             }
             ++stats.journal_records_appended;
             if (metrics_ != nullptr && !record.telemetry_snapshot.empty()) {
@@ -859,13 +861,67 @@ CampaignStats Campaign::run_impl(
             }
             replay_cursor = record.chunk_index + 1;
         };
+        const auto replay_up_to = [&](std::size_t limit) {
+            while (replay_cursor < limit) {
+                const std::size_t c = replay_cursor;
+                if (recorded[c] != 0) {
+                    auto record = read_map_chunk(options_.journal_dir, c);
+                    if (record) {
+                        replay_record(*record);
+                        ++records_replayed;
+                    } else {
+                        // Present at the presence scan but unreadable now
+                        // (torn publish of a killed worker): rescan inline on
+                        // the merge thread and republish — byte-identical by
+                        // the purity contract, so the repair is idempotent.
+                        ++corrupt_chunks;
+                        ScannedChunk rescan = scan_chunk(c);
+                        ChunkRecord fresh;
+                        fresh.chunk_index = c;
+                        fresh.scans = std::move(rescan.scans);
+                        fresh.telemetry_snapshot = std::move(rescan.telemetry_snapshot);
+                        publish_and_merge(std::move(fresh));
+                        continue;  // publish_and_merge advanced replay_cursor
+                    }
+                }
+                replay_cursor = c + 1;
+            }
+        };
+
+        // One missing chunk per work item: the campaign chunk is already the
+        // unit of journaling, so the reducer's shard layer must not regroup.
+        const ShardConfig reduce_shard{options_.threads, 1};
+        const ShardPlan missing_plan{missing.size(), 1};
+        // Scanned-chunk ring sized to the shard merge window: backpressure in
+        // run_supervised guarantees at most `window` scanned-but-unmerged
+        // chunks are live, so slot c % window is free by the time chunk
+        // c + window is admitted.
+        const std::size_t window = std::max<std::size_t>(
+            std::min<std::size_t>(reduce_shard.resolved_merge_window(), missing.size()),
+            1);
+        std::vector<ScannedChunk> scanned(window);
+        const auto scan_missing = [&](std::size_t c) {
+            const std::int64_t scan_start_ns =
+                trace != nullptr ? trace->wall_now_ns() : 0;
+            scanned[c % window] = scan_chunk(missing[c]);
+            if (trace != nullptr) {
+                const std::int64_t end_ns = trace->wall_now_ns();
+                trace->complete(
+                    TraceClock::wall, trace->wall_lane_for_current_thread("worker"),
+                    "scan chunk", scan_start_ns, end_ns - scan_start_ns,
+                    {TraceArg::num("chunk", static_cast<std::uint64_t>(missing[c])),
+                     TraceArg::num("domains", static_cast<std::uint64_t>(
+                                                  scanned[c % window].scans.size()))});
+            }
+        };
         const auto merge_missing = [&](std::size_t c) {
             const std::size_t g = missing[c];
             replay_up_to(g);
             ChunkRecord record;
             record.chunk_index = g;
-            record.scans = std::move(scanned[c].scans);
-            record.telemetry_snapshot = std::move(scanned[c].telemetry_snapshot);
+            record.scans = std::move(scanned[c % window].scans);
+            record.telemetry_snapshot = std::move(scanned[c % window].telemetry_snapshot);
+            scanned[c % window] = ScannedChunk{};  // release the slot's storage
             publish_and_merge(std::move(record));
         };
         const auto quarantine_missing = [&](const ChunkFailure& failure) {
@@ -878,7 +934,7 @@ CampaignStats Campaign::run_impl(
             record.scans.reserve(plan.chunk_end(g) - plan.chunk_begin(g));
             for (std::size_t i = plan.chunk_begin(g); i < plan.chunk_end(g); ++i) {
                 DomainScan scan;
-                scan.domain_id = domains[i].id;
+                scan.domain_id = static_cast<std::uint32_t>(i);
                 scan.error = "chunk quarantined: " + failure.error;
                 record.scans.push_back(std::move(scan));
             }
@@ -895,11 +951,8 @@ CampaignStats Campaign::run_impl(
         SupervisorConfig supervisor;
         supervisor.restart = options_.worker_restart;
         supervisor.seed = options_.seed;
-        // One missing chunk per work item: the campaign chunk is already the
-        // unit of journaling, so the reducer's shard layer must not regroup.
         const SupervisionReport report =
-            run_supervised(ShardConfig{options_.threads, 1},
-                           ShardPlan{missing.size(), 1}, supervisor, scan_missing,
+            run_supervised(reduce_shard, missing_plan, supervisor, scan_missing,
                            merge_missing, quarantine_missing);
         replay_up_to(plan.chunk_count());
         stats.worker_restarts = report.restarts;
@@ -909,9 +962,9 @@ CampaignStats Campaign::run_impl(
             }
             metrics_->counter("campaign.journal.records_replayed")
                 .add(records_replayed);
-            if (map.corrupt_chunks > 0) {
+            if (corrupt_chunks > 0) {
                 metrics_->counter("campaign.journal.corrupt_map_chunks")
-                    .add(map.corrupt_chunks);
+                    .add(corrupt_chunks);
             }
         }
         stats.wall_seconds = wall_elapsed();
@@ -928,15 +981,22 @@ CampaignStats Campaign::run_impl(
     if (journaling) {
         const JournalOptions journal_options{options_.journal_segment_bytes};
         if (mode == RunMode::resume) {
-            ReplayResult replayed = replay_journal(options_.journal_dir);
+            // Streaming replay: each journaled chunk is parsed, merged and
+            // dropped in one step — the header is vetted before the first
+            // record so a foreign journal is refused without consuming any.
+            const ReplayStreamResult replayed = replay_journal(
+                options_.journal_dir,
+                [&header](const CampaignHeader& stored) {
+                    if (!(stored == header)) {
+                        throw std::invalid_argument(
+                            "scanner: resume() journal belongs to a different "
+                            "campaign (options or population changed since it was "
+                            "written)");
+                    }
+                },
+                [&replay_record](ChunkRecord&& record) { replay_record(record); });
             if (replayed.has_header) {
-                if (!(replayed.header == header)) {
-                    throw std::invalid_argument(
-                        "scanner: resume() journal belongs to a different campaign "
-                        "(options or population changed since it was written)");
-                }
-                for (auto& record : replayed.chunks) replay_record(record);
-                chunks_replayed = replayed.chunks.size();
+                chunks_replayed = static_cast<std::size_t>(replayed.chunks_replayed);
                 if (metrics_ != nullptr) {
                     metrics_->counter("campaign.journal.records_replayed")
                         .add(chunks_replayed);
@@ -961,26 +1021,38 @@ CampaignStats Campaign::run_impl(
     // quarantine notes and chunk-keyed restart streams all name campaign
     // chunks, not positions within this (possibly partial) run.
     const std::size_t base_domain =
-        std::min(plan.chunk_begin(chunks_replayed), domains.size());
-    const ShardPlan rest_plan{domains.size() - base_domain, options_.chunk_domains};
+        std::min(plan.chunk_begin(chunks_replayed), universe);
+    const ShardPlan rest_plan{universe - base_domain, options_.chunk_domains};
 
-    // Slot c is written by exactly one worker (inside scan(c)) and read by
-    // the merge thread only after run_supervised reports the chunk done. A
-    // restarted scan rebuilds and overwrites its slot from scratch.
+    // Slot c % window is written by exactly one worker (inside scan(c)) and
+    // read by the merge thread only after run_supervised reports the chunk
+    // done. A restarted scan rebuilds and overwrites its slot from scratch.
+    // Rings, not per-chunk vectors: the shard merge window bounds how many
+    // chunks are ever live past the merge frontier, so slot c % window is
+    // free again by the time chunk c + window is admitted — in-flight results
+    // cost O(window), never O(chunk count).
     struct ChunkResult {
         std::vector<DomainScan> scans;
         /// Chunk-private telemetry; null when the campaign has no registry.
         std::unique_ptr<telemetry::MetricsRegistry> metrics;
     };
-    std::vector<ChunkResult> chunks(rest_plan.chunk_count());
+    const std::size_t window = std::max<std::size_t>(
+        std::min<std::size_t>(shard.resolved_merge_window(), rest_plan.chunk_count()),
+        1);
+    std::vector<ChunkResult> chunks(window);
     // Wall-clock instant each chunk's scan finished (same single-writer slot
     // discipline as `chunks`): the merge span reports its distance to this as
     // the chunk's time spent queued for merge.
-    std::vector<std::int64_t> scan_done_ns(rest_plan.chunk_count(), 0);
+    std::vector<std::int64_t> scan_done_ns(window, 0);
 
     const auto scan_chunk = [&](std::size_t c) {
         const std::int64_t scan_start_ns = trace != nullptr ? trace->wall_now_ns() : 0;
         if (options_.chunk_fault_hook) options_.chunk_fault_hook(c + chunks_replayed);
+        // Regenerate exactly this chunk's domains from the model and drop
+        // them with this frame — workers never touch a shared domain span.
+        const web::DomainBlock block = model_->materialize(
+            static_cast<std::uint32_t>(base_domain + rest_plan.chunk_begin(c)),
+            static_cast<std::uint32_t>(base_domain + rest_plan.chunk_end(c)));
         ChunkResult result;
         if (metrics_ != nullptr) {
             result.metrics = std::make_unique<telemetry::MetricsRegistry>();
@@ -993,9 +1065,8 @@ CampaignStats Campaign::run_impl(
         // here. Pool counters depend on chunk geometry, which is why
         // deterministic_csv excludes the bytes.pool prefix.
         bytes::BufferPool pool;
-        result.scans.reserve(rest_plan.chunk_end(c) - rest_plan.chunk_begin(c));
-        for (std::size_t i = rest_plan.chunk_begin(c); i < rest_plan.chunk_end(c); ++i) {
-            const web::Domain& domain = domains[base_domain + i];
+        result.scans.reserve(block.size());
+        for (const web::Domain& domain : block.domains) {
             // Per-domain fault isolation: one pathological target must cost
             // one scan record, never the sweep. Telemetry/stats may be
             // partially written for the failed domain; counters stay
@@ -1011,10 +1082,10 @@ CampaignStats Campaign::run_impl(
             result.scans.push_back(std::move(scan));
         }
         if (result.metrics != nullptr) pool.publish_metrics(*result.metrics);
-        chunks[c] = std::move(result);
+        chunks[c % window] = std::move(result);
         if (trace != nullptr) {
             const std::int64_t end_ns = trace->wall_now_ns();
-            scan_done_ns[c] = end_ns;
+            scan_done_ns[c % window] = end_ns;
             trace->complete(
                 TraceClock::wall, trace->wall_lane_for_current_thread("worker"),
                 "scan chunk", scan_start_ns, end_ns - scan_start_ns,
@@ -1028,7 +1099,8 @@ CampaignStats Campaign::run_impl(
 
     const auto merge_chunk = [&](std::size_t c) {
         const std::int64_t merge_start_ns = trace != nullptr ? trace->wall_now_ns() : 0;
-        ChunkResult result = std::move(chunks[c]);
+        ChunkResult result = std::move(chunks[c % window]);
+        chunks[c % window] = ChunkResult{};  // release the slot's storage
         // Journal FIRST, then merge: a crash in between costs nothing (the
         // record is durable; resume re-drives the merge from it), while the
         // opposite order could emit sink output that a resume then repeats.
@@ -1085,7 +1157,7 @@ CampaignStats Campaign::run_impl(
         if (trace != nullptr) {
             const std::int64_t end_ns = trace->wall_now_ns();
             const double queued_ms =
-                static_cast<double>(merge_start_ns - scan_done_ns[c]) / 1e6;
+                static_cast<double>(merge_start_ns - scan_done_ns[c % window]) / 1e6;
             trace->complete(TraceClock::wall, wall_merge_lane, "merge chunk",
                             merge_start_ns, end_ns - merge_start_ns,
                             {TraceArg::num("chunk", static_cast<std::uint64_t>(
@@ -1109,7 +1181,7 @@ CampaignStats Campaign::run_impl(
         placeholders.reserve(end - begin);
         for (std::size_t i = begin; i < end; ++i) {
             DomainScan scan;
-            scan.domain_id = domains[i].id;
+            scan.domain_id = static_cast<std::uint32_t>(i);
             scan.error = "chunk quarantined: " + failure.error;
             placeholders.push_back(std::move(scan));
         }

@@ -223,15 +223,27 @@ struct ScannedChunk {
     std::string telemetry_snapshot;
 };
 
-/// Scans domains of a Population.
+/// Scans the domains of a population.
+///
+/// The campaign is driven by a web::PopulationModel, not a materialized
+/// domain vector: workers regenerate their own chunk's domains on demand
+/// (web::PopulationModel::materialize) and discard them once the chunk is
+/// merged, so a sweep's RSS is bounded by the chunk size and thread count —
+/// never by the universe size. An eager web::Population is accepted for
+/// convenience and used only through its model.
 class Campaign {
 public:
     /// Throws std::invalid_argument when `options` fails validation (see
     /// ScanOptions::validate); clampable knobs are sanitized silently.
-    Campaign(const web::Population& population, ScanOptions options)
-        : population_{&population}, options_{std::move(options)} {
+    Campaign(const web::PopulationModel& model, ScanOptions options)
+        : model_{&model}, options_{std::move(options)} {
         options_.validate();
     }
+
+    /// Convenience overload for callers that hold an eager Population; the
+    /// campaign never touches the materialized domains, only the model.
+    Campaign(const web::Population& population, ScanOptions options)
+        : Campaign{population.model(), std::move(options)} {}
 
     /// Attaches a metrics registry: every attempt then publishes simulator,
     /// link and connection telemetry plus scanner phase timings into it
@@ -251,9 +263,7 @@ public:
     void set_trace(telemetry::TraceRecorder* trace) noexcept { trace_ = trace; }
 
     /// Number of domains a run() will scan (progress/ETA sizing).
-    [[nodiscard]] std::size_t domain_count() const {
-        return population_->domains().size();
-    }
+    [[nodiscard]] std::size_t domain_count() const { return model_->domain_count(); }
 
     /// Installs a progress callback fired every `every_n` scanned domains
     /// during run() (0 disables). The callback always runs on the thread
@@ -382,7 +392,7 @@ private:
     CampaignStats run_impl(const std::function<void(const web::Domain&, DomainScan&&)>& sink,
                            RunMode mode) const;
 
-    const web::Population* population_;
+    const web::PopulationModel* model_;
     ScanOptions options_;
     /// Not owned; written to from const scan methods (instrumentation sink,
     /// not campaign state).

@@ -493,16 +493,21 @@ struct SegmentFile {
 }
 
 /// Shared record walk for replay_journal and JournalWriter attach: parses
-/// intact records and reports where (if anywhere) the journal tears.
+/// intact records, streams each chunk to `on_chunk` (when set), and reports
+/// where (if anywhere) the journal tears. Only one segment's bytes plus one
+/// parsed record are resident at a time — the walk itself is fixed-RSS no
+/// matter how long the journal is.
 struct Walk {
-    ReplayResult replay;
+    ReplayStreamResult replay;
     bool torn = false;
     std::size_t tear_segment = 0;  ///< index into `segments` when torn
     std::uint64_t tear_offset = 0;
     std::vector<SegmentFile> segments;
 };
 
-[[nodiscard]] Walk walk_journal(const std::filesystem::path& dir) {
+[[nodiscard]] Walk walk_journal(const std::filesystem::path& dir,
+                                const std::function<void(const CampaignHeader&)>& on_header,
+                                const std::function<void(ChunkRecord&&)>& on_chunk) {
     Walk walk;
     walk.segments = list_segments(dir);
     bool expect_header = true;
@@ -519,6 +524,7 @@ struct Walk {
                         walk.replay.header = *header;
                         walk.replay.has_header = true;
                         expect_header = false;
+                        if (on_header) on_header(walk.replay.header);
                     } else {
                         ok = false;
                     }
@@ -526,8 +532,9 @@ struct Walk {
                     auto record = parse_chunk_record(frame->payload);
                     // Appends happen in ascending chunk order on the merge
                     // thread; anything else is corruption.
-                    if (record && record->chunk_index == walk.replay.chunks.size()) {
-                        walk.replay.chunks.push_back(std::move(*record));
+                    if (record && record->chunk_index == walk.replay.chunks_replayed) {
+                        ++walk.replay.chunks_replayed;
+                        if (on_chunk) on_chunk(std::move(*record));
                     } else {
                         ok = false;
                     }
@@ -553,7 +560,20 @@ struct Walk {
 }  // namespace
 
 ReplayResult replay_journal(const std::filesystem::path& dir) {
-    return walk_journal(dir).replay;
+    ReplayResult out;
+    const Walk walk = walk_journal(
+        dir, nullptr,
+        [&out](ChunkRecord&& record) { out.chunks.push_back(std::move(record)); });
+    out.has_header = walk.replay.has_header;
+    out.header = walk.replay.header;
+    out.torn_bytes_discarded = walk.replay.torn_bytes_discarded;
+    return out;
+}
+
+ReplayStreamResult replay_journal(const std::filesystem::path& dir,
+                                  const std::function<void(const CampaignHeader&)>& on_header,
+                                  const std::function<void(ChunkRecord&&)>& on_chunk) {
+    return walk_journal(dir, on_header, on_chunk).replay;
 }
 
 // ---------------------------------------------------------------------------
@@ -584,7 +604,9 @@ JournalWriter::JournalWriter(std::filesystem::path dir, const CampaignHeader& he
         return;
     }
 
-    const Walk walk = walk_journal(dir_);
+    // Attach only needs the header and the tear point; chunk records are
+    // validated during the walk but not retained (nullptr sinks).
+    const Walk walk = walk_journal(dir_, nullptr, nullptr);
     if (!walk.replay.has_header) {
         // Nothing intact (missing, empty, or torn before the first record):
         // attach degenerates to a fresh journal.
@@ -790,16 +812,9 @@ std::optional<ChunkRecord> read_map_chunk(const std::filesystem::path& dir,
     return record;
 }
 
-MapReplayResult read_map_journal(const std::filesystem::path& dir) {
-    MapReplayResult out;
-    if (!std::filesystem::is_directory(dir)) return out;
-    if (const auto payload = read_framed_file(map_header_path(dir))) {
-        if (const auto header = parse_header(*payload)) {
-            out.header = *header;
-            out.has_header = true;
-        }
-    }
+std::vector<std::size_t> list_map_chunks(const std::filesystem::path& dir) {
     std::vector<std::size_t> indices;
+    if (!std::filesystem::is_directory(dir)) return indices;
     for (const auto& entry : std::filesystem::directory_iterator(dir)) {
         if (!entry.is_regular_file()) continue;
         const auto name = entry.path().filename().string();
@@ -813,7 +828,19 @@ MapReplayResult read_map_journal(const std::filesystem::path& dir) {
     }
     std::sort(indices.begin(), indices.end());
     indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
-    for (const std::size_t index : indices) {
+    return indices;
+}
+
+MapReplayResult read_map_journal(const std::filesystem::path& dir) {
+    MapReplayResult out;
+    if (!std::filesystem::is_directory(dir)) return out;
+    if (const auto payload = read_framed_file(map_header_path(dir))) {
+        if (const auto header = parse_header(*payload)) {
+            out.header = *header;
+            out.has_header = true;
+        }
+    }
+    for (const std::size_t index : list_map_chunks(dir)) {
         auto record = read_map_chunk(dir, index);
         if (record) {
             out.chunks.push_back(std::move(*record));

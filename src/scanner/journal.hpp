@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -98,6 +99,29 @@ struct ReplayResult {
 /// segments) counts as torn. A missing or empty directory yields an empty
 /// result with has_header == false.
 [[nodiscard]] ReplayResult replay_journal(const std::filesystem::path& dir);
+
+/// What the streaming replay recovered — everything ReplayResult reports
+/// except the chunk records themselves, which went to the sink.
+struct ReplayStreamResult {
+    bool has_header = false;
+    CampaignHeader header;
+    /// Intact chunk records delivered to the sink (a contiguous prefix
+    /// 0..N-1 of the campaign's chunks, in ascending order).
+    std::uint64_t chunks_replayed = 0;
+    std::uint64_t torn_bytes_discarded = 0;
+};
+
+/// Streaming form of replay_journal: identical validation and tear handling,
+/// but each intact chunk record is handed to `on_chunk` (in ascending chunk
+/// order) instead of being accumulated, so replaying an arbitrarily long
+/// journal holds at most one segment plus one record in memory. `on_header`
+/// (may be null) fires once, after the header record parses and before any
+/// chunk is delivered — a caller that must refuse a foreign journal throws
+/// from it, and the exception propagates before any record is consumed.
+[[nodiscard]] ReplayStreamResult replay_journal(
+    const std::filesystem::path& dir,
+    const std::function<void(const CampaignHeader&)>& on_header,
+    const std::function<void(ChunkRecord&&)>& on_chunk);
 
 /// Appends campaign records crash-safely. All methods throw
 /// std::runtime_error on I/O failure.
@@ -225,6 +249,12 @@ void init_map_journal(const std::filesystem::path& dir, const CampaignHeader& he
 /// frame/CRC/body validation (all treated as "not scanned yet").
 [[nodiscard]] std::optional<ChunkRecord> read_map_chunk(const std::filesystem::path& dir,
                                                         std::size_t chunk_index);
+
+/// Indices of the chunk-*.rec files present in `dir`, ascending and deduped.
+/// Presence only — a listed chunk may still fail validation when read with
+/// read_map_chunk. This is the fixed-RSS way to find what a reducer can
+/// reuse: O(chunks) indices instead of O(chunks) full records.
+[[nodiscard]] std::vector<std::size_t> list_map_chunks(const std::filesystem::path& dir);
 
 /// Everything intact in a map-layout journal directory.
 struct MapReplayResult {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "scanner/journal.hpp"
+#include "scanner/shard.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/resource.hpp"
 #include "telemetry/trace.hpp"
@@ -59,6 +60,14 @@ namespace {
 /// the same bytes as the winner.
 constexpr const char* kProcQuarantineError = "worker process died repeatedly";
 
+/// Operator-facing location of `chunk` in the campaign's domain namespace,
+/// e.g. "chunk 42 (domains [672, 688))" — a chunk id alone is useless for
+/// finding a poisoned block in a multi-million-domain universe.
+std::string locate_chunk(const Campaign& campaign, std::size_t chunk) {
+    const ShardPlan plan{campaign.domain_count(), campaign.options().chunk_domains};
+    return describe_chunk(plan, chunk);
+}
+
 void sleep_for(util::Duration d) {
     if (d.count_nanos() > 0) {
         std::this_thread::sleep_for(std::chrono::nanoseconds(d.count_nanos()));
@@ -82,7 +91,11 @@ ChunkRecord proc_quarantine_record(const Campaign& campaign, std::size_t chunk) 
     ChunkRecord record;
     record.chunk_index = chunk;
     record.quarantined = true;
-    record.quarantine_error = kProcQuarantineError;
+    // The located variant is a pure function of (campaign geometry, chunk),
+    // so racing publishers still write byte-identical records. The per-scan
+    // placeholder below keeps the bare text: scans carry their own domain_id.
+    record.quarantine_error =
+        std::string(kProcQuarantineError) + " at " + locate_chunk(campaign, chunk);
     for (const std::uint32_t id : campaign.chunk_domain_ids(chunk)) {
         DomainScan scan;
         scan.domain_id = id;
@@ -334,8 +347,12 @@ ProcPoolReport run_procs(const Campaign& campaign, const ProcPoolOptions& option
     try {
         journal_lock.acquire(journal_lock_path(dir));
     } catch (const std::runtime_error& e) {
-        throw std::runtime_error("procpool: journal dir '" + dir.string() +
-                                 "' is in use by another campaign (" + e.what() + ")");
+        throw std::runtime_error(
+            "procpool: journal dir '" + dir.string() +
+            "' is in use by another campaign (" + e.what() +
+            "); this campaign spans domains [0, " +
+            std::to_string(campaign.domain_count()) + ") in " +
+            std::to_string(campaign.chunk_count()) + " chunks");
     }
 
     ProcPoolReport report;
@@ -532,7 +549,8 @@ ProcPoolReport run_procs(const Campaign& campaign, const ProcPoolOptions& option
         const ChunkRecord record = scan_chunk_record(
             campaign, c, [&] { ++report.worker_thread_restarts; });
         if (!write_map_chunk(dir, record)) {
-            throw std::runtime_error("procpool: cannot publish chunk record in '" +
+            throw std::runtime_error("procpool: cannot publish record for " +
+                                     locate_chunk(campaign, c) + " in '" +
                                      dir.string() + "'");
         }
         ++report.chunks_scanned_inline;

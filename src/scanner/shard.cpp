@@ -19,6 +19,26 @@ unsigned ShardConfig::resolved_threads() const noexcept {
     return hw == 0 ? 1 : hw;
 }
 
+std::size_t ShardConfig::resolved_merge_window() const noexcept {
+    if (merge_window != 0) return merge_window;
+    return std::max<std::size_t>(std::size_t{4} * resolved_threads(), 32);
+}
+
+std::string describe_chunk(const ShardPlan& plan, std::size_t chunk) {
+    return "chunk " + std::to_string(chunk) + " (domains [" +
+           std::to_string(plan.chunk_begin(chunk)) + ", " +
+           std::to_string(plan.chunk_end(chunk)) + "))";
+}
+
+// Both executors bound the scanned-but-unmerged backlog with a merge window
+// of W chunks: per-chunk completion state lives in rings of size W indexed
+// `chunk % W`, and a worker that claims chunk c waits until c < merged + W
+// before scanning. The cursor hands out chunks in ascending order, so the
+// chunk the merge thread is waiting on (c == merged) was claimed before any
+// blocked chunk and its own admission test is trivially true — the window
+// never deadlocks. Slot `c % W` is reused by chunk c + W only after merge(c)
+// advanced the frontier, so ring slots never alias live state.
+
 void run_sharded(const ShardConfig& config, const ShardPlan& plan,
                  const std::function<void(std::size_t chunk)>& scan,
                  const std::function<void(std::size_t chunk)>& merge) {
@@ -29,10 +49,13 @@ void run_sharded(const ShardConfig& config, const ShardPlan& plan,
     // More workers than chunks would only park threads on an empty cursor.
     const std::size_t workers =
         std::min<std::size_t>(config.resolved_threads(), chunks);
+    const std::size_t window =
+        std::min<std::size_t>(config.resolved_merge_window(), chunks);
 
     std::mutex mu;
-    std::condition_variable chunk_done;
-    std::vector<char> done(chunks, 0);   // guarded by mu
+    std::condition_variable progress;    // chunk done OR merge frontier moved
+    std::vector<char> done(window, 0);   // ring, slot c % window; guarded by mu
+    std::size_t merged = 0;              // merge frontier; guarded by mu
     std::exception_ptr failure;          // guarded by mu; first failure wins
     std::atomic<std::size_t> cursor{0};
     std::atomic<bool> cancelled{false};
@@ -43,13 +66,25 @@ void run_sharded(const ShardConfig& config, const ShardPlan& plan,
             std::lock_guard<std::mutex> lock{mu};
             if (!failure) failure = std::current_exception();
         }
-        chunk_done.notify_all();
+        progress.notify_all();
     };
 
     const auto worker_main = [&] {
         while (!cancelled.load(std::memory_order_relaxed)) {
             const std::size_t chunk = cursor.fetch_add(1, std::memory_order_relaxed);
             if (chunk >= chunks) return;
+            {
+                // Backpressure: stay within `window` chunks of the merge
+                // frontier so unmerged results cannot pile up.
+                std::unique_lock<std::mutex> lock{mu};
+                progress.wait(lock, [&] {
+                    return chunk < merged + window || failure != nullptr ||
+                           cancelled.load(std::memory_order_relaxed);
+                });
+                if (failure != nullptr || cancelled.load(std::memory_order_relaxed)) {
+                    return;
+                }
+            }
             try {
                 scan(chunk);
             } catch (...) {
@@ -58,9 +93,9 @@ void run_sharded(const ShardConfig& config, const ShardPlan& plan,
             }
             {
                 std::lock_guard<std::mutex> lock{mu};
-                done[chunk] = 1;
+                done[chunk % window] = 1;
             }
-            chunk_done.notify_all();
+            progress.notify_all();
         }
     };
 
@@ -79,8 +114,10 @@ void run_sharded(const ShardConfig& config, const ShardPlan& plan,
     for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
         {
             std::unique_lock<std::mutex> lock{mu};
-            chunk_done.wait(lock, [&] { return done[chunk] != 0 || failure != nullptr; });
+            progress.wait(lock,
+                          [&] { return done[chunk % window] != 0 || failure != nullptr; });
             if (failure != nullptr) break;
+            done[chunk % window] = 0;  // slot freed for chunk + window
         }
         try {
             merge(chunk);
@@ -88,6 +125,11 @@ void run_sharded(const ShardConfig& config, const ShardPlan& plan,
             fail_with_current_exception();
             break;
         }
+        {
+            std::lock_guard<std::mutex> lock{mu};
+            merged = chunk + 1;
+        }
+        progress.notify_all();
     }
 
     join_all();
@@ -107,13 +149,16 @@ SupervisionReport run_supervised(const ShardConfig& config, const ShardPlan& pla
 
     const std::size_t workers =
         std::min<std::size_t>(config.resolved_threads(), chunks);
+    const std::size_t window =
+        std::min<std::size_t>(config.resolved_merge_window(), chunks);
 
     enum : char { kPending = 0, kScanned = 1, kQuarantined = 2 };
 
     std::mutex mu;
-    std::condition_variable chunk_done;
-    std::vector<char> done(chunks, kPending);     // guarded by mu
-    std::vector<ChunkFailure> failures(chunks);   // slot c published with done[c]
+    std::condition_variable progress;             // chunk done OR frontier moved
+    std::vector<char> done(window, kPending);     // ring, slot c % window
+    std::vector<ChunkFailure> failures(window);   // ring, published with done slot
+    std::size_t merged = 0;                       // merge frontier; guarded by mu
     std::exception_ptr failure;                   // guarded by mu; merge/quarantine only
     std::atomic<std::size_t> cursor{0};
     std::atomic<bool> cancelled{false};
@@ -125,13 +170,23 @@ SupervisionReport run_supervised(const ShardConfig& config, const ShardPlan& pla
             std::lock_guard<std::mutex> lock{mu};
             if (!failure) failure = std::current_exception();
         }
-        chunk_done.notify_all();
+        progress.notify_all();
     };
 
     const auto worker_main = [&] {
         while (!cancelled.load(std::memory_order_relaxed)) {
             const std::size_t chunk = cursor.fetch_add(1, std::memory_order_relaxed);
             if (chunk >= chunks) return;
+            {
+                std::unique_lock<std::mutex> lock{mu};
+                progress.wait(lock, [&] {
+                    return chunk < merged + window || failure != nullptr ||
+                           cancelled.load(std::memory_order_relaxed);
+                });
+                if (failure != nullptr || cancelled.load(std::memory_order_relaxed)) {
+                    return;
+                }
+            }
             auto restart_rng =
                 faults::RetryPolicy::restart_stream(supervisor.seed, chunk);
             ChunkFailure fail;
@@ -163,13 +218,13 @@ SupervisionReport run_supervised(const ShardConfig& config, const ShardPlan& pla
             {
                 std::lock_guard<std::mutex> lock{mu};
                 if (scanned) {
-                    done[chunk] = kScanned;
+                    done[chunk % window] = kScanned;
                 } else {
-                    failures[chunk] = std::move(fail);
-                    done[chunk] = kQuarantined;
+                    failures[chunk % window] = std::move(fail);
+                    done[chunk % window] = kQuarantined;
                 }
             }
-            chunk_done.notify_all();
+            progress.notify_all();
         }
     };
 
@@ -184,24 +239,32 @@ SupervisionReport run_supervised(const ShardConfig& config, const ShardPlan& pla
 
     for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
         char state = kPending;
+        ChunkFailure fail;
         {
             std::unique_lock<std::mutex> lock{mu};
-            chunk_done.wait(lock,
-                            [&] { return done[chunk] != kPending || failure != nullptr; });
+            progress.wait(
+                lock, [&] { return done[chunk % window] != kPending || failure != nullptr; });
             if (failure != nullptr) break;
-            state = done[chunk];
+            state = done[chunk % window];
+            if (state == kQuarantined) fail = std::move(failures[chunk % window]);
+            done[chunk % window] = kPending;  // slot freed for chunk + window
         }
         try {
             if (state == kScanned) {
                 merge(chunk);
             } else {
                 ++report.quarantined;
-                quarantine(failures[chunk]);
+                quarantine(fail);
             }
         } catch (...) {
             fail_with_current_exception();
             break;
         }
+        {
+            std::lock_guard<std::mutex> lock{mu};
+            merged = chunk + 1;
+        }
+        progress.notify_all();
     }
 
     join_all();

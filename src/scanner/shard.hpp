@@ -37,6 +37,13 @@ struct ShardConfig {
     /// schema for histogram `sum` fields (see telemetry::deterministic_csv),
     /// so the default is fixed rather than derived from the machine.
     std::size_t chunk_items = 16;
+    /// Maximum number of chunks admitted past the merge frontier at once
+    /// (0 = auto: max(4 * threads, 32)). Workers that claim a chunk beyond
+    /// `merged + merge_window` block until the merge thread catches up, so
+    /// the peak number of scanned-but-unmerged chunk results — and thus the
+    /// driver's RSS — is bounded by the window instead of the chunk count.
+    /// Purely a scheduling constraint: output bytes are unaffected.
+    std::size_t merge_window = 0;
 
     /// Throws std::invalid_argument when chunk_items is 0.
     void validate() const {
@@ -47,6 +54,9 @@ struct ShardConfig {
 
     /// `threads` with 0 resolved to the hardware concurrency (>= 1).
     [[nodiscard]] unsigned resolved_threads() const noexcept;
+
+    /// `merge_window` with 0 resolved to max(4 * resolved_threads(), 32).
+    [[nodiscard]] std::size_t resolved_merge_window() const noexcept;
 };
 
 /// Pure chunk geometry: how [0, item_count) splits into fixed-size chunks.
@@ -65,6 +75,12 @@ struct ShardPlan {
         return end < item_count ? end : item_count;
     }
 };
+
+/// Human-readable chunk locator for diagnostics: "chunk 42 (domains
+/// [672, 688))". Error messages that name a chunk should include the domain
+/// range so an operator can find the poisoned block without re-deriving the
+/// chunk geometry by hand.
+[[nodiscard]] std::string describe_chunk(const ShardPlan& plan, std::size_t chunk);
 
 /// Chunked fan-out / ordered-merge executor.
 ///

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <numeric>
 
 namespace spinscope::web {
 
@@ -12,6 +13,16 @@ namespace {
 using util::DelayComponent;
 using util::DelayMixture;
 using util::Rng;
+
+/// Salt separating the domain-generation sub-streams from the scanner's
+/// per-domain attempt streams (which key derive_stream_seed on the same
+/// campaign seed and domain id).
+constexpr std::uint64_t kDomainStreamSalt = 0xd0a1'b10cULL;
+
+/// Host indices are bitfield-packed into 28 bits; pools are clamped so a
+/// draw can never overflow the field (2^28 ≈ 268 M hosts per org/family,
+/// comfortably above the 1:1-scale pools).
+constexpr std::uint64_t kMaxPool = (1ULL << 28) - 1;
 
 /// Deterministic per-entity uniform draw in [0,1): hash of (seed, a, b, c).
 [[nodiscard]] double hashed_uniform(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
@@ -55,12 +66,12 @@ using util::Rng;
 
 }  // namespace
 
-Population::Population(const PopulationConfig& config) : config_{config} {
+PopulationModel::PopulationModel(const PopulationConfig& config) : config_{config} {
     build_profiles();
-    generate();
+    compute_geometry();
 }
 
-void Population::build_profiles() {
+void PopulationModel::build_profiles() {
     stacks_.resize(kStackCount);
 
     auto& litespeed = stacks_[kStackLiteSpeed];
@@ -243,20 +254,16 @@ void Population::build_profiles() {
          .redirect_rate = 0.15, .spin_stable_fraction = 1.0, .spin_weekly_persistence = 1.0});
 }
 
-void Population::generate() {
-    Rng rng{config_.seed};
-
+void PopulationModel::compute_geometry() {
     const double inv = 1.0 / config_.scale;
-    const auto n_cno = static_cast<std::size_t>(shape_.cno_domains * inv);
-    const auto n_other =
-        static_cast<std::size_t>((shape_.czds_domains - shape_.cno_domains) * inv);
+    n_cno_ = static_cast<std::size_t>(shape_.cno_domains * inv);
+    n_other_ = static_cast<std::size_t>((shape_.czds_domains - shape_.cno_domains) * inv);
     const auto n_toplist = static_cast<std::size_t>(shape_.toplist_domains * inv);
-    const auto n_extra =
+    n_extra_ =
         static_cast<std::size_t>(shape_.toplist_domains * shape_.toplist_outside_czds * inv);
-    const std::size_t n_top_inside = n_toplist - n_extra;
-
-    domains_.clear();
-    domains_.reserve(n_cno + n_other + n_extra);
+    const std::size_t n_top_inside = n_toplist - n_extra_;
+    p_top_inside_czds_ = static_cast<double>(n_top_inside) /
+                         static_cast<double>(std::max<std::size_t>(1, n_cno_ + n_other_));
 
     // Per-segment QUIC-org samplers built from the profile weights.
     std::vector<double> w_cno;
@@ -267,71 +274,102 @@ void Population::generate() {
         w_other.push_back(org.weight_other);
         w_top.push_back(org.weight_toplist);
     }
-    const util::DiscreteSampler pick_cno{w_cno};
-    const util::DiscreteSampler pick_other{w_other};
-    const util::DiscreteSampler pick_top{w_top};
-    const auto no_quic_org = static_cast<std::uint16_t>(orgs_.size() - 1);
+    pick_cno_ = util::DiscreteSampler{w_cno};
+    pick_other_ = util::DiscreteSampler{w_other};
+    pick_top_ = util::DiscreteSampler{w_top};
 
-    const double p_top_inside_czds =
-        static_cast<double>(n_top_inside) /
-        static_cast<double>(std::max<std::size_t>(1, n_cno + n_other));
+    // --- closed-form host pools --------------------------------------------
+    // Pool sizes derive from the *expected* resolved-domain mass of each org,
+    // never from realized counts — the model must not materialize domains.
+    // Each segment contributes its domain count split between the on-toplist
+    // path (toplist resolve/QUIC rates, toplist org weights) and the zone
+    // path (segment rates and weights); the no-QUIC catch-all additionally
+    // absorbs every resolved domain that fails the QUIC draw.
+    const double sum_cno = std::max(1e-12, std::accumulate(w_cno.begin(), w_cno.end(), 0.0));
+    const double sum_other =
+        std::max(1e-12, std::accumulate(w_other.begin(), w_other.end(), 0.0));
+    const double sum_top = std::max(1e-12, std::accumulate(w_top.begin(), w_top.end(), 0.0));
 
-    // --- pass 1: segments, list membership, resolution, QUIC, organization.
-    std::uint32_t next_id = 0;
-    auto emit = [&](Segment segment, std::size_t count) {
-        for (std::size_t i = 0; i < count; ++i) {
-            Domain d;
-            d.id = next_id++;
-            d.segment = segment;
-            d.on_toplist = segment == Segment::toplist_extra
-                               ? true
-                               : rng.chance(p_top_inside_czds);
-
-            double resolve_rate = 0.0;
-            double quic_rate = 0.0;
-            const util::DiscreteSampler* org_picker = nullptr;
-            if (d.on_toplist) {
-                resolve_rate = shape_.resolve_toplist;
-                quic_rate = shape_.quic_toplist;
-                org_picker = &pick_top;
-            } else if (segment == Segment::czds_cno) {
-                resolve_rate = shape_.resolve_cno;
-                quic_rate = shape_.quic_cno;
-                org_picker = &pick_cno;
-            } else {
-                resolve_rate = shape_.resolve_other;
-                quic_rate = shape_.quic_other;
-                org_picker = &pick_other;
-            }
-
-            d.resolves = rng.chance(resolve_rate);
-            d.quic = d.resolves && rng.chance(quic_rate);
-            d.org = d.quic ? static_cast<std::uint16_t>(org_picker->sample(rng)) : no_quic_org;
-            domains_.push_back(d);
-        }
+    struct SegmentGeometry {
+        double n;
+        double p_top;
+        double resolve;
+        double quic;
+        const std::vector<double>* weights;
+        double weight_sum;
     };
-    emit(Segment::czds_cno, n_cno);
-    emit(Segment::czds_other, n_other);
-    emit(Segment::toplist_extra, n_extra);
+    const SegmentGeometry segments[] = {
+        {static_cast<double>(n_cno_), p_top_inside_czds_, shape_.resolve_cno, shape_.quic_cno,
+         &w_cno, sum_cno},
+        {static_cast<double>(n_other_), p_top_inside_czds_, shape_.resolve_other,
+         shape_.quic_other, &w_other, sum_other},
+        {static_cast<double>(n_extra_), 1.0, shape_.resolve_other, shape_.quic_other, &w_other,
+         sum_other},
+    };
 
-    // --- pass 2: host assignment and per-domain path/server attributes.
-    std::vector<std::uint64_t> org_domain_count(orgs_.size(), 0);
-    for (const auto& d : domains_) {
-        if (d.resolves) ++org_domain_count[d.org];
+    std::vector<double> expected(orgs_.size(), 0.0);
+    double no_quic_mass = 0.0;
+    for (const auto& seg : segments) {
+        const double top_mass = seg.n * seg.p_top * shape_.resolve_toplist;
+        const double zone_mass = seg.n * (1.0 - seg.p_top) * seg.resolve;
+        for (std::size_t i = 0; i < orgs_.size(); ++i) {
+            expected[i] += top_mass * shape_.quic_toplist * (w_top[i] / sum_top) +
+                           zone_mass * seg.quic * ((*seg.weights)[i] / seg.weight_sum);
+        }
+        no_quic_mass +=
+            top_mass * (1.0 - shape_.quic_toplist) + zone_mass * (1.0 - seg.quic);
     }
+    expected.back() += no_quic_mass;
+
     v4_pool_.assign(orgs_.size(), 1);
     v6_pool_.assign(orgs_.size(), 1);
     for (std::size_t i = 0; i < orgs_.size(); ++i) {
-        v4_pool_[i] = static_cast<std::uint32_t>(std::max<double>(
-            1.0, std::llround(static_cast<double>(org_domain_count[i]) /
-                              orgs_[i].domains_per_ipv4)));
-        v6_pool_[i] = static_cast<std::uint64_t>(std::max<double>(
-            1.0, std::llround(static_cast<double>(org_domain_count[i]) * orgs_[i].ipv6_rate /
-                              orgs_[i].domains_per_ipv6)));
+        const auto v4 = static_cast<std::uint64_t>(
+            std::max<double>(1.0, std::llround(expected[i] / orgs_[i].domains_per_ipv4)));
+        const auto v6 = static_cast<std::uint64_t>(std::max<double>(
+            1.0,
+            std::llround(expected[i] * orgs_[i].ipv6_rate / orgs_[i].domains_per_ipv6)));
+        v4_pool_[i] = static_cast<std::uint32_t>(std::min(v4, kMaxPool));
+        v6_pool_[i] = std::min(v6, kMaxPool);
+    }
+}
+
+Domain PopulationModel::domain(std::uint32_t id) const {
+    // The purity contract (DESIGN.md §15): every attribute of domain `id` is
+    // drawn from a dedicated sub-stream keyed on (seed, id), in a fixed
+    // order, so regeneration is independent of which block asked and when.
+    Rng rng{util::derive_stream_seed(config_.seed ^ kDomainStreamSalt, id)};
+
+    Domain d;
+    d.id = id;
+    const Segment segment = segment_of(id);
+    d.set_segment(segment);
+    d.on_toplist =
+        segment == Segment::toplist_extra ? true : rng.chance(p_top_inside_czds_);
+
+    double resolve_rate = 0.0;
+    double quic_rate = 0.0;
+    const util::DiscreteSampler* org_picker = nullptr;
+    if (d.on_toplist) {
+        resolve_rate = shape_.resolve_toplist;
+        quic_rate = shape_.quic_toplist;
+        org_picker = &pick_top_;
+    } else if (segment == Segment::czds_cno) {
+        resolve_rate = shape_.resolve_cno;
+        quic_rate = shape_.quic_cno;
+        org_picker = &pick_cno_;
+    } else {
+        resolve_rate = shape_.resolve_other;
+        quic_rate = shape_.quic_other;
+        org_picker = &pick_other_;
     }
 
-    for (auto& d : domains_) {
-        if (!d.resolves) continue;
+    d.resolves = rng.chance(resolve_rate);
+    d.quic = d.resolves && rng.chance(quic_rate);
+    d.org = d.quic ? static_cast<std::uint16_t>(org_picker->sample(rng))
+                   : static_cast<std::uint16_t>(orgs_.size() - 1);
+
+    if (d.resolves) {
         const auto& org = orgs_[d.org];
         d.ipv4_host = static_cast<std::uint32_t>(rng.uniform_u64(v4_pool_[d.org]));
         // Toplist customers of the shared hosters use custom setups far more
@@ -340,14 +378,33 @@ void Population::generate() {
         const bool discounted = d.on_toplist && org.spin_host_rate > 0.05;
         d.has_ipv6 = rng.chance(org.ipv6_rate * (discounted ? 0.45 : 1.0));
         d.ipv6_host = static_cast<std::uint32_t>(rng.uniform_u64(v6_pool_[d.org]));
-        d.rtt_ms = static_cast<float>(
-            std::clamp(util::sample_lognormal(rng, org.rtt_log_mu, org.rtt_log_sigma), 0.8,
-                       400.0));
+        d.set_rtt_ms(std::clamp(
+            util::sample_lognormal(rng, org.rtt_log_mu, org.rtt_log_sigma), 0.8, 400.0));
         d.redirects = rng.chance(org.redirect_rate);
     }
+    return d;
 }
 
-bool Population::host_spins(const Domain& d, int week, bool ipv6) const {
+DomainBlock PopulationModel::materialize(std::size_t begin, std::size_t end) const {
+    const std::size_t total = domain_count();
+    begin = std::min(begin, total);
+    end = std::min(std::max(end, begin), total);
+    DomainBlock block;
+    block.begin = static_cast<std::uint32_t>(begin);
+    block.domains.reserve(end - begin);
+    for (std::size_t id = begin; id < end; ++id) {
+        block.domains.push_back(domain(static_cast<std::uint32_t>(id)));
+    }
+    return block;
+}
+
+DomainBlock PopulationModel::materialize_chunk(std::size_t chunk_index,
+                                               std::size_t chunk_domains) const {
+    const std::size_t begin = chunk_index * chunk_domains;
+    return materialize(begin, begin + chunk_domains);
+}
+
+bool PopulationModel::host_spins(const Domain& d, int week, bool ipv6) const {
     const auto& org = orgs_[d.org];
     const double enable_rate = ipv6 ? org.spin_host_rate_v6 : org.spin_host_rate;
     if (enable_rate <= 0.0) return false;
@@ -387,7 +444,7 @@ bool Population::host_spins(const Domain& d, int week, bool ipv6) const {
     return enabled;
 }
 
-quic::SpinPolicy Population::host_disabled_policy(const Domain& d, bool ipv6) const {
+quic::SpinPolicy PopulationModel::host_disabled_policy(const Domain& d, bool ipv6) const {
     // Drawn per site (domain-host pair): fixed-one and greasing behaviours
     // come from per-virtual-host configuration in practice, and a per-site
     // draw keeps the Table 3 shares stable under population downscaling.
@@ -402,7 +459,8 @@ quic::SpinPolicy Population::host_disabled_policy(const Domain& d, bool ipv6) co
     return quic::SpinPolicy::always_zero;
 }
 
-faults::ServerFaultProfile Population::server_fault_profile(const Domain& d, bool ipv6) const {
+faults::ServerFaultProfile PopulationModel::server_fault_profile(const Domain& d,
+                                                                 bool ipv6) const {
     faults::ServerFaultProfile profile;
     const double rate =
         std::clamp(std::max(config_.host_fault_rate, orgs_[d.org].fault_host_rate), 0.0, 1.0);
@@ -428,12 +486,12 @@ faults::ServerFaultProfile Population::server_fault_profile(const Domain& d, boo
     return profile;
 }
 
-std::string Population::domain_name(const Domain& d) const {
+std::string PopulationModel::domain_name(const Domain& d) const {
     static constexpr const char* kCnoTlds[] = {"com", "com", "com", "net", "org"};
     static constexpr const char* kOtherTlds[] = {"xyz", "info", "online", "shop", "site"};
     static constexpr const char* kExtraTlds[] = {"de", "io", "co", "us", "tv"};
     const char* tld = "com";
-    switch (d.segment) {
+    switch (d.segment()) {
         case Segment::czds_cno: tld = kCnoTlds[d.id % 5]; break;
         case Segment::czds_other: tld = kOtherTlds[d.id % 5]; break;
         case Segment::toplist_extra: tld = kExtraTlds[d.id % 5]; break;
@@ -443,7 +501,7 @@ std::string Population::domain_name(const Domain& d) const {
     return buf;
 }
 
-std::string Population::host_address(const Domain& d, bool ipv6) const {
+std::string PopulationModel::host_address(const Domain& d, bool ipv6) const {
     char buf[48];
     if (ipv6) {
         std::snprintf(buf, sizeof buf, "fd00:%x::%x:%x", d.org + 1,
@@ -457,9 +515,13 @@ std::string Population::host_address(const Domain& d, bool ipv6) const {
     return buf;
 }
 
-std::uint64_t Population::host_key(const Domain& d, bool ipv6) const {
+std::uint64_t PopulationModel::host_key(const Domain& d, bool ipv6) const {
     const std::uint64_t host = ipv6 ? d.ipv6_host : d.ipv4_host;
     return (static_cast<std::uint64_t>(d.org) << 40) | (ipv6 ? (1ULL << 39) : 0) | host;
+}
+
+Population::Population(const PopulationConfig& config) : model_{config} {
+    domains_ = model_.materialize(0, model_.domain_count()).domains;
 }
 
 }  // namespace spinscope::web

@@ -1,7 +1,7 @@
 // spinscope/web/population.hpp
 //
 // Synthetic web population — the substitute for the paper's 216 M-domain
-// target set (DESIGN.md §2).
+// target set (DESIGN.md §2, §15).
 //
 // The population is generated from a table of organization profiles
 // (Cloudflare-, Google-, Hostinger-, OVH-like, ...) whose parameters are
@@ -11,8 +11,14 @@
 // path RTTs from a German university vantage and end-host delay behaviour
 // (Figures 3-4), and longitudinal spin churn (Figure 2).
 //
-// Every domain is a deterministic function of the population seed, so scans
-// are reproducible and weekly re-scans see consistent per-domain behaviour.
+// Out-of-core split (DESIGN.md §15): the cheap PopulationModel holds only
+// profiles, closed-form segment geometry and per-org host-pool sizes — O(orgs)
+// state, independent of the domain count. Every Domain is a pure function of
+// (seed, domain_id) via util::derive_stream_seed sub-streams, so any range of
+// the universe can be (re)materialized as a transient DomainBlock in any
+// order, at any chunk size, on any worker — byte-identically. The eager
+// Population wrapper below materializes the whole universe once for callers
+// that still want a resident vector (tests, small analysis sweeps).
 
 #pragma once
 
@@ -98,20 +104,39 @@ struct OrgProfile {
     double fault_host_rate = 0.0;
 };
 
-/// One synthetic domain. Kept compact; names are derived on demand.
+/// One synthetic domain, packed into 16 bytes. Out-of-core campaigns hold
+/// millions of these per transient block, so every flag is a bitfield and
+/// the RTT is quantized to tenths of a millisecond (the clamp range
+/// [0.8, 400] ms needs 8..4000 — well inside 16 bits). 28-bit host indices
+/// cover 268 M hosts per org and family, beyond the 1:1-scale pools.
 struct Domain {
     std::uint32_t id = 0;
     std::uint16_t org = 0;
-    Segment segment = Segment::czds_cno;
-    bool on_toplist = false;
-    bool resolves = false;        ///< DNS (A record) resolves
-    bool quic = false;            ///< host answers HTTP/3
-    bool has_ipv6 = false;        ///< AAAA record resolves
-    std::uint32_t ipv4_host = 0;  ///< host index within the org's v4 pool
-    std::uint32_t ipv6_host = 0;  ///< host index within the org's v6 pool
-    float rtt_ms = 40.0F;         ///< base path RTT to the serving host
-    bool redirects = false;       ///< landing page issues one redirect
+    std::uint16_t rtt_tenths = 400;   ///< base path RTT, tenths of ms
+    std::uint32_t ipv4_host : 28 = 0; ///< host index within the org's v4 pool
+    std::uint32_t segment_raw : 2 = 0;
+    std::uint32_t resolves : 1 = 0;   ///< DNS (A record) resolves
+    std::uint32_t quic : 1 = 0;       ///< host answers HTTP/3
+    std::uint32_t ipv6_host : 28 = 0; ///< host index within the org's v6 pool
+    std::uint32_t on_toplist : 1 = 0;
+    std::uint32_t has_ipv6 : 1 = 0;   ///< AAAA record resolves
+    std::uint32_t redirects : 1 = 0;  ///< landing page issues one redirect
+    std::uint32_t reserved : 1 = 0;
+
+    [[nodiscard]] Segment segment() const noexcept {
+        return static_cast<Segment>(segment_raw);
+    }
+    void set_segment(Segment s) noexcept {
+        segment_raw = static_cast<std::uint32_t>(s) & 0x3U;
+    }
+    [[nodiscard]] float rtt_ms() const noexcept {
+        return static_cast<float>(rtt_tenths) * 0.1F;
+    }
+    void set_rtt_ms(double ms) noexcept {
+        rtt_tenths = static_cast<std::uint16_t>(ms * 10.0 + 0.5);
+    }
 };
+static_assert(sizeof(Domain) <= 16, "web::Domain must stay a compact 16-byte record");
 
 /// Scale + seed of the synthetic universe.
 struct PopulationConfig {
@@ -148,16 +173,58 @@ struct UniverseShape {
     double quic_toplist = 0.2823;
 };
 
-/// The generated universe plus its generating profiles.
-class Population {
-public:
-    explicit Population(const PopulationConfig& config);
+/// One materialized range [begin, begin + domains.size()) of the universe —
+/// the transient unit a streaming consumer scans and discards. domains[i] is
+/// the domain with id begin + i (domain ids equal global indices).
+struct DomainBlock {
+    std::uint32_t begin = 0;
+    std::vector<Domain> domains;
 
-    [[nodiscard]] std::span<const Domain> domains() const noexcept { return domains_; }
-    [[nodiscard]] std::span<const OrgProfile> orgs() const noexcept { return orgs_; }
-    [[nodiscard]] std::span<const StackProfile> stacks() const noexcept { return stacks_; }
+    [[nodiscard]] std::span<const Domain> span() const noexcept { return domains; }
+    [[nodiscard]] std::size_t size() const noexcept { return domains.size(); }
+};
+
+/// The generating model of the universe: profiles, closed-form segment
+/// geometry and per-org host pools — no per-domain state. domain(id) is a
+/// pure function of (config.seed, id), so materialize() is order- and
+/// chunk-size-independent (the §15 purity contract).
+class PopulationModel {
+public:
+    explicit PopulationModel(const PopulationConfig& config);
+
     [[nodiscard]] const PopulationConfig& config() const noexcept { return config_; }
     [[nodiscard]] const UniverseShape& shape() const noexcept { return shape_; }
+    [[nodiscard]] std::span<const OrgProfile> orgs() const noexcept { return orgs_; }
+    [[nodiscard]] std::span<const StackProfile> stacks() const noexcept { return stacks_; }
+
+    /// Total number of domains in the (downscaled) universe.
+    [[nodiscard]] std::size_t domain_count() const noexcept {
+        return n_cno_ + n_other_ + n_extra_;
+    }
+    /// Closed-form segment sizes (segments are emitted in enum order:
+    /// czds_cno ids [0, n_cno), czds_other [n_cno, n_cno + n_other), ...).
+    [[nodiscard]] std::size_t segment_count(Segment segment) const noexcept {
+        switch (segment) {
+            case Segment::czds_cno: return n_cno_;
+            case Segment::czds_other: return n_other_;
+            case Segment::toplist_extra: return n_extra_;
+        }
+        return 0;
+    }
+    [[nodiscard]] Segment segment_of(std::uint32_t id) const noexcept {
+        if (id < n_cno_) return Segment::czds_cno;
+        if (id < n_cno_ + n_other_) return Segment::czds_other;
+        return Segment::toplist_extra;
+    }
+
+    /// Regenerates one domain — a pure function of (config.seed, id).
+    [[nodiscard]] Domain domain(std::uint32_t id) const;
+
+    /// Materializes the id range [begin, end) as a transient block.
+    [[nodiscard]] DomainBlock materialize(std::size_t begin, std::size_t end) const;
+    /// Materializes chunk `chunk_index` of a `chunk_domains`-sized chunking.
+    [[nodiscard]] DomainBlock materialize_chunk(std::size_t chunk_index,
+                                                std::size_t chunk_domains) const;
 
     [[nodiscard]] const OrgProfile& org_of(const Domain& d) const { return orgs_.at(d.org); }
     [[nodiscard]] const StackProfile& stack_of(const Domain& d) const {
@@ -192,21 +259,82 @@ public:
     /// IP-level aggregation.
     [[nodiscard]] std::uint64_t host_key(const Domain& d, bool ipv6) const;
 
-    /// Host pool sizes (number of distinct serving addresses) per org.
+    /// Host pool sizes (number of distinct serving addresses) per org,
+    /// derived in closed form from the expected resolved-domain mass of the
+    /// org — never from a realized count, so no domain materialization.
     [[nodiscard]] std::uint32_t ipv4_pool(std::size_t org) const { return v4_pool_.at(org); }
     [[nodiscard]] std::uint64_t ipv6_pool(std::size_t org) const { return v6_pool_.at(org); }
 
 private:
     void build_profiles();
-    void generate();
+    void compute_geometry();
 
     PopulationConfig config_;
     UniverseShape shape_;
     std::vector<StackProfile> stacks_;
     std::vector<OrgProfile> orgs_;
-    std::vector<Domain> domains_;
     std::vector<std::uint32_t> v4_pool_;
     std::vector<std::uint64_t> v6_pool_;
+    std::size_t n_cno_ = 0;
+    std::size_t n_other_ = 0;
+    std::size_t n_extra_ = 0;
+    double p_top_inside_czds_ = 0.0;
+    /// Per-segment QUIC-org samplers built once from the profile weights.
+    util::DiscreteSampler pick_cno_{std::span<const double>{}};
+    util::DiscreteSampler pick_other_{std::span<const double>{}};
+    util::DiscreteSampler pick_top_{std::span<const double>{}};
+};
+
+/// The eagerly materialized universe plus its generating model — the
+/// resident-vector view for tests and small sweeps. Large campaigns should
+/// consume the model() directly and stream DomainBlocks instead.
+class Population {
+public:
+    explicit Population(const PopulationConfig& config);
+
+    [[nodiscard]] const PopulationModel& model() const noexcept { return model_; }
+
+    [[nodiscard]] std::span<const Domain> domains() const noexcept { return domains_; }
+    [[nodiscard]] std::span<const OrgProfile> orgs() const noexcept { return model_.orgs(); }
+    [[nodiscard]] std::span<const StackProfile> stacks() const noexcept {
+        return model_.stacks();
+    }
+    [[nodiscard]] const PopulationConfig& config() const noexcept { return model_.config(); }
+    [[nodiscard]] const UniverseShape& shape() const noexcept { return model_.shape(); }
+
+    [[nodiscard]] const OrgProfile& org_of(const Domain& d) const { return model_.org_of(d); }
+    [[nodiscard]] const StackProfile& stack_of(const Domain& d) const {
+        return model_.stack_of(d);
+    }
+    [[nodiscard]] bool host_spins(const Domain& d, int week, bool ipv6) const {
+        return model_.host_spins(d, week, ipv6);
+    }
+    [[nodiscard]] quic::SpinPolicy host_disabled_policy(const Domain& d, bool ipv6) const {
+        return model_.host_disabled_policy(d, ipv6);
+    }
+    [[nodiscard]] faults::ServerFaultProfile server_fault_profile(const Domain& d,
+                                                                  bool ipv6) const {
+        return model_.server_fault_profile(d, ipv6);
+    }
+    [[nodiscard]] std::string domain_name(const Domain& d) const {
+        return model_.domain_name(d);
+    }
+    [[nodiscard]] std::string host_address(const Domain& d, bool ipv6) const {
+        return model_.host_address(d, ipv6);
+    }
+    [[nodiscard]] std::uint64_t host_key(const Domain& d, bool ipv6) const {
+        return model_.host_key(d, ipv6);
+    }
+    [[nodiscard]] std::uint32_t ipv4_pool(std::size_t org) const {
+        return model_.ipv4_pool(org);
+    }
+    [[nodiscard]] std::uint64_t ipv6_pool(std::size_t org) const {
+        return model_.ipv6_pool(org);
+    }
+
+private:
+    PopulationModel model_;
+    std::vector<Domain> domains_;
 };
 
 /// Default stack table (index constants used by the org profiles).

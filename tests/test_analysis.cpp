@@ -87,7 +87,7 @@ TEST(ClassifyDomain, GreasedWhenFilterFires) {
 
 TEST(InList, MembershipRules) {
     web::Domain domain;
-    domain.segment = web::Segment::czds_cno;
+    domain.set_segment(web::Segment::czds_cno);
     domain.on_toplist = false;
     EXPECT_TRUE(in_list(domain, ListId::czds));
     EXPECT_TRUE(in_list(domain, ListId::cno));
@@ -96,11 +96,11 @@ TEST(InList, MembershipRules) {
     domain.on_toplist = true;
     EXPECT_TRUE(in_list(domain, ListId::toplists));
 
-    domain.segment = web::Segment::czds_other;
+    domain.set_segment(web::Segment::czds_other);
     EXPECT_TRUE(in_list(domain, ListId::czds));
     EXPECT_FALSE(in_list(domain, ListId::cno));
 
-    domain.segment = web::Segment::toplist_extra;
+    domain.set_segment(web::Segment::toplist_extra);
     EXPECT_FALSE(in_list(domain, ListId::czds));
     EXPECT_FALSE(in_list(domain, ListId::cno));
     EXPECT_TRUE(in_list(domain, ListId::toplists));
@@ -148,7 +148,7 @@ TEST_F(AdoptionTest, CountsFunnelMonotonically) {
 TEST_F(AdoptionTest, OrgConnectionCounting) {
     const web::Domain* cno_domain = nullptr;
     for (const auto& d : population_.domains()) {
-        if (d.segment == web::Segment::czds_cno && d.resolves) {
+        if (d.segment() == web::Segment::czds_cno && d.resolves) {
             cno_domain = &d;
             break;
         }

@@ -215,7 +215,7 @@ TEST_F(CampaignTest, StackRttBaselineNearConfiguredPathRtt) {
     ASSERT_TRUE(scan.quic_ok());
     const auto& metrics = scan.connections.back().metrics;
     ASSERT_GT(metrics.min_rtt_ms, 0.0);
-    EXPECT_NEAR(metrics.min_rtt_ms, domain->rtt_ms, domain->rtt_ms * 0.4 + 3.0);
+    EXPECT_NEAR(metrics.min_rtt_ms, domain->rtt_ms(), domain->rtt_ms() * 0.4 + 3.0);
 }
 
 TEST_F(CampaignTest, RunVisitsEveryDomain) {

@@ -329,6 +329,37 @@ TEST_F(ProcPoolTest, MapReducePassIsByteIdenticalAcrossProcsAndThreads) {
     }
 }
 
+TEST_F(ProcPoolTest, ReducedSweepDeliversEagerPopulationBytes) {
+    // The §15 purity contract across process boundaries: workers materialize
+    // their chunks independently, yet every domain the reduce delivers must
+    // match the eager wrapper's resident vector byte for byte, and the
+    // deterministic telemetry must match the in-process streaming run.
+    const web::Population population = tiny_population();
+    ScanOptions options;
+    const SweepResult baseline = run_single_process(population, options);
+    for (const unsigned procs : {1u, 2u}) {
+        ScanOptions multi = options;
+        multi.journal_dir = (dir_ / ("eager_" + std::to_string(procs))).string();
+        Campaign campaign{population.model(), multi};
+        telemetry::MetricsRegistry registry;
+        campaign.set_metrics(&registry);
+        (void)run_procs(campaign, fast_pool(procs));
+        SweepResult reduced;
+        std::size_t byte_identical = 0;
+        reduced.stats = campaign.reduce([&](const web::Domain& domain, DomainScan&& scan) {
+            if (std::memcmp(&domain, &population.domains()[domain.id],
+                            sizeof(web::Domain)) == 0) {
+                ++byte_identical;
+            }
+            reduced.order.push_back(domain.id);
+            reduced.stream += render_scan_stream(scan);
+        });
+        reduced.telemetry = telemetry::deterministic_csv(registry);
+        EXPECT_EQ(byte_identical, population.domains().size()) << "procs=" << procs;
+        expect_same_sweep(reduced, baseline, "eager-bytes procs=" + std::to_string(procs));
+    }
+}
+
 TEST_F(ProcPoolTest, ReduceOfAnEmptyJournalDegeneratesToAFullScan) {
     const web::Population population = tiny_population();
     ScanOptions options;

@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 #include <set>
+#include <vector>
 
+#include "util/rng.hpp"
 #include "web/population.hpp"
 
 namespace spinscope::web {
@@ -23,7 +26,7 @@ TEST(Population, DeterministicForSeed) {
         ASSERT_EQ(da.org, db.org);
         ASSERT_EQ(da.quic, db.quic);
         ASSERT_EQ(da.ipv4_host, db.ipv4_host);
-        ASSERT_FLOAT_EQ(da.rtt_ms, db.rtt_ms);
+        ASSERT_FLOAT_EQ(da.rtt_ms(), db.rtt_ms());
     }
 }
 
@@ -44,7 +47,7 @@ TEST(Population, DifferentSeedsDiffer) {
 TEST(Population, SegmentCountsScale) {
     Population pop{small_config()};
     std::map<Segment, std::size_t> counts;
-    for (const auto& d : pop.domains()) ++counts[d.segment];
+    for (const auto& d : pop.domains()) ++counts[d.segment()];
     // 183.0M / 20000 ~ 9152, (216.5-183.0)M / 20000 ~ 1673.
     EXPECT_NEAR(static_cast<double>(counts[Segment::czds_cno]), 9152.0, 5.0);
     EXPECT_NEAR(static_cast<double>(counts[Segment::czds_other]), 1673.0, 5.0);
@@ -57,7 +60,7 @@ TEST(Population, ResolveAndQuicRatesMatchShape) {
     std::size_t cno_resolved = 0;
     std::size_t cno_quic = 0;
     for (const auto& d : pop.domains()) {
-        if (d.segment != Segment::czds_cno || d.on_toplist) continue;
+        if (d.segment() != Segment::czds_cno || d.on_toplist) continue;
         ++cno_total;
         if (d.resolves) ++cno_resolved;
         if (d.quic) ++cno_quic;
@@ -81,7 +84,7 @@ TEST(Population, OrgWeightsRoughlyRespected) {
     std::map<std::string, std::size_t> quic_by_org;
     std::size_t quic_total = 0;
     for (const auto& d : pop.domains()) {
-        if (d.segment != Segment::czds_cno || !d.quic || d.on_toplist) continue;
+        if (d.segment() != Segment::czds_cno || !d.quic || d.on_toplist) continue;
         ++quic_by_org[pop.org_of(d).name];
         ++quic_total;
     }
@@ -134,8 +137,8 @@ TEST(Population, RttsAreSane) {
     Population pop{small_config()};
     for (const auto& d : pop.domains()) {
         if (!d.resolves) continue;
-        ASSERT_GE(d.rtt_ms, 0.8F);
-        ASSERT_LE(d.rtt_ms, 400.0F);
+        ASSERT_GE(d.rtt_ms(), 0.8F);
+        ASSERT_LE(d.rtt_ms(), 400.0F);
     }
 }
 
@@ -243,7 +246,7 @@ TEST(Population, ToplistFlagPlacement) {
     std::size_t extra = 0;
     for (const auto& d : pop.domains()) {
         if (d.on_toplist) ++toplist;
-        if (d.segment == Segment::toplist_extra) {
+        if (d.segment() == Segment::toplist_extra) {
             ++extra;
             ASSERT_TRUE(d.on_toplist);
         }
@@ -251,6 +254,110 @@ TEST(Population, ToplistFlagPlacement) {
     // ~2.73M/2000 total toplist entries, 30 % outside CZDS.
     EXPECT_NEAR(static_cast<double>(toplist), 2732702.0 / 2000.0, 120.0);
     EXPECT_NEAR(static_cast<double>(extra), 0.3 * 2732702.0 / 2000.0, 40.0);
+}
+
+bool same_bytes(const Domain& a, const Domain& b) {
+    return std::memcmp(&a, &b, sizeof(Domain)) == 0;
+}
+
+TEST(DomainPacking, StaysWithinSixteenBytes) {
+    // The header static_asserts <= 16; the layout leaves no padding either.
+    EXPECT_EQ(sizeof(Domain), 16u);
+}
+
+TEST(DomainPacking, FieldsRoundTripAtTheirExtremes) {
+    Domain d;
+    d.id = 0xFFFFFFFFU;
+    d.org = 0xFFFFU;
+    d.ipv4_host = (1U << 28) - 1;
+    d.ipv6_host = (1U << 28) - 1;
+    d.resolves = 1;
+    d.quic = 1;
+    d.on_toplist = 1;
+    d.has_ipv6 = 1;
+    d.redirects = 1;
+    d.set_segment(Segment::toplist_extra);
+    d.set_rtt_ms(400.0);
+    EXPECT_EQ(d.id, 0xFFFFFFFFU);
+    EXPECT_EQ(d.org, 0xFFFFU);
+    EXPECT_EQ(d.ipv4_host, (1U << 28) - 1);
+    EXPECT_EQ(d.ipv6_host, (1U << 28) - 1);
+    EXPECT_EQ(d.segment(), Segment::toplist_extra);
+    EXPECT_FLOAT_EQ(d.rtt_ms(), 400.0F);
+    EXPECT_TRUE(d.resolves && d.quic && d.on_toplist && d.has_ipv6 && d.redirects);
+    // Clearing one bitfield must not disturb its neighbours.
+    d.quic = 0;
+    EXPECT_TRUE(d.resolves);
+    EXPECT_EQ(d.ipv4_host, (1U << 28) - 1);
+    EXPECT_EQ(d.segment(), Segment::toplist_extra);
+    // RTT quantization: tenths of a millisecond, round-to-nearest.
+    d.set_rtt_ms(12.34);
+    EXPECT_FLOAT_EQ(d.rtt_ms(), 12.3F);
+    d.set_rtt_ms(0.8);
+    EXPECT_FLOAT_EQ(d.rtt_ms(), 0.8F);
+}
+
+TEST(PopulationModel, EagerAndStreamingAreByteIdentical) {
+    // The §15 golden sweep: the eager wrapper and chunked streaming must
+    // produce the same bytes at every test scale, for awkward chunk sizes.
+    for (const double scale : {20000.0, 6000.0, 2000.0}) {
+        const PopulationConfig config{scale, 20230520};
+        const Population eager{config};
+        const PopulationModel model{config};
+        ASSERT_EQ(eager.domains().size(), model.domain_count());
+        for (const std::size_t chunk_domains :
+             {std::size_t{1}, std::size_t{97}, std::size_t{1024}}) {
+            std::size_t checked = 0;
+            for (std::size_t chunk = 0;; ++chunk) {
+                const DomainBlock block = model.materialize_chunk(chunk, chunk_domains);
+                if (block.size() == 0) break;
+                ASSERT_EQ(block.begin, chunk * chunk_domains);
+                for (std::size_t i = 0; i < block.size(); ++i) {
+                    ASSERT_TRUE(same_bytes(block.domains[i],
+                                           eager.domains()[block.begin + i]))
+                        << "scale " << scale << " chunk_domains " << chunk_domains
+                        << " id " << block.begin + i;
+                }
+                checked += block.size();
+            }
+            ASSERT_EQ(checked, model.domain_count());
+        }
+    }
+}
+
+TEST(PopulationModel, MaterializeIsChunkAndOrderIndependent) {
+    // ~10k randomized cases of the purity contract: materialize(begin, end)
+    // must not depend on chunk size, on the order ranges are asked for, or
+    // on what else was materialized in between.
+    const PopulationConfig config{20000.0, 20230520};
+    const PopulationModel model{config};
+    const PopulationModel other{{2000.0, 7}};  // interleaved foreign universe
+    const std::size_t count = model.domain_count();
+    const DomainBlock reference = model.materialize(0, count);
+    ASSERT_EQ(reference.size(), count);
+
+    util::Rng rng{0x5eedU};
+    for (int tc = 0; tc < 10000; ++tc) {
+        const auto begin = static_cast<std::size_t>(rng.uniform_u64(count));
+        const auto len = static_cast<std::size_t>(1 + rng.uniform_u64(64));
+        const auto end = std::min(begin + len, count);
+        // Interleave unrelated materializations: a different range of this
+        // model and a chunk of a differently-scaled one.
+        if (tc % 7 == 0) {
+            (void)model.materialize_chunk(rng.uniform_u64(64), 16);
+            (void)other.materialize_chunk(rng.uniform_u64(64), 16);
+        }
+        const DomainBlock block = model.materialize(begin, end);
+        ASSERT_EQ(block.begin, begin);
+        ASSERT_EQ(block.size(), end - begin);
+        for (std::size_t i = 0; i < block.size(); ++i) {
+            ASSERT_TRUE(same_bytes(block.domains[i], reference.domains[begin + i]))
+                << "case " << tc << " id " << begin + i;
+        }
+        // Single-domain regeneration agrees with the block too.
+        const auto probe = static_cast<std::uint32_t>(begin);
+        ASSERT_TRUE(same_bytes(model.domain(probe), reference.domains[begin]));
+    }
 }
 
 }  // namespace
