@@ -18,6 +18,7 @@
 #include "bench/progress.hpp"
 #include "bench/trajectory.hpp"
 #include "scanner/campaign.hpp"
+#include "scanner/journal.hpp"
 #include "scanner/procpool.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
@@ -61,6 +62,11 @@ struct Options {
     /// Resume from the journal left by a killed run (--resume; requires
     /// --journal). Output is byte-identical to an uninterrupted run.
     bool resume = false;
+    /// Verify-and-repair the journal before running (--scrub; requires
+    /// --journal, DESIGN.md §16): torn tails are truncated away, corrupt
+    /// records quarantined into <journal>/corrupt/, and the scrub report
+    /// printed. Combine with --resume to pick a damaged campaign back up.
+    bool scrub = false;
     /// Flight-recorder output (--trace=FILE, off by default): run_campaign
     /// records the campaign timeline and writes FILE (deterministic sim
     /// spans; Perfetto/chrome://tracing loadable) plus a `.wall.json`
@@ -111,6 +117,8 @@ inline Options parse_options(int argc, char** argv, std::uint64_t default_count 
             options.procs = static_cast<unsigned>(std::strtoul(arg + 8, nullptr, 10));
         } else if (std::strcmp(arg, "--resume") == 0) {
             options.resume = true;
+        } else if (std::strcmp(arg, "--scrub") == 0) {
+            options.scrub = true;
         } else if (std::strncmp(arg, "--trace=", 8) == 0) {
             options.trace_path = arg + 8;
         } else if (std::strcmp(arg, "--progress") == 0) {
@@ -123,13 +131,18 @@ inline Options parse_options(int argc, char** argv, std::uint64_t default_count 
             std::printf(
                 "usage: %s [--scale=N] [--scales=A,B,C] [--seed=N] [--count=N] [--csv=prefix] "
                 "[--telemetry=path|off] [--threads=N] [--journal=dir] [--procs=N] "
-                "[--resume] [--trace=file] [--progress[=N]] [--trajectory=file]\n",
+                "[--resume] [--scrub] [--trace=file] [--progress[=N]] "
+                "[--trajectory=file]\n",
                 argv[0]);
             std::exit(0);
         }
     }
     if (options.resume && options.journal_dir.empty()) {
         std::fprintf(stderr, "--resume requires --journal=dir\n");
+        std::exit(2);
+    }
+    if (options.scrub && options.journal_dir.empty()) {
+        std::fprintf(stderr, "--scrub requires --journal=dir\n");
         std::exit(2);
     }
     if (options.procs > 0 && options.journal_dir.empty()) {
@@ -163,6 +176,14 @@ scanner::CampaignStats run_campaign(const Options& options, scanner::Campaign& c
     }
 
     scanner::CampaignStats stats;
+    if (options.scrub) {
+        // Offline verify/repair before touching the journal (DESIGN.md §16):
+        // after this, resume/reduce sees either a clean journal or an
+        // explicit rescan list — never a torn or corrupt record.
+        const scanner::ScrubReport report =
+            scanner::scrub_journal(options.journal_dir);
+        std::printf("%s", report.render().c_str());
+    }
     if (options.procs > 0) {
         // Crash-isolated map pass (DESIGN.md §13): fork N workers over a
         // shared journal, then reduce it through the caller's sink. --resume

@@ -12,6 +12,11 @@
 #   scripts/ci.sh chaos        # crash-isolation lane: the multi-process kill
 #                              # sweep (SIGKILL workers at every lifecycle
 #                              # point), journal/lease and proc-plumbing suites
+#   scripts/ci.sh diskchaos    # lying-disk lane: the full storage-fault-plan
+#                              # x injection-point sweep (ENOSPC, EIO, short
+#                              # writes, power loss, bit flips — incl. FaultIo
+#                              # under --procs=2), the storage-seam unit suite
+#                              # and the journal scrub corpus
 #   scripts/ci.sh rss          # out-of-core lane: a mid-scale streaming
 #                              # campaign under a hard RLIMIT_AS ceiling — an
 #                              # accidental O(domains) allocation fails loudly
@@ -99,6 +104,23 @@ run_chaos_lane() {
     echo "=== lane chaos: OK ==="
 }
 
+# Disk-chaos lane: campaigns on a lying disk (DESIGN.md §16). Runs the
+# storage-seam unit suite, the FULL fault-plan x injection-point sweep
+# (SPINSCOPE_DISKCHAOS_FULL widens the matrix the default ctest lane runs
+# reduced: more write/power-loss ordinals, threads {1,2,8}, procs {1,2}),
+# and the journal scrub corruption corpus. Green means: no fault plan can
+# make a campaign produce silently-wrong output.
+run_diskchaos_lane() {
+    echo "=== lane: diskchaos ==="
+    cmake --preset default >/dev/null
+    cmake --build --preset default -j "${JOBS}" \
+        --target test_util_io test_scanner_diskchaos test_scanner_journal
+    ./build/tests/test_util_io
+    SPINSCOPE_DISKCHAOS_FULL=1 ./build/tests/test_scanner_diskchaos
+    ./build/tests/test_scanner_journal
+    echo "=== lane diskchaos: OK ==="
+}
+
 # Out-of-core lane: run a mid-scale (2.2 M domain) streaming Table 1 campaign
 # under a hard RLIMIT_AS ceiling. The streaming population (DESIGN.md §15)
 # keeps the campaign's address space flat (~27 MB with a single malloc arena)
@@ -134,6 +156,7 @@ main() {
             default|sanitize|tsan) run_lane "${lane}" ;;
             bench) run_bench_lane ;;
             chaos) run_chaos_lane ;;
+            diskchaos) run_diskchaos_lane ;;
             rss) run_rss_lane ;;
             lint)
                 if lint_available; then
@@ -144,7 +167,7 @@ main() {
                 fi
                 ;;
             *)
-                echo "error: unknown lane '${lane}' (default|sanitize|tsan|lint|bench|chaos|rss|all)" >&2
+                echo "error: unknown lane '${lane}' (default|sanitize|tsan|lint|bench|chaos|diskchaos|rss|all)" >&2
                 exit 2
                 ;;
         esac

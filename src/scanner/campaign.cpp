@@ -7,6 +7,7 @@
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -62,6 +63,7 @@ void ScanOptions::validate() {
     }
     retry.validate();
     worker_restart.validate();
+    journal_retry.validate();
     if (fault_plan) fault_plan->validate();
     if (observer) observer->validate();
     ShardConfig{threads, chunk_domains}.validate();
@@ -820,7 +822,8 @@ CampaignStats Campaign::run_impl(
         // recorded chunk's bytes are read when its turn to merge comes and
         // die with the merge, so the reducer's RSS is bounded by the merge
         // window — never by how many chunks the workers already published.
-        init_map_journal(options_.journal_dir, header, /*wipe=*/false);
+        util::Io& map_io = util::resolve_io(options_.io);
+        init_map_journal(map_io, options_.journal_dir, header, /*wipe=*/false);
         std::vector<char> recorded(plan.chunk_count(), 0);
         for (const std::size_t index : list_map_chunks(options_.journal_dir)) {
             if (index >= plan.chunk_count()) {
@@ -842,13 +845,58 @@ CampaignStats Campaign::run_impl(
         // Next global chunk whose replay is still pending; recorded chunks
         // below a freshly-scanned chunk replay right before it merges.
         std::size_t replay_cursor = 0;
-        const auto publish_and_merge = [&](ChunkRecord&& record) {
-            if (!write_map_chunk(options_.journal_dir, record)) {
-                throw std::runtime_error{"scanner: cannot publish map chunk record for " +
-                                         describe_chunk(plan, record.chunk_index) +
-                                         " in " + options_.journal_dir};
+        // Storage-retry jitter stream (wall-clock backoff); independent of
+        // every scan-facing RNG, so disk stutter never perturbs the output.
+        util::Rng io_retry_rng{util::derive_stream_seed(options_.seed, 0xd15cULL)};
+        const auto io_backoff = [&](int retry_index) {
+            const Duration delay =
+                options_.journal_retry.backoff_delay(retry_index, io_retry_rng);
+            if (delay.count_nanos() > 0) {
+                std::this_thread::sleep_for(std::chrono::nanoseconds{delay.count_nanos()});
             }
-            ++stats.journal_records_appended;
+        };
+        // Set when a non-transient publish failure disabled the map journal:
+        // merging continues (the sink output stays byte-identical); only
+        // durability is lost, and loudly so.
+        bool map_degraded = false;
+        const auto degrade_map_journal = [&](const std::string& what, int err) {
+            map_degraded = true;
+            stats.journal_degraded = true;
+            stats.journal_degraded_error = what;
+            if (metrics_ != nullptr) {
+                metrics_->counter("campaign.journal.degraded").add(1);
+                metrics_->counter(std::string{"campaign.journal.io_errors."} +
+                                  util::to_cstring(util::classify_io_error(err)))
+                    .add(1);
+            }
+            if (trace != nullptr) {
+                trace->instant(TraceClock::wall, wall_merge_lane, "journal degraded",
+                               trace->wall_now_ns(), {TraceArg::str("error", what)});
+            }
+        };
+        const auto publish_and_merge = [&](ChunkRecord&& record) {
+            if (!map_degraded) {
+                util::IoResult published;
+                for (int attempt = 0;; ++attempt) {
+                    published = write_map_chunk(map_io, options_.journal_dir, record);
+                    if (published) break;
+                    if (util::classify_io_error(published.err) !=
+                            util::IoErrorClass::transient ||
+                        attempt + 1 >= options_.journal_retry.max_attempts) {
+                        break;
+                    }
+                    io_backoff(attempt + 1);
+                }
+                if (published) {
+                    ++stats.journal_records_appended;
+                } else {
+                    degrade_map_journal(
+                        "scanner: cannot publish map chunk record for " +
+                            describe_chunk(plan, record.chunk_index) + " in " +
+                            options_.journal_dir + ": " + published.message(),
+                        published.err);
+                }
+            }
             if (metrics_ != nullptr && !record.telemetry_snapshot.empty()) {
                 auto parsed = telemetry::parse_snapshot(record.telemetry_snapshot);
                 if (parsed) metrics_->merge_from(*parsed);
@@ -979,7 +1027,11 @@ CampaignStats Campaign::run_impl(
 
     std::size_t chunks_replayed = 0;
     if (journaling) {
-        const JournalOptions journal_options{options_.journal_segment_bytes};
+        JournalOptions journal_options;
+        journal_options.segment_bytes = options_.journal_segment_bytes;
+        journal_options.io = options_.io;
+        journal_options.io_retry = options_.journal_retry;
+        journal_options.io_retry_seed = options_.seed;
         if (mode == RunMode::resume) {
             // Streaming replay: each journaled chunk is parsed, merged and
             // dropped in one step — the header is vetted before the first
@@ -1097,6 +1149,49 @@ CampaignStats Campaign::run_impl(
         }
     };
 
+    // Journal degrade (DESIGN.md §16): a non-transient storage error must not
+    // kill a sweep whose OUTPUT is still perfectly computable. The journal is
+    // shut down — sealing the durable prefix when the tail is clean,
+    // abandoning the .open tail for scrub otherwise — the cause is attributed
+    // loudly (stats flag + campaign.journal.* telemetry), and scanning
+    // continues journal-free. Construction-time failures still throw: before
+    // any work is done, refusing loudly beats running without durability the
+    // caller explicitly asked for.
+    const auto degrade_journal = [&](const JournalIoError& e) {
+        if (journal == nullptr) return;
+        stats.journal_records_appended = journal->records_appended();
+        stats.journal_open_bytes = 0;
+        stats.journal_degraded = true;
+        stats.journal_degraded_error = e.what();
+        if (journal->tail_clean()) {
+            // The failed append rolled back cleanly: everything on disk is
+            // intact records, so best-effort seal the durable prefix.
+            try {
+                journal->close();
+            } catch (const std::exception&) {  // NOLINT(bugprone-empty-catch)
+                journal->abandon();
+            }
+        } else {
+            // The tail may hold a torn frame; leave it .open for scrub.
+            journal->abandon();
+        }
+        if (metrics_ != nullptr) {
+            metrics_->counter("campaign.journal.records_appended")
+                .add(journal->records_appended());
+            metrics_->counter("campaign.journal.segments_sealed")
+                .add(journal->segments_sealed());
+            metrics_->counter("campaign.journal.degraded").add(1);
+            metrics_->counter(std::string{"campaign.journal.io_errors."} +
+                              util::to_cstring(e.error_class()))
+                .add(1);
+        }
+        journal.reset();
+        if (trace != nullptr) {
+            trace->instant(TraceClock::wall, wall_merge_lane, "journal degraded",
+                           trace->wall_now_ns(), {TraceArg::str("error", e.what())});
+        }
+    };
+
     const auto merge_chunk = [&](std::size_t c) {
         const std::int64_t merge_start_ns = trace != nullptr ? trace->wall_now_ns() : 0;
         ChunkResult result = std::move(chunks[c % window]);
@@ -1113,8 +1208,12 @@ CampaignStats Campaign::run_impl(
             }
             const std::int64_t append_start_ns =
                 trace != nullptr ? trace->wall_now_ns() : 0;
-            journal->append_chunk(record);
-            if (trace != nullptr) {
+            try {
+                journal->append_chunk(record);
+            } catch (const JournalIoError& e) {
+                degrade_journal(e);
+            }
+            if (trace != nullptr && journal != nullptr) {
                 trace->complete(
                     TraceClock::wall, wall_merge_lane, "journal append",
                     append_start_ns, trace->wall_now_ns() - append_start_ns,
@@ -1191,7 +1290,11 @@ CampaignStats Campaign::run_impl(
             record.quarantined = true;
             record.quarantine_error = failure.error;
             record.scans = std::move(placeholders);
-            journal->append_chunk(record);
+            try {
+                journal->append_chunk(record);
+            } catch (const JournalIoError& e) {
+                degrade_journal(e);
+            }
             placeholders = std::move(record.scans);
         }
         ++stats.chunks_quarantined;
@@ -1232,7 +1335,13 @@ CampaignStats Campaign::run_impl(
     }
 
     if (journal != nullptr) {
-        journal->close();
+        try {
+            journal->close();
+        } catch (const JournalIoError& e) {
+            degrade_journal(e);  // resets `journal`
+        }
+    }
+    if (journal != nullptr) {
         stats.journal_records_appended = journal->records_appended();
         stats.journal_open_bytes = 0;  // everything sealed and durable
         if (metrics_ != nullptr) {

@@ -27,6 +27,7 @@
 #include "quic/connection.hpp"
 #include "scanner/http3_mini.hpp"
 #include "telemetry/metrics.hpp"
+#include "util/io.hpp"
 #include "web/population.hpp"
 
 namespace spinscope::telemetry {
@@ -85,6 +86,16 @@ struct ScanOptions {
     std::string journal_dir;
     /// Journal segment rotation threshold, in bytes.
     std::size_t journal_segment_bytes = 4u << 20;
+    /// Storage seam for every journal write (DESIGN.md §16): segment
+    /// appends/seals, map-layout publishes, leases, locks. nullptr means the
+    /// real disk; tests inject faults::FaultIo. Not owned; must be
+    /// thread-safe and outlive the campaign run.
+    util::Io* io = nullptr;
+    /// Retry schedule for TRANSIENT journal storage errors (wall-clock
+    /// backoff; see util::classify_io_error). Non-transient failures degrade
+    /// the journal instead of killing the sweep.
+    faults::RetryPolicy journal_retry{3, util::Duration::millis(1), 4.0,
+                                      util::Duration::millis(20), true};
     /// Supervisor restart schedule for a chunk whose scan crashed outside
     /// the per-domain isolation: max_attempts is the TOTAL number of scan
     /// executions per chunk before it is quarantined (1 = quarantine on the
@@ -187,6 +198,14 @@ struct CampaignStats {
     /// durability lag a progress reporter surfaces. Resets at every segment
     /// seal (NOT monotonic); 0 in the final stats (everything sealed).
     std::uint64_t journal_open_bytes = 0;
+    /// The journal hit a non-transient storage error mid-sweep and was shut
+    /// down (durable prefix sealed where possible) while scanning continued —
+    /// the sweep's OUTPUT is complete and correct, but the journal on disk
+    /// is only a prefix and the campaign is not resumable past it. Also
+    /// surfaced as `campaign.journal.degraded` telemetry.
+    bool journal_degraded = false;
+    /// The attributed cause of the degrade (empty when not degraded).
+    std::string journal_degraded_error;
     /// Connection attempts by qlog::ConnectionOutcome (index via the enum).
     std::array<std::uint64_t, qlog::kConnectionOutcomeCount> outcomes{};
     /// Connection attempts by active faults::ServerFaultMode (index 0 =

@@ -1,11 +1,15 @@
 #include "scanner/journal.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iterator>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "util/atomic_file.hpp"
@@ -579,21 +583,50 @@ ReplayStreamResult replay_journal(const std::filesystem::path& dir,
 // ---------------------------------------------------------------------------
 // JournalWriter
 
+namespace {
+
+/// Wall-clock backoff between storage retries. Unlike scan retries (which run
+/// in simulated time), the disk is a real resource: giving it a millisecond
+/// is the whole point.
+void sleep_backoff(const faults::RetryPolicy& policy, int retry_index, util::Rng& rng) {
+    const util::Duration delay = policy.backoff_delay(retry_index, rng);
+    if (delay.count_nanos() > 0) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds{delay.count_nanos()});
+    }
+}
+
+[[noreturn]] void throw_io(const std::string& what, util::IoResult result) {
+    throw JournalIoError{what + ": " + result.message(), result};
+}
+
+}  // namespace
+
 JournalWriter::JournalWriter(std::filesystem::path dir, const CampaignHeader& header,
                              Mode mode, JournalOptions options)
-    : dir_{std::move(dir)}, options_{options} {
+    : dir_{std::move(dir)},
+      options_{options},
+      io_{&util::resolve_io(options.io)},
+      retry_rng_{util::derive_stream_seed(options.io_retry_seed, 0xd15cULL)} {
     if (options_.segment_bytes == 0) {
         throw std::invalid_argument("journal: segment_bytes must be >= 1");
     }
+    options_.io_retry.validate();
     std::filesystem::create_directories(dir_);
 
+    const auto remove_or_throw = [&](const std::filesystem::path& path) {
+        const util::IoResult removed = io_->remove(path);
+        if (!removed) {
+            throw_io("journal: cannot remove stale segment " + path.string(), removed);
+        }
+    };
+
     const auto start_fresh = [&] {
-        for (const auto& seg : list_segments(dir_)) std::filesystem::remove(seg.path);
+        for (const auto& seg : list_segments(dir_)) remove_or_throw(seg.path);
         // A leftover open twin of a sealed segment is dropped by
         // list_segments' dedup; sweep it explicitly too.
         for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
             const auto name = entry.path().filename().string();
-            if (name.rfind(kSegmentPrefix, 0) == 0) std::filesystem::remove(entry.path());
+            if (name.rfind(kSegmentPrefix, 0) == 0) remove_or_throw(entry.path());
         }
         open_segment(0, /*truncate=*/true);
         append_record(serialize_header(header));
@@ -628,14 +661,14 @@ JournalWriter::JournalWriter(std::filesystem::path dir, const CampaignHeader& he
         const std::string prefix =
             content.substr(0, static_cast<std::size_t>(walk.tear_offset));
         const auto target = open_path(dir_, tear.index);
-        if (!util::write_file_atomic(target, prefix)) {
-            throw std::runtime_error{"journal: cannot repair torn tail in " +
-                                     dir_.string()};
+        const util::IoResult repaired = util::write_file_atomic(*io_, target, prefix);
+        if (!repaired) {
+            throw_io("journal: cannot repair torn tail in " + dir_.string(), repaired);
         }
-        if (!tear.open) std::filesystem::remove(tear.path);
+        if (!tear.open) remove_or_throw(tear.path);
         for (std::size_t later = walk.tear_segment + 1; later < walk.segments.size();
              ++later) {
-            std::filesystem::remove(walk.segments[later].path);
+            remove_or_throw(walk.segments[later].path);
         }
         open_segment(tear.index, /*truncate=*/false);
         current_bytes_ = prefix.size();
@@ -655,44 +688,102 @@ JournalWriter::~JournalWriter() {
     try {
         close();
     } catch (...) {  // NOLINT(bugprone-empty-catch)
+        close_fd();
+    }
+}
+
+void JournalWriter::close_fd() noexcept {
+    if (fd_ != util::Io::kBadFile) {
+        (void)io_->close(fd_);
+        fd_ = util::Io::kBadFile;
     }
 }
 
 void JournalWriter::open_segment(std::size_t index, bool truncate) {
-    out_.open(open_path(dir_, index),
-              std::ios::binary | (truncate ? std::ios::trunc : std::ios::app));
-    if (!out_) {
-        throw std::runtime_error{"journal: cannot open segment in " + dir_.string()};
+    // Segments are always opened in append mode: O_APPEND writes land at
+    // end-of-file even after a rollback ftruncate, so a retried record can
+    // never leave a hole. "Truncate" is remove + reopen, which needs no
+    // extra seam primitive.
+    if (truncate) {
+        const util::IoResult removed = io_->remove(open_path(dir_, index));
+        if (!removed) {
+            failed_ = true;
+            throw_io("journal: cannot reset segment in " + dir_.string(), removed);
+        }
+    }
+    util::IoResult opened;
+    fd_ = io_->open_write(open_path(dir_, index), util::Io::OpenMode::append, opened);
+    if (fd_ == util::Io::kBadFile) {
+        failed_ = true;
+        throw_io("journal: cannot open segment in " + dir_.string(), opened);
     }
     segment_index_ = index;
     current_bytes_ = 0;
+    tail_clean_ = true;
 }
 
 void JournalWriter::seal_current_segment() {
-    if (!out_.is_open()) return;
-    out_.flush();
-    const bool write_failed = !out_;
-    out_.close();
-    if (write_failed) {
-        throw std::runtime_error{"journal: write failure while sealing segment in " +
-                                 dir_.string()};
+    if (fd_ == util::Io::kBadFile) return;
+    // An unflushable segment must NEVER be published under its sealed name:
+    // readers treat sealed segments as durable, and after a failed fsync the
+    // bytes on media are anyone's guess. The segment stays .open for scrub.
+    util::IoResult synced;
+    for (int attempt = 0;; ++attempt) {
+        synced = io_->fsync(fd_);
+        if (synced) break;
+        if (util::classify_io_error(synced.err) != util::IoErrorClass::transient ||
+            attempt + 1 >= options_.io_retry.max_attempts) {
+            close_fd();
+            failed_ = true;
+            throw_io("journal: fsync failed sealing segment " +
+                         std::to_string(segment_index_) + " in " + dir_.string(),
+                     synced);
+        }
+        sleep_backoff(options_.io_retry, attempt + 1, retry_rng_);
+    }
+    const util::IoResult closed = io_->close(fd_);
+    fd_ = util::Io::kBadFile;
+    if (!closed) {
+        failed_ = true;
+        throw_io("journal: close failed sealing segment in " + dir_.string(), closed);
     }
     const auto from = open_path(dir_, segment_index_);
-    (void)util::fsync_file(from);
-    if (!util::rename_durable(from, sealed_path(dir_, segment_index_))) {
-        throw std::runtime_error{"journal: cannot seal segment in " + dir_.string()};
+    const util::IoResult renamed =
+        util::rename_durable(*io_, from, sealed_path(dir_, segment_index_));
+    if (!renamed) {
+        failed_ = true;
+        throw_io("journal: cannot seal segment in " + dir_.string(), renamed);
     }
     ++segments_sealed_;
 }
 
 void JournalWriter::append_record(const std::string& payload) {
-    if (!out_.is_open()) open_segment(segment_index_, /*truncate=*/false);
+    if (failed_) {
+        throw JournalIoError{"journal: writer in " + dir_.string() +
+                                 " already failed; no further appends",
+                             util::IoResult::failure(EIO)};
+    }
+    if (fd_ == util::Io::kBadFile) open_segment(segment_index_, /*truncate=*/false);
     const std::string framed = frame_record(payload);
-    out_ << framed;
-    // One flush per record: a crash tears at most the record being written.
-    out_.flush();
-    if (!out_) {
-        throw std::runtime_error{"journal: append failed in " + dir_.string()};
+    // The frame goes out in ONE write, so a fault either loses the whole
+    // record or tears exactly one frame at the tail — never interleaves.
+    for (int attempt = 0;; ++attempt) {
+        const util::IoResult written = io_->write(fd_, framed);
+        if (written) break;
+        // Roll the segment back to the previous record boundary so the tail
+        // never keeps the torn frame this failed append produced.
+        const util::IoResult rolled_back = io_->truncate(fd_, current_bytes_);
+        tail_clean_ = rolled_back.ok();
+        const bool transient =
+            util::classify_io_error(written.err) == util::IoErrorClass::transient;
+        if (!transient || !tail_clean_ ||
+            attempt + 1 >= options_.io_retry.max_attempts) {
+            failed_ = true;
+            throw_io("journal: append failed in " + dir_.string() +
+                         (tail_clean_ ? "" : " (rollback failed too; tail torn)"),
+                     written);
+        }
+        sleep_backoff(options_.io_retry, attempt + 1, retry_rng_);
     }
     current_bytes_ += framed.size();
     ++records_appended_;
@@ -707,6 +798,11 @@ void JournalWriter::append_chunk(const ChunkRecord& record) {
 }
 
 void JournalWriter::close() { seal_current_segment(); }
+
+void JournalWriter::abandon() noexcept {
+    close_fd();
+    failed_ = true;
+}
 
 // ---------------------------------------------------------------------------
 // Journal-directory lock
@@ -767,17 +863,20 @@ std::filesystem::path lease_path(const std::filesystem::path& dir,
     return map_name(dir, chunk_index, kLeaseSuffix);
 }
 
-void init_map_journal(const std::filesystem::path& dir, const CampaignHeader& header,
-                      bool wipe) {
+void init_map_journal(util::Io& io, const std::filesystem::path& dir,
+                      const CampaignHeader& header, bool wipe) {
     std::filesystem::create_directories(dir);
     // Persist the directory's own existence: a power cut right after mkdir
     // must not orphan every file published into it.
-    (void)util::fsync_dir(dir.has_parent_path() ? dir.parent_path()
-                                                : std::filesystem::path{"."});
+    (void)util::fsync_dir(io, dir.has_parent_path() ? dir.parent_path()
+                                                    : std::filesystem::path{"."});
     if (wipe) {
         for (const auto& entry : std::filesystem::directory_iterator(dir)) {
             if (is_map_file(entry.path().filename().string())) {
-                std::filesystem::remove(entry.path());
+                const util::IoResult removed = io.remove(entry.path());
+                if (!removed) {
+                    throw_io("journal: cannot wipe " + entry.path().string(), removed);
+                }
             }
         }
     } else {
@@ -792,15 +891,26 @@ void init_map_journal(const std::filesystem::path& dir, const CampaignHeader& he
             }
         }
     }
-    if (!util::write_file_atomic(map_header_path(dir),
-                                 frame_record(serialize_header(header)))) {
-        throw std::runtime_error{"journal: cannot write map header in " + dir.string()};
+    const util::IoResult written = util::write_file_atomic(
+        io, map_header_path(dir), frame_record(serialize_header(header)));
+    if (!written) {
+        throw_io("journal: cannot write map header in " + dir.string(), written);
     }
 }
 
-bool write_map_chunk(const std::filesystem::path& dir, const ChunkRecord& record) {
-    return util::write_file_atomic(map_chunk_path(dir, record.chunk_index),
+void init_map_journal(const std::filesystem::path& dir, const CampaignHeader& header,
+                      bool wipe) {
+    init_map_journal(util::Io::real(), dir, header, wipe);
+}
+
+util::IoResult write_map_chunk(util::Io& io, const std::filesystem::path& dir,
+                               const ChunkRecord& record) {
+    return util::write_file_atomic(io, map_chunk_path(dir, record.chunk_index),
                                    frame_record(serialize_chunk_record(record)));
+}
+
+bool write_map_chunk(const std::filesystem::path& dir, const ChunkRecord& record) {
+    return write_map_chunk(util::Io::real(), dir, record).ok();
 }
 
 std::optional<ChunkRecord> read_map_chunk(const std::filesystem::path& dir,
@@ -882,9 +992,14 @@ std::optional<ChunkLease> parse_lease(std::string_view payload) {
     return lease;
 }
 
-bool claim_lease(const std::filesystem::path& dir, const ChunkLease& lease) {
-    return util::create_file_exclusive(lease_path(dir, lease.chunk_index),
+util::IoResult claim_lease(util::Io& io, const std::filesystem::path& dir,
+                           const ChunkLease& lease) {
+    return util::create_file_exclusive(io, lease_path(dir, lease.chunk_index),
                                        serialize_lease(lease));
+}
+
+bool claim_lease(const std::filesystem::path& dir, const ChunkLease& lease) {
+    return claim_lease(util::Io::real(), dir, lease).ok();
 }
 
 std::optional<ChunkLease> read_lease(const std::filesystem::path& dir,
@@ -909,6 +1024,309 @@ bool release_lease(const std::filesystem::path& dir, std::size_t chunk_index,
     }
     std::filesystem::remove(path, ec);
     return !std::filesystem::exists(path, ec);
+}
+
+// ---------------------------------------------------------------------------
+// Scrub
+
+const char* to_cstring(ScrubDamage damage) noexcept {
+    switch (damage) {
+        case ScrubDamage::torn_tail: return "torn_tail";
+        case ScrubDamage::mid_segment_corruption: return "mid_segment_corruption";
+        case ScrubDamage::header_corrupt: return "header_corrupt";
+        case ScrubDamage::missing_segment: return "missing_segment";
+        case ScrubDamage::corrupt_map_chunk: return "corrupt_map_chunk";
+    }
+    return "unknown";
+}
+
+std::string ScrubReport::render() const {
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "scrub: %llu segment(s), %llu map record(s) checked; %llu record(s) "
+                  "intact (%llu chunk(s)); %llu byte(s) discarded\n",
+                  static_cast<unsigned long long>(segments_checked),
+                  static_cast<unsigned long long>(map_chunks_checked),
+                  static_cast<unsigned long long>(records_intact),
+                  static_cast<unsigned long long>(chunks_intact),
+                  static_cast<unsigned long long>(bytes_discarded));
+    out += line;
+    if (clean()) {
+        out += "scrub: journal is clean\n";
+        return out;
+    }
+    for (const auto& finding : findings) {
+        std::snprintf(line, sizeof line, "scrub: %s in %s @%llu [%s%s]: %s\n",
+                      to_cstring(finding.damage), finding.file.c_str(),
+                      static_cast<unsigned long long>(finding.offset),
+                      finding.repaired ? "repaired" : "not repaired",
+                      finding.quarantined ? ", quarantined" : "", finding.detail.c_str());
+        out += line;
+    }
+    std::snprintf(line, sizeof line, "scrub: resume rescans from chunk %llu\n",
+                  static_cast<unsigned long long>(resume_from_chunk));
+    out += line;
+    if (!chunks_to_rescan.empty()) {
+        out += "scrub: reduce must rescan map chunk(s)";
+        for (const std::size_t index : chunks_to_rescan) {
+            out += ' ';
+            out += std::to_string(index);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string ScrubReport::machine_report() const {
+    std::string out = "scrub";
+    append_kv(out, "header", has_header ? 1 : 0);
+    append_kv(out, "segments", segments_checked);
+    append_kv(out, "map_chunks", map_chunks_checked);
+    append_kv(out, "records_intact", records_intact);
+    append_kv(out, "chunks_intact", chunks_intact);
+    append_kv(out, "bytes_discarded", bytes_discarded);
+    append_kv(out, "resume_from_chunk", resume_from_chunk);
+    append_kv(out, "findings", findings.size());
+    out += '\n';
+    for (const auto& finding : findings) {
+        out += "finding damage=";
+        out += to_cstring(finding.damage);
+        out += " file=";
+        out += encode_token(finding.file);
+        append_kv(out, "offset", finding.offset);
+        append_kv(out, "repaired", finding.repaired ? 1 : 0);
+        append_kv(out, "quarantined", finding.quarantined ? 1 : 0);
+        out += " detail=";
+        out += encode_token(finding.detail);
+        out += '\n';
+    }
+    for (const std::size_t index : chunks_to_rescan) {
+        out += "rescan";
+        append_kv(out, "chunk", index);
+        out += '\n';
+    }
+    return out;
+}
+
+namespace {
+
+[[nodiscard]] std::uint64_t file_size_or_zero(const std::filesystem::path& path) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+/// True when a parseable, CRC-valid frame exists anywhere past `pos` — the
+/// tell that distinguishes a mid-segment bit flip (good records stranded
+/// behind the damage) from an ordinary torn tail.
+[[nodiscard]] bool intact_frame_after(std::string_view content, std::size_t pos) {
+    auto search = content.find(kFrameMarker, pos + 1);
+    while (search != std::string_view::npos) {
+        if (next_frame(content, search)) return true;
+        search = content.find(kFrameMarker, search + 1);
+    }
+    return false;
+}
+
+/// Scrub-side mutation helpers: every move/write goes through the seam and
+/// throws JournalIoError on failure — a scrub that cannot repair must say
+/// so, not pretend it did.
+struct ScrubRepairer {
+    util::Io& io;
+    const std::filesystem::path& dir;
+    std::filesystem::path corrupt_dir;
+
+    explicit ScrubRepairer(util::Io& io_seam, const std::filesystem::path& journal_dir)
+        : io{io_seam}, dir{journal_dir}, corrupt_dir{journal_dir / "corrupt"} {}
+
+    void quarantine(const std::filesystem::path& path) {
+        std::filesystem::create_directories(corrupt_dir);
+        const util::IoResult moved =
+            util::rename_durable(io, path, corrupt_dir / path.filename());
+        if (!moved) {
+            throw_io("journal: scrub cannot quarantine " + path.string(), moved);
+        }
+    }
+
+    void save_bytes(const std::string& name, std::string_view bytes) {
+        std::filesystem::create_directories(corrupt_dir);
+        const util::IoResult written =
+            util::write_file_atomic(io, corrupt_dir / name, bytes);
+        if (!written) {
+            throw_io("journal: scrub cannot save " + name, written);
+        }
+    }
+
+    /// The attach-path tail repair: intact prefix republished under the
+    /// segment's OPEN name, sealed original removed.
+    void truncate_to_prefix(const SegmentFile& segment, std::string_view prefix) {
+        const auto target = open_path(dir, segment.index);
+        const util::IoResult repaired = util::write_file_atomic(io, target, prefix);
+        if (!repaired) {
+            throw_io("journal: scrub cannot repair " + segment.path.string(), repaired);
+        }
+        if (!segment.open) {
+            const util::IoResult removed = io.remove(segment.path);
+            if (!removed) {
+                throw_io("journal: scrub cannot drop " + segment.path.string(), removed);
+            }
+        }
+    }
+};
+
+}  // namespace
+
+ScrubReport scrub_journal(const std::filesystem::path& dir, const ScrubOptions& options) {
+    ScrubReport report;
+    if (!std::filesystem::is_directory(dir)) return report;
+    util::Io& io = util::resolve_io(options.io);
+    ScrubRepairer repairer{io, dir};
+
+    // --- Segment layout ----------------------------------------------------
+    const Walk walk = walk_journal(dir, nullptr, nullptr);
+    report.segments_checked = walk.segments.size();
+    report.has_header = walk.replay.has_header;
+    report.header = walk.replay.header;
+    report.chunks_intact = walk.replay.chunks_replayed;
+    report.records_intact = walk.replay.chunks_replayed + (walk.replay.has_header ? 1 : 0);
+    report.bytes_discarded = walk.replay.torn_bytes_discarded;
+    report.resume_from_chunk = walk.replay.chunks_replayed;
+
+    // A gap in the segment numbering means a whole sealed segment vanished.
+    std::size_t gap = walk.segments.size();
+    for (std::size_t s = 0; s < walk.segments.size(); ++s) {
+        if (walk.segments[s].index != s) {
+            gap = s;
+            break;
+        }
+    }
+
+    std::uint64_t total_segment_bytes = 0;
+    for (const auto& seg : walk.segments) {
+        std::error_code ec;
+        const auto size = std::filesystem::file_size(seg.path, ec);
+        if (!ec) total_segment_bytes += size;
+    }
+
+    if (!walk.segments.empty() && !walk.replay.has_header && total_segment_bytes > 0) {
+        // Record 0 is unreadable: nothing here can be attributed to any
+        // campaign, so no record is safe to replay.
+        ScrubFinding finding;
+        finding.damage = ScrubDamage::header_corrupt;
+        finding.file = walk.segments.front().path.filename().string();
+        finding.detail = "campaign header record unreadable; quarantining all segments";
+        report.bytes_discarded = total_segment_bytes;
+        if (options.repair) {
+            for (const auto& seg : walk.segments) repairer.quarantine(seg.path);
+            finding.quarantined = true;
+        }
+        report.findings.push_back(std::move(finding));
+    } else if (gap < walk.segments.size()) {
+        ScrubFinding finding;
+        finding.damage = ScrubDamage::missing_segment;
+        finding.file = sealed_path(dir, gap).filename().string();
+        finding.detail = "segment " + std::to_string(gap) +
+                         " missing; records after the hole violate the contiguous "
+                         "prefix and are quarantined";
+        if (options.repair) {
+            for (std::size_t s = gap; s < walk.segments.size(); ++s) {
+                repairer.quarantine(walk.segments[s].path);
+            }
+            finding.quarantined = true;
+        }
+        report.findings.push_back(std::move(finding));
+    } else if (walk.torn) {
+        const SegmentFile& tear = walk.segments[walk.tear_segment];
+        const std::string content = read_whole_file(tear.path);
+        const std::string_view prefix{content.data(),
+                                      static_cast<std::size_t>(walk.tear_offset)};
+        const bool mid = intact_frame_after(content, walk.tear_offset) ||
+                         walk.tear_segment + 1 < walk.segments.size();
+        ScrubFinding finding;
+        finding.file = tear.path.filename().string();
+        finding.offset = walk.tear_offset;
+        if (mid) {
+            finding.damage = ScrubDamage::mid_segment_corruption;
+            finding.detail =
+                "bad frame with intact records behind it (bit flip or hole); "
+                "damaged tail quarantined, intact prefix kept";
+            if (options.repair) {
+                repairer.save_bytes(tear.path.filename().string() + ".tail",
+                                    std::string_view{content}.substr(
+                                        static_cast<std::size_t>(walk.tear_offset)));
+                for (std::size_t s = walk.tear_segment + 1; s < walk.segments.size();
+                     ++s) {
+                    repairer.quarantine(walk.segments[s].path);
+                }
+                repairer.truncate_to_prefix(tear, prefix);
+                finding.repaired = true;
+                finding.quarantined = true;
+            }
+        } else {
+            finding.damage = ScrubDamage::torn_tail;
+            finding.detail = "frame torn at end of journal (crash artifact); "
+                             "truncated to intact prefix";
+            if (options.repair) {
+                repairer.truncate_to_prefix(tear, prefix);
+                finding.repaired = true;
+            }
+        }
+        report.findings.push_back(std::move(finding));
+    }
+
+    // --- Map layout --------------------------------------------------------
+    const auto header_path = map_header_path(dir);
+    if (std::filesystem::is_regular_file(header_path)) {
+        ++report.map_chunks_checked;
+        const auto payload = read_framed_file(header_path);
+        const auto parsed = payload ? parse_header(*payload) : std::nullopt;
+        if (parsed) {
+            ++report.records_intact;
+            if (!report.has_header) {
+                report.has_header = true;
+                report.header = *parsed;
+            }
+        } else {
+            ScrubFinding finding;
+            finding.damage = ScrubDamage::header_corrupt;
+            finding.file = header_path.filename().string();
+            finding.detail = "map header fails frame/CRC/body validation";
+            report.bytes_discarded += file_size_or_zero(header_path);
+            if (options.repair) {
+                repairer.quarantine(header_path);
+                finding.quarantined = true;
+            }
+            report.findings.push_back(std::move(finding));
+        }
+    }
+    for (const std::size_t index : list_map_chunks(dir)) {
+        ++report.map_chunks_checked;
+        if (read_map_chunk(dir, index)) {
+            ++report.records_intact;
+            ++report.chunks_intact;
+            continue;
+        }
+        const auto chunk_path = map_chunk_path(dir, index);
+        ScrubFinding finding;
+        finding.damage = ScrubDamage::corrupt_map_chunk;
+        finding.file = chunk_path.filename().string();
+        finding.detail = "chunk record fails frame/CRC/body validation or names the "
+                         "wrong chunk; rescan chunk " +
+                         std::to_string(index);
+        report.bytes_discarded += file_size_or_zero(chunk_path);
+        report.chunks_to_rescan.push_back(index);
+        if (options.repair) {
+            repairer.quarantine(chunk_path);
+            finding.quarantined = true;
+        }
+        report.findings.push_back(std::move(finding));
+    }
+
+    if (options.repair && !report.clean()) {
+        repairer.save_bytes("scrub.report", report.machine_report());
+    }
+    return report;
 }
 
 }  // namespace spinscope::scanner

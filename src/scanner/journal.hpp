@@ -32,13 +32,16 @@
 
 #include <cstdint>
 #include <filesystem>
-#include <fstream>
 #include <functional>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "faults/retry_policy.hpp"
 #include "scanner/campaign.hpp"
+#include "util/io.hpp"
+#include "util/rng.hpp"
 
 namespace spinscope::scanner {
 
@@ -77,6 +80,37 @@ struct JournalOptions {
     /// Segment rotation threshold: the active segment is sealed and a new one
     /// opened once its payload size reaches this many bytes.
     std::size_t segment_bytes = 4u << 20;
+    /// Storage seam (DESIGN.md §16). nullptr means the real disk; tests
+    /// inject faults::FaultIo. Not owned; must outlive the writer.
+    util::Io* io = nullptr;
+    /// Retry schedule for TRANSIENT storage errors (EINTR, ENOMEM, fd
+    /// exhaustion — util::classify_io_error). Backoff runs in wall time, not
+    /// simulated time: the disk is a real resource even in simulation.
+    faults::RetryPolicy io_retry{3, util::Duration::millis(1), 4.0,
+                                 util::Duration::millis(20), true};
+    /// Seed for the io-retry jitter stream. Storage retries never touch any
+    /// scan-facing RNG, so the determinism contract (DESIGN.md §9) holds
+    /// whether or not the disk stutters.
+    std::uint64_t io_retry_seed = 0;
+};
+
+/// A storage operation failed past the point of retrying. Carries the errno
+/// result and its reaction class so catch sites can decide between degrading
+/// (fatal: seal what is durable, scan on without a journal) and distrusting
+/// the tail (corrupting: what is on media is unknown — scrub before reuse).
+class JournalIoError : public std::runtime_error {
+public:
+    JournalIoError(std::string what, util::IoResult result)
+        : std::runtime_error{std::move(what)},
+          result_{result},
+          error_class_{util::classify_io_error(result.err)} {}
+
+    [[nodiscard]] util::IoResult result() const noexcept { return result_; }
+    [[nodiscard]] util::IoErrorClass error_class() const noexcept { return error_class_; }
+
+private:
+    util::IoResult result_;
+    util::IoErrorClass error_class_;
 };
 
 /// Everything replay_journal recovered from a journal directory.
@@ -123,8 +157,11 @@ struct ReplayStreamResult {
     const std::function<void(const CampaignHeader&)>& on_header,
     const std::function<void(ChunkRecord&&)>& on_chunk);
 
-/// Appends campaign records crash-safely. All methods throw
-/// std::runtime_error on I/O failure.
+/// Appends campaign records crash-safely. Storage failures surface as
+/// JournalIoError after transient errors have been retried per
+/// JournalOptions::io_retry; a failed append first rolls the segment back to
+/// the previous record boundary (ftruncate) so the on-disk tail never holds
+/// a torn frame that the writer itself produced.
 class JournalWriter {
 public:
     enum class Mode {
@@ -152,27 +189,45 @@ public:
     void append_chunk(const ChunkRecord& record);
 
     /// Seals the active segment (fsync + atomic rename to its final name).
-    /// Idempotent; also run by the destructor (which swallows errors).
+    /// A failed fsync FAILS the seal — the segment keeps its .open name so
+    /// no maybe-torn bytes are ever published as sealed. Idempotent; also
+    /// run by the destructor (which swallows errors).
     void close();
+
+    /// Gives up on the journal without sealing: closes the descriptor
+    /// best-effort and leaves the active segment under its .open name for a
+    /// later scrub. Used by the degrade path when close() itself cannot be
+    /// trusted (e.g. the device refuses fsync). Never throws; the writer is
+    /// dead afterwards.
+    void abandon() noexcept;
 
     [[nodiscard]] std::uint64_t records_appended() const noexcept { return records_appended_; }
     [[nodiscard]] std::uint64_t segments_sealed() const noexcept { return segments_sealed_; }
     /// Bytes written to the active (unsealed) segment so far — the durability
     /// lag surfaced by progress reporting. Resets at every seal.
     [[nodiscard]] std::uint64_t open_bytes() const noexcept { return current_bytes_; }
+    /// False when a failed append could not be rolled back to the previous
+    /// record boundary — the active segment may end in a torn frame, so the
+    /// degrade path must abandon() rather than seal.
+    [[nodiscard]] bool tail_clean() const noexcept { return tail_clean_; }
 
 private:
     void open_segment(std::size_t index, bool truncate);
     void seal_current_segment();
     void append_record(const std::string& payload);
+    void close_fd() noexcept;
 
     std::filesystem::path dir_;
     JournalOptions options_;
-    std::ofstream out_;
+    util::Io* io_ = nullptr;         ///< resolved: never null after construction
+    util::Rng retry_rng_;
+    int fd_ = util::Io::kBadFile;    ///< the active segment, append mode
     std::size_t segment_index_ = 0;  ///< index of the ACTIVE segment
     std::size_t current_bytes_ = 0;  ///< bytes written to the active segment
     std::uint64_t records_appended_ = 0;
     std::uint64_t segments_sealed_ = 0;
+    bool failed_ = false;            ///< a storage error killed this writer
+    bool tail_clean_ = true;
 };
 
 /// Serialization of one record payload (exposed for tests and tooling; the
@@ -238,12 +293,19 @@ private:
 /// std::runtime_error on I/O failure.
 void init_map_journal(const std::filesystem::path& dir, const CampaignHeader& header,
                       bool wipe);
+/// Io-threaded form; throws JournalIoError (with the real errno) instead of
+/// a generic runtime_error on storage failure.
+void init_map_journal(util::Io& io, const std::filesystem::path& dir,
+                      const CampaignHeader& header, bool wipe);
 
 /// Atomically publishes one finished chunk (write-temp + fsync + rename).
 /// Idempotent: republishing the same chunk is harmless. Returns false on
 /// I/O failure.
 [[nodiscard]] bool write_map_chunk(const std::filesystem::path& dir,
                                    const ChunkRecord& record);
+/// Io-threaded form with the real cause (ENOSPC vs EIO vs ...).
+[[nodiscard]] util::IoResult write_map_chunk(util::Io& io, const std::filesystem::path& dir,
+                                             const ChunkRecord& record);
 
 /// Reads one published chunk; nullopt when absent, torn, or failing
 /// frame/CRC/body validation (all treated as "not scanned yet").
@@ -302,6 +364,11 @@ struct ChunkLease {
 /// Exactly one of N racing claimants succeeds. Returns false when the chunk
 /// is already leased or on I/O failure.
 [[nodiscard]] bool claim_lease(const std::filesystem::path& dir, const ChunkLease& lease);
+/// Io-threaded form: EEXIST means the chunk is already leased (the routine
+/// lost race, not an error); any other errno is a real storage failure the
+/// caller should surface.
+[[nodiscard]] util::IoResult claim_lease(util::Io& io, const std::filesystem::path& dir,
+                                         const ChunkLease& lease);
 
 /// The current lease on a chunk; nullopt when unleased or garbled (a
 /// garbled lease file blocks nobody: release_lease with token 0 removes it).
@@ -313,5 +380,104 @@ struct ChunkLease {
 /// when the lease file is gone afterwards.
 bool release_lease(const std::filesystem::path& dir, std::size_t chunk_index,
                    std::uint64_t token);
+
+// ---------------------------------------------------------------------------
+// Scrub: offline verify / repair (DESIGN.md §16)
+//
+// Replay is deliberately forgiving — it stops at the first bad frame and
+// treats everything behind it as a torn tail, which is the right call for a
+// crash but silently forfeits good records when the damage is a bit flip in
+// the middle of a sealed segment. scrub_journal is the forensic pass: it
+// CRC-checks every frame of every segment and every map-layout record,
+// classifies the damage, repairs what is provably safe (truncating a torn
+// tail to the intact prefix — the same repair the attach path performs),
+// quarantines what is not (moved under corrupt/, never deleted), and writes
+// a machine-readable report naming exactly which chunks a subsequent
+// resume/reduce must rescan.
+
+/// What kind of damage one finding describes.
+enum class ScrubDamage {
+    /// Frame torn at the very end of the journal — the classic crash shape.
+    /// Repair: truncate to the intact prefix (provably safe: appends are
+    /// ordered, nothing can live past a tear at the tail).
+    torn_tail,
+    /// A bad frame with intact records after it (in the same segment or a
+    /// later one): a bit flip or hole in the middle. The records behind the
+    /// damage violate the contiguous-prefix invariant, so they are
+    /// quarantined, not replayed.
+    mid_segment_corruption,
+    /// Record 0 (the campaign header) is unreadable — nothing in the journal
+    /// can be attributed to a campaign, so every segment is quarantined.
+    header_corrupt,
+    /// A gap in the segment numbering: a whole sealed segment vanished.
+    /// Segments after the gap are quarantined (their records are past the
+    /// hole in the prefix).
+    missing_segment,
+    /// A map-layout chunk-NNNNN.rec failing frame/CRC/body validation or
+    /// naming the wrong chunk index. Quarantined; the chunk is rescanned.
+    corrupt_map_chunk,
+};
+
+[[nodiscard]] const char* to_cstring(ScrubDamage damage) noexcept;
+
+/// One piece of damage the scrub found.
+struct ScrubFinding {
+    ScrubDamage damage = ScrubDamage::torn_tail;
+    /// File the damage was found in (segment or map record), relative name.
+    std::string file;
+    /// Byte offset of the first bad byte within `file` (0 when the whole
+    /// file is the finding, e.g. missing segments and map records).
+    std::uint64_t offset = 0;
+    std::string detail;
+    bool repaired = false;     ///< damage removed in place (tail truncation)
+    bool quarantined = false;  ///< bytes moved under corrupt/
+};
+
+struct ScrubOptions {
+    /// With repair, torn tails are truncated to the intact prefix and
+    /// unsafe bytes are moved under corrupt/ with a scrub.report; without
+    /// it the scrub only inspects and classifies (the bench's --scrub uses
+    /// repair; a dry-run caller can pass false).
+    bool repair = true;
+    /// Storage seam for the repair writes; nullptr = real disk.
+    util::Io* io = nullptr;
+};
+
+/// Scrub outcome. `clean()` means the journal needed nothing; otherwise
+/// `findings` says what was wrong and what was done, and `chunks_to_rescan`
+/// / `resume_from_chunk` tell resume/reduce exactly what work remains.
+struct ScrubReport {
+    bool has_header = false;
+    CampaignHeader header;
+    std::uint64_t segments_checked = 0;
+    std::uint64_t map_chunks_checked = 0;
+    /// Intact records across all segments (including the header record).
+    std::uint64_t records_intact = 0;
+    /// Intact chunk records: contiguous prefix for the segment layout,
+    /// total intact count for the map layout.
+    std::uint64_t chunks_intact = 0;
+    std::uint64_t bytes_discarded = 0;
+    std::vector<ScrubFinding> findings;
+    /// Map-layout chunk indices whose records were quarantined (reduce will
+    /// rescan exactly these).
+    std::vector<std::size_t> chunks_to_rescan;
+    /// First chunk a segment-layout resume must rescan (== chunks_intact).
+    std::uint64_t resume_from_chunk = 0;
+
+    [[nodiscard]] bool clean() const noexcept { return findings.empty(); }
+    /// Human-readable multi-line summary (the bench prints this).
+    [[nodiscard]] std::string render() const;
+    /// Machine-readable k=v lines (percent-encoded), written to
+    /// corrupt/scrub.report when a repair pass changed anything.
+    [[nodiscard]] std::string machine_report() const;
+};
+
+/// Walks the journal at `dir` (segment and map layouts alike), CRC-checks
+/// every frame, classifies damage, repairs/quarantines per `options`, and
+/// reports. A missing or empty directory yields a clean report with
+/// has_header == false. Throws JournalIoError when the scrub's own repair
+/// writes fail.
+[[nodiscard]] ScrubReport scrub_journal(const std::filesystem::path& dir,
+                                        const ScrubOptions& options = {});
 
 }  // namespace spinscope::scanner

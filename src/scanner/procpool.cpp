@@ -21,6 +21,7 @@
 #include "telemetry/resource.hpp"
 #include "telemetry/trace.hpp"
 #include "util/atomic_file.hpp"
+#include "util/io.hpp"
 #include "util/proc.hpp"
 
 #ifndef _WIN32
@@ -151,7 +152,7 @@ ChunkRecord scan_chunk_record(const Campaign& campaign, std::size_t chunk,
 /// lease that had already exhausted chunk_attempts is quarantined on the
 /// spot (`*quarantined` incremented) and reported unclaimable — the chunk is
 /// finished, not available.
-std::optional<std::uint64_t> clear_stale_lease(const Campaign& campaign,
+std::optional<std::uint64_t> clear_stale_lease(util::Io& io, const Campaign& campaign,
                                                const ProcPoolOptions& options,
                                                const std::filesystem::path& dir,
                                                std::size_t chunk,
@@ -180,7 +181,9 @@ std::optional<std::uint64_t> clear_stale_lease(const Campaign& campaign,
     if (lease->attempts >= options.chunk_attempts) {
         // Every process that touched this chunk died on it: publish the
         // quarantine placeholder instead of feeding it another incarnation.
-        (void)write_map_chunk(dir, proc_quarantine_record(campaign, chunk));
+        // Best-effort: a failed publish leaves the chunk unclaimed and the
+        // next sweep (or the supervisor's inline pass) retries it.
+        (void)write_map_chunk(io, dir, proc_quarantine_record(campaign, chunk));
         if (quarantined != nullptr) ++*quarantined;
         return std::nullopt;
     }
@@ -192,6 +195,7 @@ std::optional<std::uint64_t> clear_stale_lease(const Campaign& campaign,
 struct WorkerContext {
     const Campaign* campaign = nullptr;
     const ProcPoolOptions* options = nullptr;
+    util::Io* io = nullptr;  // the campaign's storage seam (DESIGN.md §16)
     std::filesystem::path dir;
     unsigned slot = 0;
     std::uint64_t token = 0;
@@ -239,7 +243,7 @@ int worker_main(const WorkerContext& ctx) noexcept {
                 any_pending = true;
                 std::uint64_t quarantined = 0;
                 const auto prior =
-                    clear_stale_lease(campaign, opt, ctx.dir, c, &quarantined);
+                    clear_stale_lease(*ctx.io, campaign, opt, ctx.dir, c, &quarantined);
                 if (quarantined > 0) {
                     send("pquar " + std::to_string(c));
                     continue;
@@ -253,7 +257,16 @@ int worker_main(const WorkerContext& ctx) noexcept {
                 // lease when the process dies must not taint the chunk — only
                 // dying mid-scan does (the bump below, right before scanning).
                 lease.attempts = *prior;
-                if (!claim_lease(ctx.dir, lease)) continue;  // lost the race
+                const util::IoResult claimed_res = claim_lease(*ctx.io, ctx.dir, lease);
+                if (!claimed_res) {
+                    // EEXIST is the normal lost-claim race; anything else is
+                    // the disk failing under us — report the real cause.
+                    if (claimed_res.err != EEXIST) {
+                        send("ioerr claim chunk " + std::to_string(c) + ": " +
+                             claimed_res.message());
+                    }
+                    continue;
+                }
                 if (opt.worker_event_hook) opt.worker_event_hook(ctx.slot, "claim", c);
                 send("claim " + std::to_string(c));
                 claimed.push_back(lease);
@@ -274,14 +287,29 @@ int worker_main(const WorkerContext& ctx) noexcept {
                 // charges one attempt against the chunk. We own the lease, so
                 // an atomic rewrite (same token, attempts+1) is race-free.
                 ++lease.attempts;
-                (void)util::write_file_atomic(lease_path(ctx.dir, c),
-                                              serialize_lease(lease));
+                const util::IoResult bumped = util::write_file_atomic(
+                    *ctx.io, lease_path(ctx.dir, c), serialize_lease(lease));
+                if (!bumped) {
+                    // Non-fatal (the lease is advisory bookkeeping), but the
+                    // supervisor should know the disk dropped a write.
+                    send("ioerr lease bump chunk " + std::to_string(c) + ": " +
+                         bumped.message());
+                }
                 ChunkRecord record = scan_chunk_record(campaign, c, [&] {
                     send("restart 1");
                     heartbeat();
                 });
                 if (opt.worker_event_hook) opt.worker_event_hook(ctx.slot, "scanned", c);
-                if (!write_map_chunk(ctx.dir, record)) return 3;
+                const util::IoResult published = write_map_chunk(*ctx.io, ctx.dir, record);
+                if (!published) {
+                    // Publish is the one write that matters: without the
+                    // record the scan never happened. Attribute the cause,
+                    // then die with the publish-failed exit code so the
+                    // supervisor can restart (or finish inline).
+                    send("ioerr publish chunk " + std::to_string(c) + ": " +
+                         published.message());
+                    return 3;
+                }
                 if (opt.worker_event_hook) {
                     opt.worker_event_hook(ctx.slot, "published", c);
                 }
@@ -330,6 +358,7 @@ ProcPoolReport run_procs(const Campaign& campaign, const ProcPoolOptions& option
             "needs a shared map journal");
     }
     const std::filesystem::path dir = sopt.journal_dir;
+    util::Io& io = util::resolve_io(sopt.io);
 
     CampaignHeader header;
     header.seed = sopt.seed;
@@ -338,7 +367,7 @@ ProcPoolReport run_procs(const Campaign& campaign, const ProcPoolOptions& option
     header.chunk_domains = sopt.chunk_domains;
     header.domain_count = campaign.domain_count();
     header.has_telemetry = campaign.metrics() != nullptr;
-    init_map_journal(dir, header, options.fresh);
+    init_map_journal(io, dir, header, options.fresh);
 
     // Exclusive campaign ownership of the directory for the whole map pass.
     // Forked children inherit the held flag but _exit without running
@@ -381,6 +410,7 @@ ProcPoolReport run_procs(const Campaign& campaign, const ProcPoolOptions& option
             WorkerContext ctx;
             ctx.campaign = &campaign;
             ctx.options = &options;
+            ctx.io = &io;
             ctx.dir = dir;
             ctx.slot = index;
             ctx.token = token;
@@ -415,6 +445,16 @@ ProcPoolReport run_procs(const Campaign& campaign, const ProcPoolOptions& option
             report.worker_thread_restarts += value;
         } else if (verb == "pquar") {
             ++report.chunks_quarantined;
+        } else if (verb == "ioerr") {
+            // A worker hit a real storage failure (not a lost race). Count
+            // and keep the attributed cause for the report; the worker's own
+            // exit code decides whether this was fatal to the incarnation.
+            ++report.io_errors;
+            report.last_io_error = arg;
+            if (trace != nullptr && slot.lane >= 0) {
+                trace->instant(telemetry::TraceClock::wall, slot.lane,
+                               "ioerr " + arg, trace->wall_now_ns());
+            }
         } else if (verb == "done" || verb == "claim" || verb == "batch") {
             if (trace != nullptr && slot.lane >= 0) {
                 trace->instant(telemetry::TraceClock::wall, slot.lane, verb + " " + arg,
@@ -530,7 +570,7 @@ ProcPoolReport run_procs(const Campaign& campaign, const ProcPoolOptions& option
         std::error_code ec;
         if (std::filesystem::exists(map_chunk_path(dir, c), ec)) continue;
         std::uint64_t quarantined = 0;
-        (void)clear_stale_lease(campaign, options, dir, c, &quarantined);
+        (void)clear_stale_lease(io, campaign, options, dir, c, &quarantined);
         if (quarantined > 0) {
             report.chunks_quarantined += quarantined;
             continue;
@@ -541,17 +581,20 @@ ProcPoolReport run_procs(const Campaign& campaign, const ProcPoolOptions& option
         if (const auto lease = read_lease(dir, c)) {
             (void)release_lease(dir, c, lease->token);
             if (lease->attempts >= options.chunk_attempts) {
-                (void)write_map_chunk(dir, proc_quarantine_record(campaign, c));
+                (void)write_map_chunk(io, dir, proc_quarantine_record(campaign, c));
                 ++report.chunks_quarantined;
                 continue;
             }
         }
         const ChunkRecord record = scan_chunk_record(
             campaign, c, [&] { ++report.worker_thread_restarts; });
-        if (!write_map_chunk(dir, record)) {
+        const util::IoResult published = write_map_chunk(io, dir, record);
+        if (!published) {
+            // Last-resort completion has no further fallback: refuse loudly
+            // with the storage cause attributed.
             throw std::runtime_error("procpool: cannot publish record for " +
                                      locate_chunk(campaign, c) + " in '" +
-                                     dir.string() + "'");
+                                     dir.string() + "': " + published.message());
         }
         ++report.chunks_scanned_inline;
     }
@@ -583,6 +626,9 @@ ProcPoolReport run_procs(const Campaign& campaign, const ProcPoolOptions& option
         if (report.chunks_scanned_inline > 0) {
             metrics->counter("obs.proc.chunks_scanned_inline")
                 .add(report.chunks_scanned_inline);
+        }
+        if (report.io_errors > 0) {
+            metrics->counter("obs.proc.io_errors").add(report.io_errors);
         }
         metrics->gauge("obs.proc.procs").set(static_cast<double>(options.procs));
         std::uint64_t peak = 0;

@@ -112,6 +112,14 @@ struct ProcPoolReport {
     /// Chunk records present in the map journal when the pass finished.
     std::uint64_t chunks_recorded = 0;
     std::uint64_t chunks_total = 0;
+    /// Storage-level I/O failures workers reported over the heartbeat
+    /// channel (lease claims and record publishes that failed for a real
+    /// reason, not a lost race). Nonzero with a complete map pass means the
+    /// retry/restart machinery absorbed the faults.
+    std::uint64_t io_errors = 0;
+    /// The most recent worker-reported I/O failure, with its errno cause —
+    /// attribution for postmortems when io_errors > 0.
+    std::string last_io_error;
 };
 
 /// Runs the map pass: forks `options.procs` workers that lease and scan

@@ -2,45 +2,16 @@
 
 #include <atomic>
 #include <cerrno>
-#include <cstdio>
 #include <string>
 #include <system_error>
 
 #ifndef _WIN32
-#include <fcntl.h>
 #include <unistd.h>
 #endif
 
 namespace spinscope::util {
 
 namespace {
-
-/// fsync a file descriptor; on platforms without fsync this degrades to a
-/// no-op success (the rename is still atomic, only power-cut durability is
-/// weakened).
-bool sync_fd(int fd) noexcept {
-#ifndef _WIN32
-    return ::fsync(fd) == 0;
-#else
-    (void)fd;
-    return true;
-#endif
-}
-
-bool sync_path(const std::filesystem::path& path, bool directory) noexcept {
-#ifndef _WIN32
-    const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
-    const int fd = ::open(path.c_str(), flags);
-    if (fd < 0) return false;
-    const bool ok = sync_fd(fd);
-    ::close(fd);
-    return ok;
-#else
-    (void)path;
-    (void)directory;
-    return true;
-#endif
-}
 
 /// Temp-file name next to `path`; the PID suffix keeps concurrent writers of
 /// different processes from clobbering each other's temp files, and the
@@ -60,97 +31,92 @@ std::filesystem::path temp_sibling(const std::filesystem::path& path) {
     return temp;
 }
 
-}  // namespace
-
-bool write_file_atomic(const std::filesystem::path& path, std::string_view content) {
-    const std::filesystem::path temp = temp_sibling(path);
-    std::error_code ec;
-
-    // stdio instead of ofstream: we need the file descriptor for fsync.
-    std::FILE* f = std::fopen(temp.c_str(), "wb");
-    if (f == nullptr) return false;
-    bool ok = content.empty() ||
-              std::fwrite(content.data(), 1, content.size(), f) == content.size();
-    ok = (std::fflush(f) == 0) && ok;
-#ifndef _WIN32
-    ok = ok && sync_fd(::fileno(f));
-#endif
-    ok = (std::fclose(f) == 0) && ok;
-    if (!ok) {
-        std::filesystem::remove(temp, ec);
-        return false;
+/// Write + fsync + close an already-opened handle; on any failure the file at
+/// `path` is removed best-effort and the first error is returned.
+IoResult finish_new_file(Io& io, int fd, const std::filesystem::path& path,
+                         std::string_view content) {
+    IoResult result = io.write(fd, content);
+    if (result) result = io.fsync(fd);
+    if (result) {
+        result = io.close(fd);
+    } else {
+        (void)io.close(fd);
     }
-    if (!rename_durable(temp, path)) {
-        std::filesystem::remove(temp, ec);
-        return false;
-    }
-    return true;
+    if (!result) (void)io.remove(path);
+    return result;
 }
 
-bool rename_durable(const std::filesystem::path& from, const std::filesystem::path& to) {
-    std::error_code ec;
-    std::filesystem::rename(from, to, ec);
-    if (ec) return false;
+}  // namespace
+
+IoResult write_file_atomic(Io& io, const std::filesystem::path& path,
+                           std::string_view content) {
+    const std::filesystem::path temp = temp_sibling(path);
+    IoResult result;
+    const int fd = io.open_write(temp, Io::OpenMode::truncate, result);
+    if (fd == Io::kBadFile) return result;
+    result = finish_new_file(io, fd, temp, content);
+    if (!result) return result;
+    result = rename_durable(io, temp, path);
+    if (!result) (void)io.remove(temp);
+    return result;
+}
+
+bool write_file_atomic(const std::filesystem::path& path, std::string_view content) {
+    return write_file_atomic(Io::real(), path, content).ok();
+}
+
+IoResult rename_durable(Io& io, const std::filesystem::path& from,
+                        const std::filesystem::path& to) {
+    const IoResult renamed = io.rename(from, to);
+    if (!renamed) return renamed;
     // Persist the directory entries. The rename already happened, so sync
     // failure here must NOT be reported as rename failure — callers would
     // react by deleting or rewriting a file that is correctly published.
     const std::filesystem::path to_dir =
         to.has_parent_path() ? to.parent_path() : std::filesystem::path{"."};
-    (void)sync_path(to_dir, /*directory=*/true);
+    (void)io.fsync_path(to_dir, /*directory=*/true);
     const std::filesystem::path from_dir =
         from.has_parent_path() ? from.parent_path() : std::filesystem::path{"."};
+    std::error_code ec;
     if (!std::filesystem::equivalent(to_dir, from_dir, ec) && !ec) {
         // Cross-directory rename: also persist the removal of the old entry,
         // or a power cut can resurrect the source name next to the new one.
-        (void)sync_path(from_dir, /*directory=*/true);
+        (void)io.fsync_path(from_dir, /*directory=*/true);
     }
-    return true;
+    return IoResult::success();
+}
+
+bool rename_durable(const std::filesystem::path& from, const std::filesystem::path& to) {
+    return rename_durable(Io::real(), from, to).ok();
+}
+
+IoResult fsync_dir(Io& io, const std::filesystem::path& dir) {
+    return io.fsync_path(dir.empty() ? std::filesystem::path{"."} : dir,
+                         /*directory=*/true);
 }
 
 bool fsync_dir(const std::filesystem::path& dir) {
-    return sync_path(dir.empty() ? std::filesystem::path{"."} : dir,
-                     /*directory=*/true);
+    return fsync_dir(Io::real(), dir).ok();
+}
+
+IoResult fsync_file(Io& io, const std::filesystem::path& path) {
+    return io.fsync_path(path, /*directory=*/false);
 }
 
 bool fsync_file(const std::filesystem::path& path) {
-    return sync_path(path, /*directory=*/false);
+    return fsync_file(Io::real(), path).ok();
+}
+
+IoResult create_file_exclusive(Io& io, const std::filesystem::path& path,
+                               std::string_view content) {
+    IoResult result;
+    const int fd = io.open_write(path, Io::OpenMode::exclusive, result);
+    if (fd == Io::kBadFile) return result;
+    return finish_new_file(io, fd, path, content);
 }
 
 bool create_file_exclusive(const std::filesystem::path& path, std::string_view content) {
-#ifndef _WIN32
-    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
-    if (fd < 0) return false;
-    std::size_t off = 0;
-    bool ok = true;
-    while (off < content.size()) {
-        const ::ssize_t n = ::write(fd, content.data() + off, content.size() - off);
-        if (n < 0) {
-            if (errno == EINTR) continue;
-            ok = false;
-            break;
-        }
-        off += static_cast<std::size_t>(n);
-    }
-    ok = sync_fd(fd) && ok;
-    ::close(fd);
-    if (!ok) {
-        std::error_code ec;
-        std::filesystem::remove(path, ec);
-    }
-    return ok;
-#else
-    // C11 "x" mode: fail when the file exists (the closest O_EXCL analogue).
-    std::FILE* f = std::fopen(path.string().c_str(), "wbx");
-    if (f == nullptr) return false;
-    bool ok = content.empty() ||
-              std::fwrite(content.data(), 1, content.size(), f) == content.size();
-    ok = (std::fclose(f) == 0) && ok;
-    if (!ok) {
-        std::error_code ec;
-        std::filesystem::remove(path, ec);
-    }
-    return ok;
-#endif
+    return create_file_exclusive(Io::real(), path, content).ok();
 }
 
 }  // namespace spinscope::util

@@ -178,8 +178,10 @@ std::optional<long> PidLockFile::owner(const std::filesystem::path& path) {
 void PidLockFile::acquire(const std::filesystem::path& path) {
     release();
     const std::string content = std::to_string(current_pid()) + "\n";
+    IoResult last = IoResult::success();
     for (int attempt = 0; attempt < 2; ++attempt) {
-        if (create_file_exclusive(path, content)) {
+        last = create_file_exclusive(Io::real(), path, content);
+        if (last) {
             path_ = path;
             held_ = true;
             return;
@@ -195,7 +197,8 @@ void PidLockFile::acquire(const std::filesystem::path& path) {
         std::error_code ec;
         std::filesystem::remove(path, ec);
     }
-    throw std::runtime_error{"util: cannot create lock file " + path.string()};
+    throw std::runtime_error{"util: cannot create lock file " + path.string() +
+                             ": " + last.message()};
 }
 
 void PidLockFile::release() noexcept {

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <fstream>
@@ -561,6 +562,203 @@ TEST(RunSupervisedTest, MergeExceptionStillCancelsAndRethrows) {
             },
             [](const ChunkFailure&) {}),
         std::logic_error);
+}
+
+// --- Scrub: offline verify / repair (DESIGN.md §16) --------------------------
+//
+// The corruption corpus: each case damages a journal in a distinct way, then
+// asserts that scrub_journal classifies the damage correctly, repairs or
+// quarantines it (never deletes bytes), and that a resume over the scrubbed
+// journal is byte-identical to an uninterrupted run — the no-silent-
+// corruption invariant end to end.
+
+TEST_F(JournalTest, ScrubOfCleanJournalFindsNothing) {
+    const web::Population population = tiny_population();
+    ScanOptions options;
+    options.journal_dir = (dir_ / "clean").string();
+    const SweepResult baseline = run_to_completion(population, options, /*resume=*/false);
+
+    const ScrubReport report = scrub_journal(options.journal_dir);
+    EXPECT_TRUE(report.clean());
+    EXPECT_TRUE(report.has_header);
+    EXPECT_EQ(report.bytes_discarded, 0u);
+    EXPECT_GE(report.chunks_intact, 5u);
+    EXPECT_EQ(report.resume_from_chunk, report.chunks_intact);
+    EXPECT_FALSE(std::filesystem::exists(std::filesystem::path{options.journal_dir} /
+                                         "corrupt"));
+
+    const SweepResult resumed = run_to_completion(population, options, /*resume=*/true);
+    EXPECT_EQ(resumed.stream, baseline.stream);
+    EXPECT_EQ(resumed.telemetry, baseline.telemetry);
+}
+
+TEST_F(JournalTest, ScrubClassifiesHeaderCorruptionAndQuarantinesEverything) {
+    const web::Population population = tiny_population();
+    ScanOptions options;
+    options.journal_dir = (dir_ / "hdr").string();
+    const SweepResult baseline = run_to_completion(population, options, /*resume=*/false);
+
+    // Garble the frame marker of record 0: the campaign header no longer
+    // parses, so NOTHING in the journal can be attributed to a campaign.
+    const auto segment = std::filesystem::path{options.journal_dir} / "segment-00000.jsonl";
+    ASSERT_TRUE(std::filesystem::exists(segment));
+    {
+        std::fstream file{segment, std::ios::binary | std::ios::in | std::ios::out};
+        file.write("XXXX", 4);
+    }
+
+    const ScrubReport report = scrub_journal(options.journal_dir);
+    ASSERT_FALSE(report.clean());
+    EXPECT_FALSE(report.has_header);
+    EXPECT_EQ(report.findings[0].damage, ScrubDamage::header_corrupt);
+    EXPECT_TRUE(report.findings[0].quarantined);
+    EXPECT_EQ(report.chunks_intact, 0u);
+    EXPECT_EQ(report.resume_from_chunk, 0u);
+    EXPECT_GT(report.bytes_discarded, 0u);
+    // Quarantined, never deleted: the damaged segment lives under corrupt/.
+    EXPECT_TRUE(std::filesystem::exists(std::filesystem::path{options.journal_dir} /
+                                        "corrupt" / "segment-00000.jsonl"));
+    EXPECT_FALSE(std::filesystem::exists(segment));
+
+    // Resume over the emptied journal rescans everything — byte-identical.
+    const SweepResult resumed = run_to_completion(population, options, /*resume=*/true);
+    EXPECT_EQ(resumed.stream, baseline.stream);
+    EXPECT_EQ(resumed.telemetry, baseline.telemetry);
+    expect_same_stats(resumed.stats, baseline.stats);
+}
+
+TEST_F(JournalTest, ScrubClassifiesBitFlipInASealedSegmentAsMidSegmentCorruption) {
+    const web::Population population = tiny_population();
+    ScanOptions options;
+    options.journal_dir = (dir_ / "flip").string();
+    options.journal_segment_bytes = 1024;  // force several sealed segments
+    const SweepResult baseline = run_to_completion(population, options, /*resume=*/false);
+
+    std::vector<std::filesystem::path> sealed;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(options.journal_dir)) {
+        if (entry.path().filename().string().ends_with(".jsonl")) {
+            sealed.push_back(entry.path());
+        }
+    }
+    std::sort(sealed.begin(), sealed.end());
+    ASSERT_GE(sealed.size(), 3u);
+
+    // Flip one payload byte in the MIDDLE sealed segment: records after it
+    // are intact on disk but behind the damage in the prefix order.
+    const auto& victim = sealed[1];
+    const auto size = std::filesystem::file_size(victim);
+    {
+        std::fstream file{victim, std::ios::binary | std::ios::in | std::ios::out};
+        file.seekp(static_cast<std::streamoff>(size / 2));
+        char byte = 0;
+        file.seekg(static_cast<std::streamoff>(size / 2));
+        file.get(byte);
+        file.seekp(static_cast<std::streamoff>(size / 2));
+        file.put(static_cast<char>(byte ^ 0x01));
+    }
+
+    const ScrubReport report = scrub_journal(options.journal_dir);
+    ASSERT_FALSE(report.clean());
+    EXPECT_EQ(report.findings[0].damage, ScrubDamage::mid_segment_corruption);
+    EXPECT_TRUE(report.findings[0].quarantined);
+    EXPECT_GT(report.bytes_discarded, 0u);
+    EXPECT_GE(report.chunks_intact, 1u);  // segment 0's records survive
+    EXPECT_EQ(report.resume_from_chunk, report.chunks_intact);
+    EXPECT_TRUE(std::filesystem::exists(std::filesystem::path{options.journal_dir} /
+                                        "corrupt" / "scrub.report"));
+
+    const SweepResult resumed = run_to_completion(population, options, /*resume=*/true);
+    EXPECT_EQ(resumed.stream, baseline.stream);
+    EXPECT_EQ(resumed.telemetry, baseline.telemetry);
+    expect_same_stats(resumed.stats, baseline.stats);
+}
+
+TEST_F(JournalTest, ScrubClassifiesADeletedMiddleSegmentAndResumes) {
+    const web::Population population = tiny_population();
+    ScanOptions options;
+    options.journal_dir = (dir_ / "gap").string();
+    options.journal_segment_bytes = 1024;
+    const SweepResult baseline = run_to_completion(population, options, /*resume=*/false);
+
+    const auto missing =
+        std::filesystem::path{options.journal_dir} / "segment-00001.jsonl";
+    ASSERT_TRUE(std::filesystem::exists(missing));
+    std::filesystem::remove(missing);
+
+    const ScrubReport report = scrub_journal(options.journal_dir);
+    ASSERT_FALSE(report.clean());
+    EXPECT_EQ(report.findings[0].damage, ScrubDamage::missing_segment);
+    EXPECT_GE(report.chunks_intact, 1u);
+    EXPECT_EQ(report.resume_from_chunk, report.chunks_intact);
+
+    const SweepResult resumed = run_to_completion(population, options, /*resume=*/true);
+    EXPECT_EQ(resumed.stream, baseline.stream);
+    EXPECT_EQ(resumed.telemetry, baseline.telemetry);
+    expect_same_stats(resumed.stats, baseline.stats);
+}
+
+TEST_F(JournalTest, ScrubQuarantinesAMapChunkThatFramesButFailsCrc) {
+    // Map layout: publish a header and three chunks, then rewrite chunk 1
+    // with a frame whose declared CRC does not match its payload.
+    const CampaignHeader header = sample_header();
+    init_map_journal(dir_, header, /*wipe=*/true);
+    for (std::size_t c = 0; c < 3; ++c) {
+        ASSERT_TRUE(write_map_chunk(dir_, sample_chunk(c)));
+    }
+    const std::string payload = serialize_chunk_record(sample_chunk(1));
+    std::string framed = frame_record(payload);
+    framed[framed.size() - 1] ^= 0x01;  // parses as a frame, fails the CRC
+    {
+        std::ofstream out{map_chunk_path(dir_, 1), std::ios::binary | std::ios::trunc};
+        out << framed;
+    }
+    ASSERT_FALSE(read_map_chunk(dir_, 1).has_value());
+
+    const ScrubReport report = scrub_journal(dir_);
+    ASSERT_FALSE(report.clean());
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].damage, ScrubDamage::corrupt_map_chunk);
+    EXPECT_TRUE(report.findings[0].quarantined);
+    ASSERT_EQ(report.chunks_to_rescan.size(), 1u);
+    EXPECT_EQ(report.chunks_to_rescan[0], 1u);
+    EXPECT_EQ(report.chunks_intact, 2u);
+    EXPECT_TRUE(report.has_header);
+    // The corrupt record is preserved under corrupt/, not deleted, and the
+    // live directory no longer lists it — the reducer will rescan chunk 1.
+    EXPECT_FALSE(std::filesystem::exists(map_chunk_path(dir_, 1)));
+    EXPECT_TRUE(std::filesystem::exists(dir_ / "corrupt" / "chunk-00001.rec"));
+    const MapReplayResult replay = read_map_journal(dir_);
+    EXPECT_EQ(replay.chunks.size(), 2u);
+    EXPECT_EQ(replay.corrupt_chunks, 0u);
+}
+
+TEST_F(JournalTest, ScrubWithoutRepairOnlyClassifies) {
+    const web::Population population = tiny_population();
+    ScanOptions options;
+    options.journal_dir = (dir_ / "dry").string();
+    (void)run_to_completion(population, options, /*resume=*/false);
+
+    const auto segment = std::filesystem::path{options.journal_dir} / "segment-00000.jsonl";
+    const auto size = std::filesystem::file_size(segment);
+    {
+        std::fstream file{segment, std::ios::binary | std::ios::in | std::ios::out};
+        file.seekp(static_cast<std::streamoff>(size - 4));
+        file.put('\xff');
+    }
+
+    ScrubOptions dry;
+    dry.repair = false;
+    const ScrubReport report = scrub_journal(options.journal_dir, dry);
+    ASSERT_FALSE(report.clean());
+    for (const ScrubFinding& finding : report.findings) {
+        EXPECT_FALSE(finding.repaired);
+        EXPECT_FALSE(finding.quarantined);
+    }
+    // Dry run: the damaged bytes are untouched and nothing was quarantined.
+    EXPECT_EQ(std::filesystem::file_size(segment), size);
+    EXPECT_FALSE(std::filesystem::exists(std::filesystem::path{options.journal_dir} /
+                                         "corrupt"));
 }
 
 // --- Watchdog and bounded buffers --------------------------------------------
